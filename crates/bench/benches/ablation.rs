@@ -1,0 +1,161 @@
+//! Ablation benches for the design decisions called out in DESIGN.md §6:
+//!
+//! * **D2** — failsafe minimum-latency sweep: how the latency trades crash
+//!   outcomes for failsafe outcomes.
+//! * **D3** — gyro failure-detection threshold sweep around the 60 deg/s
+//!   PX4 default the paper cites.
+//! * **D4** — bubble tracking cadence: how the 1 Hz tracking instance
+//!   changes the inner-bubble size and the violation counts.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_bench::banner;
+use imufit_bubble::InnerBubbleSpec;
+use imufit_controller::{FailsafeParams, FailsafePhase, FailureDetector};
+use imufit_math::rng::Pcg;
+use imufit_math::Vec3;
+use imufit_sensors::ImuSample;
+
+/// Time for a persistent moderate gyro fault to latch under the given
+/// parameters (None if it never latches within the horizon).
+fn latch_time(params: FailsafeParams, fault_gyro: Vec3) -> Option<f64> {
+    let mut detector = FailureDetector::new(params);
+    let dt = 0.004;
+    let mut t = 0.0;
+    while t < 20.0 {
+        t += dt;
+        let sample = ImuSample {
+            accel: Vec3::new(0.0, 0.0, -9.8),
+            gyro: fault_gyro,
+            time: t,
+        };
+        if let FailsafePhase::Active { .. } = detector.update(t, &sample, Vec3::ZERO, false) {
+            return Some(t);
+        }
+        detector.take_rotate_request();
+    }
+    None
+}
+
+fn ablation_d2_latency(c: &mut Criterion) {
+    banner("D2 — failsafe minimum-latency sweep (persistent 120 deg/s gyro fault)");
+    let fault = Vec3::new(2.1, 0.0, 0.0);
+    println!("{:>14} | {:>10}", "min latency", "latch at");
+    for latency in [0.5, 1.0, 1.9, 3.0, 5.0] {
+        let params = FailsafeParams {
+            min_failsafe_latency: latency,
+            ..Default::default()
+        };
+        let latch = latch_time(params, fault);
+        println!(
+            "{latency:>12.1} s | {:>10}",
+            latch
+                .map(|l| format!("{l:.2} s"))
+                .unwrap_or_else(|| "never".into())
+        );
+    }
+    c.bench_function("ablation/latch_time_default", |b| {
+        b.iter(|| black_box(latch_time(FailsafeParams::default(), black_box(fault))))
+    });
+}
+
+fn ablation_d3_threshold(c: &mut Criterion) {
+    banner("D3 — gyro detection-threshold sweep (persistent 90 deg/s gyro fault)");
+    let fault = Vec3::new(90.0_f64.to_radians(), 0.0, 0.0);
+    println!("{:>12} | {:>10}", "threshold", "latch at");
+    for deg in [30.0, 45.0, 60.0, 90.0, 120.0_f64] {
+        let params = FailsafeParams {
+            gyro_rate_threshold: deg.to_radians(),
+            ..Default::default()
+        };
+        let latch = latch_time(params, fault);
+        println!(
+            "{deg:>9.0} d/s | {:>10}",
+            latch
+                .map(|l| format!("{l:.2} s"))
+                .unwrap_or_else(|| "never".into())
+        );
+    }
+    // Detection is threshold-monotone: stricter thresholds latch no later.
+    let strict = latch_time(
+        FailsafeParams {
+            gyro_rate_threshold: 30.0_f64.to_radians(),
+            ..Default::default()
+        },
+        fault,
+    );
+    let loose = latch_time(
+        FailsafeParams {
+            gyro_rate_threshold: 120.0_f64.to_radians(),
+            ..Default::default()
+        },
+        fault,
+    );
+    assert!(
+        strict.is_some(),
+        "strict threshold must detect a 90 deg/s fault"
+    );
+    assert!(
+        loose.is_none(),
+        "loose threshold must miss a 90 deg/s fault"
+    );
+    c.bench_function("ablation/threshold_probe", |b| {
+        b.iter(|| {
+            black_box(latch_time(
+                FailsafeParams {
+                    gyro_rate_threshold: 30.0_f64.to_radians(),
+                    ..Default::default()
+                },
+                black_box(fault),
+            ))
+        })
+    });
+}
+
+fn ablation_d4_tracking_cadence(c: &mut Criterion) {
+    banner("D4 — tracking-cadence sweep: inner bubble size of the 25 km/h drone");
+    println!("{:>14} | {:>12}", "cadence", "inner radius");
+    for interval in [0.5, 1.0, 2.0, 5.0] {
+        let spec = InnerBubbleSpec {
+            dimension: 0.8,
+            safety_distance: 3.0,
+            max_tracking_distance: (25.0 / 3.6) * interval,
+        };
+        println!("{:>11.1} Hz | {:>10.2} m", 1.0 / interval, spec.radius());
+    }
+    // Radius grows with the tracking interval once D_m dominates D_s.
+    let fast = InnerBubbleSpec {
+        dimension: 0.8,
+        safety_distance: 3.0,
+        max_tracking_distance: (25.0 / 3.6) * 0.5,
+    };
+    let slow = InnerBubbleSpec {
+        dimension: 0.8,
+        safety_distance: 3.0,
+        max_tracking_distance: (25.0 / 3.6) * 5.0,
+    };
+    assert!(slow.radius() > fast.radius());
+
+    let mut rng = Pcg::seed_from(3);
+    c.bench_function("ablation/inner_radius", |b| {
+        b.iter(|| {
+            let jitter = rng.uniform();
+            black_box(
+                InnerBubbleSpec {
+                    dimension: 0.8,
+                    safety_distance: 3.0,
+                    max_tracking_distance: 6.9 + jitter,
+                }
+                .radius(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    ablation_d2_latency,
+    ablation_d3_threshold,
+    ablation_d4_tracking_cadence
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Regenerates **Figure 2** (the two bubble layers) as a radii-over-time
+//! series and benchmarks the bubble evaluation kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_bench::banner;
+use imufit_bubble::{BubbleTracker, InnerBubbleSpec, Route};
+use imufit_math::Vec3;
+
+fn bubble(c: &mut Criterion) {
+    let route = Route::new(vec![
+        Vec3::new(0.0, 0.0, -18.0),
+        Vec3::new(2000.0, 0.0, -18.0),
+    ]);
+    let spec = InnerBubbleSpec {
+        dimension: 0.8,
+        safety_distance: 3.0,
+        max_tracking_distance: 25.0 / 3.6,
+    };
+    let mut tracker = BubbleTracker::new(route.clone(), spec, 1.0);
+
+    banner("Figure 2 — bubble layers while a drone accelerates 0 -> 7 m/s");
+    println!(
+        "{:>5} | {:>9} | {:>11} | {:>11}",
+        "t (s)", "speed m/s", "inner r (m)", "outer r (m)"
+    );
+    let mut pos = Vec3::new(0.0, 0.0, -18.0);
+    for t in 0..20 {
+        // Ramp the speed up over the first 14 seconds.
+        let speed = (0.5 * t as f64).min(7.0);
+        pos.x += speed; // 1 Hz tracking instants
+        let obs = tracker.observe(pos, speed);
+        println!(
+            "{t:>5} | {speed:>9.2} | {:>11.2} | {:>11.2}",
+            obs.inner_radius, obs.outer_radius
+        );
+    }
+
+    let mut bench_tracker = BubbleTracker::new(route, spec, 1.0);
+    let mut x = 0.0;
+    c.bench_function("bubble/observe", |b| {
+        b.iter(|| {
+            x += 3.0;
+            black_box(bench_tracker.observe(Vec3::new(x % 2000.0, 1.0, -18.0), 3.0))
+        })
+    });
+
+    // Route-distance kernel on a longer polyline.
+    let long_route = Route::new(
+        (0..50)
+            .map(|i| Vec3::new(i as f64 * 50.0, ((i % 5) as f64) * 30.0, -18.0))
+            .collect(),
+    );
+    c.bench_function("bubble/route_distance_50seg", |b| {
+        b.iter(|| black_box(long_route.distance_to(black_box(Vec3::new(1234.0, 56.0, -20.0)))))
+    });
+}
+
+criterion_group!(benches, bubble);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Micro-benchmarks of every hot kernel in the closed-loop simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_controller::{ControllerParams, FlightController, FlightPlan, Waypoint};
+use imufit_dynamics::{Quadrotor, QuadrotorParams};
+use imufit_estimator::{Ekf, EkfParams};
+use imufit_faults::{FaultInjector, FaultKind, FaultSpec, FaultTarget, InjectionWindow};
+use imufit_math::rng::Pcg;
+use imufit_math::Vec3;
+use imufit_missions::all_missions;
+use imufit_sensors::{GpsSample, ImuSample, ImuSpec};
+use imufit_uav::{FlightSimulator, SimConfig};
+
+fn bench_dynamics_step(c: &mut Criterion) {
+    let mut quad = Quadrotor::new(QuadrotorParams::default_airframe());
+    let hover = quad.params().hover_throttle();
+    c.bench_function("dynamics/rk4_step", |b| {
+        b.iter(|| {
+            quad.step(black_box([hover; 4]), 0.004);
+            black_box(quad.state().position)
+        })
+    });
+}
+
+fn bench_ekf(c: &mut Criterion) {
+    let mut ekf = Ekf::new(EkfParams::default());
+    ekf.initialize(Vec3::ZERO, Vec3::ZERO, 0.0);
+    let imu = ImuSample {
+        accel: Vec3::new(0.01, -0.02, -9.80665),
+        gyro: Vec3::new(0.001, 0.002, -0.001),
+        time: 0.0,
+    };
+    c.bench_function("ekf/predict", |b| {
+        b.iter(|| {
+            ekf.predict(black_box(&imu), 0.004);
+            black_box(ekf.state().position)
+        })
+    });
+    let gps = GpsSample {
+        position: Vec3::ZERO,
+        velocity: Vec3::ZERO,
+        horizontal_accuracy: 1.2,
+        vertical_accuracy: 1.8,
+    };
+    c.bench_function("ekf/fuse_gps", |b| {
+        b.iter(|| {
+            ekf.fuse_gps(black_box(&gps));
+            black_box(ekf.health().pos_test_ratio)
+        })
+    });
+}
+
+fn bench_injector(c: &mut Criterion) {
+    let spec = ImuSpec::default();
+    let mut injector = FaultInjector::new(
+        spec,
+        vec![FaultSpec::new(
+            FaultKind::Random,
+            FaultTarget::Imu,
+            InjectionWindow::new(0.0, 1e9),
+        )],
+    );
+    let mut rng = Pcg::seed_from(1);
+    let clean = ImuSample {
+        accel: Vec3::new(0.0, 0.0, -9.8),
+        gyro: Vec3::ZERO,
+        time: 1.0,
+    };
+    c.bench_function("injector/apply_active", |b| {
+        b.iter(|| black_box(injector.apply(black_box(clean), &mut rng)))
+    });
+    let mut passthrough = FaultInjector::passthrough(spec);
+    c.bench_function("injector/apply_passthrough", |b| {
+        b.iter(|| black_box(passthrough.apply(black_box(clean), &mut rng)))
+    });
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let plan = FlightPlan::new(Vec3::ZERO, 18.0, vec![Waypoint::at(500.0, 0.0, 18.0)], 5.0);
+    let mut fc = FlightController::new(ControllerParams::default_airframe(), plan);
+    let nav = imufit_estimator::NavState::default();
+    let imu = ImuSample {
+        accel: Vec3::new(0.0, 0.0, -9.8),
+        gyro: Vec3::ZERO,
+        time: 0.0,
+    };
+    let mut t = 0.0;
+    c.bench_function("controller/update", |b| {
+        b.iter(|| {
+            t += 0.004;
+            black_box(fc.update(t, 0.004, black_box(&nav), black_box(&imu), false))
+        })
+    });
+}
+
+fn bench_sim_step(c: &mut Criterion) {
+    let missions = all_missions();
+    let mission = &missions[0];
+    let mut sim = FlightSimulator::new(mission, Vec::new(), SimConfig::default_for(mission, 1));
+    // Get airborne so the step exercises the full pipeline.
+    for _ in 0..5000 {
+        sim.step();
+    }
+    c.bench_function("sim/closed_loop_step", |b| {
+        b.iter(|| {
+            sim.step();
+            black_box(sim.time())
+        })
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = imufit_telemetry::Message::Position {
+        drone_id: 7,
+        time: 123.0,
+        position: Vec3::new(10.0, 20.0, -18.0),
+        velocity: Vec3::new(1.0, 2.0, 0.0),
+    };
+    c.bench_function("wire/encode", |b| {
+        b.iter(|| black_box(imufit_telemetry::encode(black_box(&msg))))
+    });
+    let bytes = imufit_telemetry::encode(&msg);
+    c.bench_function("wire/decode", |b| {
+        b.iter(|| black_box(imufit_telemetry::decode(black_box(bytes.clone())).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dynamics_step,
+    bench_ekf,
+    bench_injector,
+    bench_controller,
+    bench_sim_step,
+    bench_wire
+);
+criterion_main!(benches);

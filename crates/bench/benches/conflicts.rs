@@ -1,0 +1,34 @@
+//! U-space separation analysis: flies a fleet subset concurrently, prints
+//! the pairwise separation report, and benchmarks the analysis kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_bench::banner;
+use imufit_core::conflicts::{analyze, fly_fleet, FleetMember};
+use imufit_missions::all_missions;
+
+fn conflicts(c: &mut Criterion) {
+    // Four missions keep the one-time flight cost modest.
+    let missions: Vec<_> = all_missions().into_iter().take(4).collect();
+    let members: Vec<FleetMember> = fly_fleet(&missions, None, 777);
+
+    banner("U-space separation report (4 concurrent missions, clean)");
+    let report = analyze(&members);
+    print!("{}", report.render());
+    let completed = members
+        .iter()
+        .filter(|m| m.result.outcome.is_completed())
+        .count();
+    println!("missions completed: {completed}/{}", members.len());
+    assert_eq!(
+        report.total_conflicts, 0,
+        "the clean U-space plan must be conflict-free"
+    );
+
+    c.bench_function("conflicts/analyze_4_drones", |b| {
+        b.iter(|| black_box(analyze(black_box(&members))))
+    });
+}
+
+criterion_group!(benches, conflicts);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Fault-detection study: scores every detector against every fault
+//! primitive (the "quick detection techniques" the paper's discussion calls
+//! for) and benchmarks the detector kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_bench::banner;
+use imufit_detect::{
+    evaluate, CusumDetector, Detector, EnsembleDetector, LabeledStream, StuckDetector,
+    ThresholdDetector, VarianceDetector,
+};
+use imufit_faults::{FaultKind, FaultTarget, InjectionWindow};
+
+fn detection(c: &mut Criterion) {
+    banner("Detection latency matrix (IMU faults, 10 s windows, hover streams)");
+    let mut detectors: Vec<Box<dyn Detector + Send>> = vec![
+        Box::new(ThresholdDetector::px4_defaults()),
+        Box::new(StuckDetector::new(8)),
+        Box::new(VarianceDetector::calibrated()),
+        Box::new(CusumDetector::calibrated()),
+        Box::new(EnsembleDetector::full()),
+    ];
+
+    print!("{:<12}", "fault");
+    for d in &detectors {
+        print!(" | {:>10}", d.name());
+    }
+    println!();
+    for kind in FaultKind::ALL {
+        let stream = LabeledStream::hover(
+            kind,
+            FaultTarget::Imu,
+            InjectionWindow::new(10.0, 10.0),
+            25.0,
+            2024 + kind.id(),
+        );
+        print!("{:<12}", kind.label());
+        for d in detectors.iter_mut() {
+            let r = evaluate(d.as_mut(), &stream);
+            let cell = match (r.detected, r.latency) {
+                (true, Some(l)) => format!("{:.0} ms", l * 1000.0),
+                _ => "miss".to_string(),
+            };
+            print!(" | {cell:>10}");
+        }
+        println!();
+    }
+    println!("\n(the ensemble must catch every primitive; individual detectors specialize)");
+
+    // The ensemble catches everything on the IMU target.
+    let mut ensemble = EnsembleDetector::full();
+    for kind in FaultKind::ALL {
+        let stream = LabeledStream::hover(
+            kind,
+            FaultTarget::Imu,
+            InjectionWindow::new(10.0, 10.0),
+            25.0,
+            2024 + kind.id(),
+        );
+        assert!(
+            evaluate(&mut ensemble, &stream).detected,
+            "{} missed",
+            kind.label()
+        );
+    }
+
+    // Kernel benchmarks.
+    let stream = LabeledStream::hover(
+        FaultKind::Noise,
+        FaultTarget::Imu,
+        InjectionWindow::new(10.0, 10.0),
+        25.0,
+        7,
+    );
+    let sample = stream.samples[100];
+    let mut ensemble = EnsembleDetector::full();
+    c.bench_function("detect/ensemble_observe", |b| {
+        b.iter(|| black_box(ensemble.observe(black_box(&sample), 0.004)))
+    });
+    let mut cusum = CusumDetector::calibrated();
+    c.bench_function("detect/cusum_observe", |b| {
+        b.iter(|| black_box(cusum.observe(black_box(&sample), 0.004)))
+    });
+    c.bench_function("detect/evaluate_full_stream", |b| {
+        let mut det = StuckDetector::new(8);
+        b.iter(|| black_box(evaluate(&mut det, black_box(&stream))))
+    });
+}
+
+criterion_group!(benches, detection);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Environment sensitivity: wind (the weather dimension the paper folds
+//! into its risk factor `R`) and the `R > 1` outer bubble.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_bench::banner;
+use imufit_dynamics::WindModel;
+use imufit_math::rng::Pcg;
+use imufit_math::Vec3;
+use imufit_missions::all_missions;
+use imufit_uav::{FlightSimulator, SimConfig};
+
+fn environment(c: &mut Criterion) {
+    banner("Wind sensitivity: gold runs under increasing wind (2 missions)");
+    let missions = all_missions();
+    println!("{:<24} | {:>9} | {:>15}", "wind", "completed", "inner violations");
+    for (label, wind) in [
+        ("calm", WindModel::calm()),
+        ("breeze 2 m/s + gusts", WindModel::light_breeze(Vec3::new(2.0, 0.5, 0.0))),
+        ("wind 5 m/s + gusts", WindModel::light_breeze(Vec3::new(5.0, 1.0, 0.0))),
+    ] {
+        let mut done = 0;
+        let mut violations = 0;
+        for mission in missions.iter().take(2) {
+            let mut config = SimConfig::default_for(mission, 7070 + mission.drone.id as u64);
+            config.wind = wind.clone();
+            let r = FlightSimulator::new(mission, Vec::new(), config).run();
+            done += r.outcome.is_completed() as u32;
+            violations += r.violations.inner;
+        }
+        println!("{label:<24} | {done:>7}/2 | {violations:>15}");
+    }
+
+    banner("Risk factor R: outer bubble radius at cruise (Eq. 3)");
+    println!("{:>5} | {:>12}", "R", "outer radius");
+    for r in [1.0, 1.5, 2.0, 3.0] {
+        let inner = 4.5; // a mid-fleet inner bubble
+        let outer = imufit_bubble::outer_radius(r, inner, 3.4);
+        println!("{r:>5.1} | {outer:>10.1} m");
+    }
+    assert!(
+        imufit_bubble::outer_radius(2.0, 4.5, 3.4) > imufit_bubble::outer_radius(1.0, 4.5, 3.4),
+        "risk factor must widen the bubble"
+    );
+
+    // Kernel: the OU gust process.
+    let mut wind = WindModel::light_breeze(Vec3::new(3.0, 0.0, 0.0));
+    let mut rng = Pcg::seed_from(1);
+    c.bench_function("environment/wind_step", |b| {
+        b.iter(|| black_box(wind.step(0.004, &mut rng)))
+    });
+}
+
+criterion_group!(benches, environment);
+criterion_main!(benches);

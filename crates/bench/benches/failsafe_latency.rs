@@ -1,0 +1,103 @@
+//! Reproduces the paper's §IV-C failsafe-latency observation ("failsafe
+//! takes a minimum of 1900 ms") by measuring the detection-to-latch latency
+//! for each fault class, and benchmarks the detector kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_bench::banner;
+use imufit_controller::{FailsafeParams, FailsafePhase, FailureDetector};
+use imufit_faults::{FaultInjector, FaultKind, FaultSpec, FaultTarget, InjectionWindow};
+use imufit_math::rng::Pcg;
+use imufit_math::Vec3;
+use imufit_sensors::{ImuSample, ImuSpec};
+
+/// Feeds a faulty IMU stream into a detector and returns (detect, latch)
+/// times relative to fault onset, if the fault was detected/latched.
+fn measure_latency(kind: FaultKind, target: FaultTarget) -> (Option<f64>, Option<f64>) {
+    let onset = 10.0;
+    let mut injector = FaultInjector::new(
+        ImuSpec::default(),
+        vec![FaultSpec::new(
+            kind,
+            target,
+            InjectionWindow::new(onset, 60.0),
+        )],
+    );
+    let mut detector = FailureDetector::new(FailsafeParams::default());
+    let mut rng = Pcg::seed_from(9);
+    let mut detect = None;
+    let mut latch = None;
+    let dt = 0.004;
+    let mut t = 0.0;
+    while t < 30.0 {
+        t += dt;
+        let clean = ImuSample {
+            accel: Vec3::new(0.0, 0.0, -9.80665),
+            gyro: Vec3::ZERO,
+            time: t,
+        };
+        let sample = injector.apply(clean, &mut rng);
+        match detector.update(t, &sample, Vec3::ZERO, false) {
+            FailsafePhase::Isolating { .. } if detect.is_none() => detect = Some(t - onset),
+            FailsafePhase::Active { .. } if latch.is_none() => {
+                latch = Some(t - onset);
+                break;
+            }
+            _ => {}
+        }
+        detector.take_rotate_request();
+    }
+    (detect, latch)
+}
+
+fn failsafe_latency(c: &mut Criterion) {
+    banner("Failsafe latency per fault class (hover, fault persists)");
+    println!(
+        "{:<22} | {:>10} | {:>10} | paper: latch >= 1.9 s",
+        "fault", "detect (s)", "latch (s)"
+    );
+    let min_latency = FailsafeParams::default().min_failsafe_latency;
+    for target in [
+        FaultTarget::Gyrometer,
+        FaultTarget::Accelerometer,
+        FaultTarget::Imu,
+    ] {
+        for kind in FaultKind::ALL {
+            let (detect, latch) = measure_latency(kind, target);
+            println!(
+                "{:<22} | {:>10} | {:>10}",
+                format!("{} {}", target.label(), kind.label()),
+                detect
+                    .map(|d| format!("{d:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                latch
+                    .map(|l| format!("{l:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+            if let Some(l) = latch {
+                assert!(
+                    l + 1e-9 >= min_latency,
+                    "{target:?} {kind:?} latched in {l:.2}s, below the 1.9 s minimum"
+                );
+            }
+        }
+    }
+
+    // Detector kernel benchmark.
+    let mut detector = FailureDetector::new(FailsafeParams::default());
+    let sample = ImuSample {
+        accel: Vec3::new(0.0, 0.0, -9.8),
+        gyro: Vec3::ZERO,
+        time: 0.0,
+    };
+    let mut t = 0.0;
+    c.bench_function("failsafe/detector_update", |b| {
+        b.iter(|| {
+            t += 0.004;
+            black_box(detector.update(t, black_box(&sample), Vec3::ZERO, false))
+        })
+    });
+}
+
+criterion_group!(benches, failsafe_latency);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerates the paper's trajectory **Figures 3–5** (one instrumented
+//! flight each) and benchmarks the plotting kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_bench::banner;
+use imufit_core::figures::{ascii_plot, run_scenario_matching, scenarios};
+use imufit_missions::all_missions;
+
+fn figures(c: &mut Criterion) {
+    let missions = all_missions();
+    let mut last_result = None;
+    for (i, scenario) in scenarios().iter().enumerate() {
+        let result = run_scenario_matching(scenario, 2024 + i as u64, 6);
+        banner(&format!(
+            "{} — {} (expected {})",
+            scenario.name,
+            result.outcome.label(),
+            scenario.expected_outcome
+        ));
+        println!("{}", result.ascii_plot);
+        last_result = Some((scenario.mission_index, result));
+    }
+
+    // Benchmark the ASCII rendering on the last figure's real track.
+    let (mission_index, result) = last_result.expect("three scenarios ran");
+    let mission = &missions[mission_index];
+    // Rebuild track points from the CSV for the bench input.
+    let points: Vec<imufit_telemetry::TrackPoint> = result
+        .track_csv
+        .lines()
+        .skip(1)
+        .map(|line| {
+            let f: Vec<f64> = line.split(',').map(|v| v.parse().unwrap_or(0.0)).collect();
+            imufit_telemetry::TrackPoint {
+                time: f[0],
+                true_position: imufit_math::Vec3::new(f[1], f[2], f[3]),
+                est_position: imufit_math::Vec3::new(f[4], f[5], f[6]),
+                true_velocity: imufit_math::Vec3::new(f[7], f[8], f[9]),
+                airspeed: f[10],
+                fault_active: f[11] != 0.0,
+                failsafe: f[12] != 0.0,
+            }
+        })
+        .collect();
+    c.bench_function("figures/ascii_plot", |b| {
+        b.iter(|| black_box(ascii_plot(black_box(mission), black_box(&points), 64, 24)))
+    });
+}
+
+criterion_group!(benches, figures);
+criterion_main!(benches);

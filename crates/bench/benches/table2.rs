@@ -1,0 +1,34 @@
+//! Regenerates **Table II** (metrics grouped by injection duration) on a
+//! scaled workload and benchmarks the aggregation kernel.
+//!
+//! Full-fidelity regeneration: `cargo run --release --bin reproduce`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_bench::{banner, scaled_campaign};
+use imufit_core::report::PAPER_TABLE2;
+use imufit_core::tables::Table2;
+
+fn table2(c: &mut Criterion) {
+    // Scaled workload: 2 missions x 2 durations (gold + 84 faulty runs is
+    // too slow here; 2 + 2x21x2 = 86 total runs is ~90 s once).
+    let results = scaled_campaign(2, vec![2.0, 30.0], 2024);
+
+    banner("Table II (measured, scaled: 2 missions x {2, 30} s)");
+    print!("{}", Table2::from_records(results.records()).render());
+    banner("Table II (paper)");
+    for (label, inner, outer, pct, dur, dist) in PAPER_TABLE2 {
+        println!("{label:<12} inner {inner:>6.2}  outer {outer:>6.2}  completed {pct:>6.2}%  dur {dur:>7.2}s  dist {dist:>5.2}km");
+    }
+
+    c.bench_function("table2/aggregate", |b| {
+        b.iter(|| black_box(Table2::from_records(black_box(results.records()))))
+    });
+    c.bench_function("table2/render", |b| {
+        let t = Table2::from_records(results.records());
+        b.iter(|| black_box(t.render()))
+    });
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates **Table III** (metrics grouped by fault type) on a scaled
+//! workload and benchmarks the aggregation kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_bench::{banner, scaled_campaign};
+use imufit_core::report::PAPER_TABLE3;
+use imufit_core::tables::Table3;
+
+fn table3(c: &mut Criterion) {
+    let results = scaled_campaign(2, vec![2.0, 30.0], 2024);
+
+    banner("Table III (measured, scaled: 2 missions x {2, 30} s)");
+    print!("{}", Table3::from_records(results.records()).render());
+    banner("Table III (paper)");
+    for (label, inner, outer, pct, dur, dist) in PAPER_TABLE3 {
+        println!("{label:<17} inner {inner:>6.2}  outer {outer:>6.2}  completed {pct:>6.2}%  dur {dur:>7.2}s  dist {dist:>5.2}km");
+    }
+
+    c.bench_function("table3/aggregate", |b| {
+        b.iter(|| black_box(Table3::from_records(black_box(results.records()))))
+    });
+    c.bench_function("table3/row_lookup", |b| {
+        let t = Table3::from_records(results.records());
+        b.iter(|| black_box(t.row(black_box("IMU Freeze"))))
+    });
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

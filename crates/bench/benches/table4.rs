@@ -1,0 +1,28 @@
+//! Regenerates **Table IV** (mission failure / crash / failsafe analysis)
+//! on a scaled workload and benchmarks the aggregation kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use imufit_bench::{banner, scaled_campaign};
+use imufit_core::report::PAPER_TABLE4;
+use imufit_core::tables::Table4;
+
+fn table4(c: &mut Criterion) {
+    let results = scaled_campaign(2, vec![2.0, 30.0], 2024);
+
+    banner("Table IV (measured, scaled: 2 missions x {2, 30} s)");
+    print!("{}", Table4::from_records(results.records()).render());
+    banner("Table IV (paper)");
+    for (label, failed, crash, failsafe) in PAPER_TABLE4 {
+        println!(
+            "{label:<12} failed {failed:>6.2}%  crash {crash:>5.1}%  failsafe {failsafe:>5.1}%"
+        );
+    }
+
+    c.bench_function("table4/aggregate", |b| {
+        b.iter(|| black_box(Table4::from_records(black_box(results.records()))))
+    });
+}
+
+criterion_group!(benches, table4);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one table or figure of the paper on a
+//! scaled workload (printed once, before measurement) and then benchmarks
+//! the computational kernel behind it. The full-fidelity reproduction is the
+//! `reproduce` binary of the facade crate; the benches keep the
+//! regeneration path continuously exercised and measured.
+
+use imufit_core::{Campaign, CampaignConfig, CampaignResults};
+
+/// A scaled campaign used by the table benches: `missions` missions at the
+/// given durations, deterministic under `seed`.
+pub fn scaled_campaign(missions: usize, durations: Vec<f64>, seed: u64) -> CampaignResults {
+    let config = CampaignConfig::scaled(missions, durations, seed);
+    Campaign::new(config).run()
+}
+
+/// Prints a banner separating the regeneration output from criterion's.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaled_campaign_shape() {
+        let results = super::scaled_campaign(1, vec![], 3);
+        assert_eq!(results.records().len(), 1);
+    }
+}

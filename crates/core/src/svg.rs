@@ -1,0 +1,247 @@
+//! Minimal SVG rendering for the trajectory figures — publication-style
+//! output alongside the ASCII maps (no plotting dependency needed).
+
+use imufit_math::Vec3;
+use imufit_missions::Mission;
+use imufit_telemetry::TrackPoint;
+
+/// A tiny SVG canvas with the handful of primitives the figures need.
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas of the given pixel size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dimension is not positive.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(
+            width > 0.0 && height > 0.0,
+            "canvas dimensions must be positive"
+        );
+        SvgCanvas {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// Adds a polyline through `points` (pixel coordinates).
+    pub fn polyline(&mut self, points: &[(f64, f64)], color: &str, width: f64, dashed: bool) {
+        if points.len() < 2 {
+            return;
+        }
+        let coords: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
+        let dash = if dashed {
+            " stroke-dasharray=\"6 4\""
+        } else {
+            ""
+        };
+        self.body.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"{width}\"{dash}/>\n",
+            coords.join(" ")
+        ));
+    }
+
+    /// Adds a circle.
+    pub fn circle(&mut self, x: f64, y: f64, r: f64, fill: &str) {
+        self.body.push_str(&format!(
+            "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"{r:.1}\" fill=\"{fill}\"/>\n"
+        ));
+    }
+
+    /// Adds a text label.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, content: &str) {
+        let escaped = content
+            .replace('&', "&amp;")
+            .replace('<', "&lt;")
+            .replace('>', "&gt;");
+        self.body.push_str(&format!(
+            "<text x=\"{x:.1}\" y=\"{y:.1}\" font-size=\"{size:.0}\" font-family=\"sans-serif\">{escaped}</text>\n"
+        ));
+    }
+
+    /// Serializes the document.
+    pub fn render(&self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" viewBox=\"0 0 {w:.0} {h:.0}\">\n\
+             <rect width=\"{w:.0}\" height=\"{h:.0}\" fill=\"white\"/>\n{body}</svg>\n",
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+}
+
+/// Renders a flight's horizontal trajectory as an SVG figure: the planned
+/// route (dashed), the flown track (colored by fault state), waypoints, and
+/// the end marker — the paper's Figures 3–5 style.
+pub fn trajectory_svg(mission: &Mission, points: &[TrackPoint], title: &str) -> String {
+    const W: f64 = 640.0;
+    const H: f64 = 480.0;
+    const MARGIN: f64 = 40.0;
+
+    // Bounds over route + track (east -> x, north -> y with north up).
+    let mut route = vec![mission.home];
+    route.extend(mission.waypoints.iter().copied());
+    let all: Vec<Vec3> = route
+        .iter()
+        .copied()
+        .chain(points.iter().map(|p| p.true_position))
+        .collect();
+    let (min_e, max_e) = min_max(all.iter().map(|p| p.y));
+    let (min_n, max_n) = min_max(all.iter().map(|p| p.x));
+    let span_e = (max_e - min_e).max(1.0);
+    let span_n = (max_n - min_n).max(1.0);
+    let scale = ((W - 2.0 * MARGIN) / span_e).min((H - 2.0 * MARGIN) / span_n);
+    let to_px = |p: Vec3| -> (f64, f64) {
+        (
+            MARGIN + (p.y - min_e) * scale,
+            H - MARGIN - (p.x - min_n) * scale,
+        )
+    };
+
+    let mut svg = SvgCanvas::new(W, H);
+    svg.text(MARGIN, 22.0, 14.0, title);
+
+    // Planned route.
+    let route_px: Vec<(f64, f64)> = route.iter().map(|&p| to_px(p)).collect();
+    svg.polyline(&route_px, "#888888", 1.5, true);
+    for &(x, y) in &route_px {
+        svg.circle(x, y, 4.0, "#555555");
+    }
+
+    // Flown track, split into clean and fault-active segments so the fault
+    // window is visible.
+    let mut segment: Vec<(f64, f64)> = Vec::new();
+    let mut segment_faulty = false;
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 && p.fault_active != segment_faulty && segment.len() > 1 {
+            svg.polyline(&segment, color_for(segment_faulty), 2.0, false);
+            let last = *segment.last().expect("non-empty segment");
+            segment = vec![last];
+        }
+        segment_faulty = p.fault_active;
+        segment.push(to_px(p.true_position));
+    }
+    if segment.len() > 1 {
+        svg.polyline(&segment, color_for(segment_faulty), 2.0, false);
+    }
+    if let Some(last) = points.last() {
+        let (x, y) = to_px(last.true_position);
+        svg.circle(x, y, 5.0, "#cc0000");
+        svg.text(x + 8.0, y, 11.0, "end");
+    }
+
+    // Scale bar: 100 m.
+    let bar = 100.0 * scale;
+    svg.polyline(
+        &[(MARGIN, H - 14.0), (MARGIN + bar, H - 14.0)],
+        "#000000",
+        2.0,
+        false,
+    );
+    svg.text(MARGIN + bar + 6.0, H - 10.0, 11.0, "100 m");
+
+    svg.render()
+}
+
+fn color_for(faulty: bool) -> &'static str {
+    if faulty {
+        "#e06000" // fault window: orange
+    } else {
+        "#1060c0" // clean flight: blue
+    }
+}
+
+fn min_max(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() {
+        (0.0, 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imufit_missions::all_missions;
+
+    fn track(n: usize) -> Vec<TrackPoint> {
+        let m = &all_missions()[0];
+        (0..n)
+            .map(|k| TrackPoint {
+                time: k as f64,
+                true_position: m.home.lerp(m.waypoints[0], k as f64 / n.max(1) as f64),
+                est_position: m.home,
+                true_velocity: Vec3::ZERO,
+                airspeed: 1.0,
+                fault_active: k > n / 2,
+                failsafe: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn canvas_produces_valid_svg_skeleton() {
+        let mut c = SvgCanvas::new(100.0, 50.0);
+        c.polyline(&[(0.0, 0.0), (10.0, 10.0)], "#000", 1.0, false);
+        c.circle(5.0, 5.0, 2.0, "red");
+        c.text(1.0, 1.0, 10.0, "a < b & c");
+        let s = c.render();
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert!(s.contains("<polyline"));
+        assert!(s.contains("<circle"));
+        // XML escaping.
+        assert!(s.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn short_polyline_is_skipped() {
+        let mut c = SvgCanvas::new(10.0, 10.0);
+        c.polyline(&[(1.0, 1.0)], "#000", 1.0, false);
+        assert!(!c.render().contains("polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_canvas_panics() {
+        let _ = SvgCanvas::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn trajectory_svg_contains_route_and_segments() {
+        let m = &all_missions()[0];
+        let svg = trajectory_svg(m, &track(40), "Figure 3 test");
+        assert!(svg.contains("Figure 3 test"));
+        // Dashed route + at least two track segments (clean + faulty).
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(svg.contains("#1060c0"));
+        assert!(svg.contains("#e06000"));
+        assert!(svg.contains("100 m"));
+        assert!(svg.contains("end"));
+    }
+
+    #[test]
+    fn empty_track_still_renders_route() {
+        let m = &all_missions()[0];
+        let svg = trajectory_svg(m, &[], "empty");
+        assert!(svg.contains("stroke-dasharray"));
+        assert!(!svg.contains(">end<"));
+    }
+}

@@ -1,0 +1,176 @@
+//! The Table I fault catalog: real-world IMU fault causes and how each is
+//! represented by the injection primitives.
+
+use crate::kind::FaultKind;
+
+/// One row of the paper's Table I: a real-world fault cause, its
+/// description, and the primitive(s) that represent it in injection
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealWorldFault {
+    /// Fault name as listed in Table I.
+    pub name: &'static str,
+    /// Cause / mechanism summary.
+    pub description: &'static str,
+    /// The injection primitives that represent this fault.
+    pub represented_by: &'static [FaultKind],
+    /// Provenance category.
+    pub origin: FaultOrigin,
+}
+
+/// Broad provenance of a real-world fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOrigin {
+    /// Hardware degradation or damage.
+    Hardware,
+    /// Environmental effects (temperature, radiation, vibration).
+    Environmental,
+    /// Deliberate attack (acoustic, electronic, software).
+    Attack,
+}
+
+/// The complete Table I catalog (14 entries).
+pub const TABLE_I: &[RealWorldFault] = &[
+    RealWorldFault {
+        name: "Instability",
+        description: "Random output values caused by radiation or temperature effects",
+        represented_by: &[FaultKind::Random],
+        origin: FaultOrigin::Environmental,
+    },
+    RealWorldFault {
+        name: "Bias error",
+        description: "Noise-like error sourced by aging sensors or temperature",
+        represented_by: &[FaultKind::Noise],
+        origin: FaultOrigin::Environmental,
+    },
+    RealWorldFault {
+        name: "Gyro drift",
+        description: "Constant measurement error from old sensors, noise, or thermal bias",
+        represented_by: &[FaultKind::Noise],
+        origin: FaultOrigin::Hardware,
+    },
+    RealWorldFault {
+        name: "Acc drift",
+        description: "Constant measurement error from old sensors, noise, or thermal bias",
+        represented_by: &[FaultKind::Noise],
+        origin: FaultOrigin::Hardware,
+    },
+    RealWorldFault {
+        name: "Constant output",
+        description: "Update lag causing the same frozen values to repeat",
+        represented_by: &[FaultKind::Freeze],
+        origin: FaultOrigin::Hardware,
+    },
+    RealWorldFault {
+        name: "Damaged IMU",
+        description: "IMU damaged by age or external factors, failing all IMU sensors",
+        represented_by: &[FaultKind::Zeros],
+        origin: FaultOrigin::Hardware,
+    },
+    RealWorldFault {
+        name: "Gyro failure",
+        description: "Gyroscope sensor damaged or failed",
+        represented_by: &[FaultKind::Zeros],
+        origin: FaultOrigin::Hardware,
+    },
+    RealWorldFault {
+        name: "Acc failure",
+        description: "Accelerometer sensor damaged or failed",
+        represented_by: &[FaultKind::Zeros],
+        origin: FaultOrigin::Hardware,
+    },
+    RealWorldFault {
+        name: "Acoustic attack",
+        description:
+            "Broadband pulsed or continuous-wave acoustic energy driving the MEMS resonance",
+        represented_by: &[FaultKind::Random],
+        origin: FaultOrigin::Attack,
+    },
+    RealWorldFault {
+        name: "False data injection",
+        description: "Fake series of sensor data injected by an attacker",
+        represented_by: &[FaultKind::FixedValue],
+        origin: FaultOrigin::Attack,
+    },
+    RealWorldFault {
+        name: "Physical isolation",
+        description: "One or all sensors attacked so they stop responding",
+        represented_by: &[FaultKind::Zeros],
+        origin: FaultOrigin::Attack,
+    },
+    RealWorldFault {
+        name: "Hardware trojan",
+        description: "Modified electronic hardware (tampered circuit, resized logic gates)",
+        represented_by: &[FaultKind::FixedValue],
+        origin: FaultOrigin::Attack,
+    },
+    RealWorldFault {
+        name: "Malicious software",
+        description: "Compromised ground station or flight controller software",
+        represented_by: &[FaultKind::Zeros, FaultKind::Random],
+        origin: FaultOrigin::Attack,
+    },
+    RealWorldFault {
+        name: "OS system attack",
+        description: "Attacks through the flight controller's system software",
+        represented_by: &[FaultKind::Min, FaultKind::Max, FaultKind::FixedValue],
+        origin: FaultOrigin::Attack,
+    },
+];
+
+/// Returns the catalog entries represented by a given primitive. Useful for
+/// reporting which real-world scenarios an experiment covers.
+pub fn faults_represented_by(kind: FaultKind) -> Vec<&'static RealWorldFault> {
+    TABLE_I
+        .iter()
+        .filter(|f| f.represented_by.contains(&kind))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_fourteen_entries() {
+        assert_eq!(TABLE_I.len(), 14);
+    }
+
+    #[test]
+    fn every_primitive_represents_something() {
+        for kind in FaultKind::ALL {
+            assert!(
+                !faults_represented_by(kind).is_empty(),
+                "{kind} represents no catalog entry"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = TABLE_I.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TABLE_I.len());
+    }
+
+    #[test]
+    fn os_attack_maps_to_min_max_fixed() {
+        let os = TABLE_I
+            .iter()
+            .find(|f| f.name == "OS system attack")
+            .unwrap();
+        assert!(os.represented_by.contains(&FaultKind::Min));
+        assert!(os.represented_by.contains(&FaultKind::Max));
+        assert!(os.represented_by.contains(&FaultKind::FixedValue));
+    }
+
+    #[test]
+    fn attack_entries_exist() {
+        let attacks = TABLE_I
+            .iter()
+            .filter(|f| f.origin == FaultOrigin::Attack)
+            .count();
+        assert_eq!(attacks, 6);
+    }
+}

@@ -1,0 +1,460 @@
+//! The fault injector: corrupts IMU samples per the fault model.
+//!
+//! The injector sits between the (redundant) IMU and the flight stack,
+//! exactly where the paper's injection tool corrupts PX4's sensor topics.
+//! Because the paper assumes faults affect *all* redundant sensor instances,
+//! the injector corrupts the merged sample that the estimator consumes.
+
+use serde::{Deserialize, Serialize};
+
+use imufit_math::rng::Pcg;
+use imufit_math::Vec3;
+use imufit_sensors::{ImuSample, ImuSpec};
+
+use crate::kind::FaultKind;
+use crate::target::FaultTarget;
+use crate::window::InjectionWindow;
+
+/// Fraction of the accelerometer full-scale range used as the amplitude of
+/// the `Noise` primitive ("a not so drastic random value added/subtracted to
+/// the current value"). The accelerometer fraction is larger than the gyro
+/// fraction because the flight stack's sensitivity differs by orders of
+/// magnitude between the two channels: a given fraction of gyro full scale
+/// (2000 deg/s) disturbs rate control far more than the same fraction of
+/// accel full scale disturbs velocity estimation.
+pub const ACCEL_NOISE_FRACTION: f64 = 0.45;
+
+/// Fraction of the gyro full-scale range used by the `Noise` primitive.
+pub const GYRO_NOISE_FRACTION: f64 = 0.08;
+
+/// A fully-specified fault to inject: what, where, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// The injection primitive.
+    pub kind: FaultKind,
+    /// The targeted component.
+    pub target: FaultTarget,
+    /// The activation window.
+    pub window: InjectionWindow,
+}
+
+impl FaultSpec {
+    /// Creates a fault specification.
+    pub fn new(kind: FaultKind, target: FaultTarget, window: InjectionWindow) -> Self {
+        FaultSpec {
+            kind,
+            target,
+            window,
+        }
+    }
+
+    /// The experiment label used in the paper's tables, e.g. "Acc Zeros".
+    pub fn label(&self) -> String {
+        format!("{} {}", self.target, self.kind)
+    }
+}
+
+/// Per-fault runtime state.
+#[derive(Debug, Clone, PartialEq)]
+enum Phase {
+    /// Window not reached yet.
+    Pending,
+    /// Currently corrupting samples.
+    Active {
+        /// Sample captured at activation (for `Freeze`).
+        frozen: ImuSample,
+        /// Constant values drawn at activation (for `FixedValue`).
+        fixed_accel: Vec3,
+        fixed_gyro: Vec3,
+    },
+    /// Window elapsed.
+    Expired,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ScheduledFault {
+    spec: FaultSpec,
+    phase: Phase,
+}
+
+/// Corrupts a stream of [`ImuSample`]s according to a list of scheduled
+/// faults.
+///
+/// Feed every sample through [`FaultInjector::apply`]; outside all windows
+/// the sample passes through untouched. See the crate-level example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultInjector {
+    imu_spec: ImuSpec,
+    faults: Vec<ScheduledFault>,
+    last_clean: Option<ImuSample>,
+}
+
+impl FaultInjector {
+    /// Creates an injector for sensors with the given specification (the
+    /// spec supplies the full-scale ranges used by `Min`/`Max`/`Random`).
+    pub fn new(imu_spec: ImuSpec, faults: Vec<FaultSpec>) -> Self {
+        FaultInjector {
+            imu_spec,
+            faults: faults
+                .into_iter()
+                .map(|spec| ScheduledFault {
+                    spec,
+                    phase: Phase::Pending,
+                })
+                .collect(),
+            last_clean: None,
+        }
+    }
+
+    /// An injector that never corrupts anything (gold runs).
+    pub fn passthrough(imu_spec: ImuSpec) -> Self {
+        FaultInjector::new(imu_spec, Vec::new())
+    }
+
+    /// The scheduled fault specifications.
+    pub fn specs(&self) -> Vec<FaultSpec> {
+        self.faults.iter().map(|f| f.spec).collect()
+    }
+
+    /// True if any fault window is active at time `t`.
+    pub fn any_active(&self, t: f64) -> bool {
+        self.faults.iter().any(|f| f.spec.window.contains(t))
+    }
+
+    /// Processes one sample: returns the (possibly corrupted) sample the
+    /// flight stack should see. `sample.time` drives window activation.
+    pub fn apply(&mut self, sample: ImuSample, rng: &mut Pcg) -> ImuSample {
+        let mut out = sample;
+        let accel_range = self.imu_spec.accel_range();
+        let gyro_range = self.imu_spec.gyro_range();
+
+        for fault in &mut self.faults {
+            let w = fault.spec.window;
+            // Phase transitions.
+            match fault.phase {
+                Phase::Pending if w.contains(sample.time) => {
+                    // Capture activation state. `Freeze` holds the last
+                    // *clean* sample ("same previous value from the point the
+                    // injection started"); if the fault starts on the very
+                    // first sample, freeze that one.
+                    let frozen = self.last_clean.unwrap_or(sample);
+                    let fixed_accel = Vec3::new(
+                        rng.uniform_range(-accel_range, accel_range),
+                        rng.uniform_range(-accel_range, accel_range),
+                        rng.uniform_range(-accel_range, accel_range),
+                    );
+                    let fixed_gyro = Vec3::new(
+                        rng.uniform_range(-gyro_range, gyro_range),
+                        rng.uniform_range(-gyro_range, gyro_range),
+                        rng.uniform_range(-gyro_range, gyro_range),
+                    );
+                    fault.phase = Phase::Active {
+                        frozen,
+                        fixed_accel,
+                        fixed_gyro,
+                    };
+                }
+                Phase::Active { .. } if w.is_past(sample.time) => {
+                    fault.phase = Phase::Expired;
+                }
+                _ => {}
+            }
+
+            if let Phase::Active {
+                frozen,
+                fixed_accel,
+                fixed_gyro,
+            } = &fault.phase
+            {
+                let target = fault.spec.target;
+                if target.affects_accel() {
+                    out.accel = corrupt(
+                        fault.spec.kind,
+                        out.accel,
+                        frozen.accel,
+                        *fixed_accel,
+                        accel_range,
+                        ACCEL_NOISE_FRACTION,
+                        rng,
+                    );
+                }
+                if target.affects_gyro() {
+                    out.gyro = corrupt(
+                        fault.spec.kind,
+                        out.gyro,
+                        frozen.gyro,
+                        *fixed_gyro,
+                        gyro_range,
+                        GYRO_NOISE_FRACTION,
+                        rng,
+                    );
+                }
+            }
+        }
+
+        // Record the clean (pre-corruption) sample for future Freeze
+        // activations.
+        self.last_clean = Some(sample);
+        out
+    }
+}
+
+/// Applies one primitive to one 3-axis channel.
+fn corrupt(
+    kind: FaultKind,
+    value: Vec3,
+    frozen: Vec3,
+    fixed: Vec3,
+    range: f64,
+    noise_fraction: f64,
+    rng: &mut Pcg,
+) -> Vec3 {
+    let raw = match kind {
+        FaultKind::FixedValue => fixed,
+        FaultKind::Zeros => Vec3::ZERO,
+        FaultKind::Freeze => frozen,
+        FaultKind::Random => Vec3::new(
+            rng.uniform_range(-range, range),
+            rng.uniform_range(-range, range),
+            rng.uniform_range(-range, range),
+        ),
+        FaultKind::Min => Vec3::splat(-range),
+        FaultKind::Max => Vec3::splat(range),
+        FaultKind::Noise => {
+            let amp = noise_fraction * range;
+            value
+                + Vec3::new(
+                    rng.uniform_range(-amp, amp),
+                    rng.uniform_range(-amp, amp),
+                    rng.uniform_range(-amp, amp),
+                )
+        }
+    };
+    // The physical sensor interface cannot report beyond full scale.
+    raw.clamp(-range, range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(t: f64) -> ImuSample {
+        ImuSample {
+            accel: Vec3::new(0.1, -0.2, -9.8),
+            gyro: Vec3::new(0.01, 0.02, -0.03),
+            time: t,
+        }
+    }
+
+    fn injector(kind: FaultKind, target: FaultTarget) -> FaultInjector {
+        FaultInjector::new(
+            ImuSpec::default(),
+            vec![FaultSpec::new(
+                kind,
+                target,
+                InjectionWindow::new(10.0, 5.0),
+            )],
+        )
+    }
+
+    #[test]
+    fn passthrough_outside_window() {
+        let mut inj = injector(FaultKind::Zeros, FaultTarget::Imu);
+        let mut rng = Pcg::seed_from(1);
+        let before = inj.apply(clean(5.0), &mut rng);
+        assert_eq!(before, clean(5.0));
+        // Drive through the window...
+        for t in [10.0, 12.0, 14.9] {
+            let s = inj.apply(clean(t), &mut rng);
+            assert_eq!(s.accel, Vec3::ZERO);
+        }
+        // ...and verify recovery afterwards.
+        let after = inj.apply(clean(15.0), &mut rng);
+        assert_eq!(after, clean(15.0));
+    }
+
+    #[test]
+    fn gold_injector_never_corrupts() {
+        let mut inj = FaultInjector::passthrough(ImuSpec::default());
+        let mut rng = Pcg::seed_from(2);
+        for i in 0..1000 {
+            let t = i as f64 * 0.004;
+            assert_eq!(inj.apply(clean(t), &mut rng), clean(t));
+        }
+        assert!(!inj.any_active(90.0));
+    }
+
+    #[test]
+    fn zeros_only_hits_target() {
+        let mut inj = injector(FaultKind::Zeros, FaultTarget::Accelerometer);
+        let mut rng = Pcg::seed_from(3);
+        let s = inj.apply(clean(12.0), &mut rng);
+        assert_eq!(s.accel, Vec3::ZERO);
+        assert_eq!(s.gyro, clean(12.0).gyro);
+
+        let mut inj = injector(FaultKind::Zeros, FaultTarget::Gyrometer);
+        let s = inj.apply(clean(12.0), &mut rng);
+        assert_eq!(s.gyro, Vec3::ZERO);
+        assert_eq!(s.accel, clean(12.0).accel);
+    }
+
+    #[test]
+    fn freeze_holds_last_clean_sample() {
+        let mut inj = injector(FaultKind::Freeze, FaultTarget::Imu);
+        let mut rng = Pcg::seed_from(4);
+        // Last clean sample before the window.
+        let pre = ImuSample {
+            accel: Vec3::new(1.0, 2.0, 3.0),
+            gyro: Vec3::new(0.5, 0.6, 0.7),
+            time: 9.996,
+        };
+        let _ = inj.apply(pre, &mut rng);
+        // Every in-window sample repeats the pre-window values.
+        for t in [10.0, 11.0, 13.0] {
+            let s = inj.apply(clean(t), &mut rng);
+            assert_eq!(s.accel, pre.accel);
+            assert_eq!(s.gyro, pre.gyro);
+        }
+    }
+
+    #[test]
+    fn freeze_on_first_sample_freezes_it() {
+        let mut inj = injector(FaultKind::Freeze, FaultTarget::Imu);
+        let mut rng = Pcg::seed_from(5);
+        let first = clean(10.0);
+        let s = inj.apply(first, &mut rng);
+        assert_eq!(s.accel, first.accel);
+    }
+
+    #[test]
+    fn fixed_value_is_constant_and_in_range() {
+        let mut inj = injector(FaultKind::FixedValue, FaultTarget::Imu);
+        let mut rng = Pcg::seed_from(6);
+        let s1 = inj.apply(clean(10.0), &mut rng);
+        let s2 = inj.apply(clean(11.0), &mut rng);
+        let s3 = inj.apply(clean(14.0), &mut rng);
+        assert_eq!(s1.accel, s2.accel);
+        assert_eq!(s2.accel, s3.accel);
+        assert_eq!(s1.gyro, s3.gyro);
+        let spec = ImuSpec::default();
+        assert!(s1.accel.max_abs() <= spec.accel_range());
+        assert!(s1.gyro.max_abs() <= spec.gyro_range());
+        // And it is not the clean value.
+        assert_ne!(s1.accel, clean(10.0).accel);
+    }
+
+    #[test]
+    fn random_changes_every_tick_and_stays_in_range() {
+        let mut inj = injector(FaultKind::Random, FaultTarget::Imu);
+        let mut rng = Pcg::seed_from(7);
+        let spec = ImuSpec::default();
+        let mut prev = inj.apply(clean(10.0), &mut rng);
+        for i in 1..100 {
+            let s = inj.apply(clean(10.0 + i as f64 * 0.004), &mut rng);
+            assert_ne!(s.accel, prev.accel);
+            assert!(s.accel.max_abs() <= spec.accel_range());
+            assert!(s.gyro.max_abs() <= spec.gyro_range());
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn min_max_saturate() {
+        let spec = ImuSpec::default();
+        let mut inj = injector(FaultKind::Min, FaultTarget::Imu);
+        let mut rng = Pcg::seed_from(8);
+        let s = inj.apply(clean(10.0), &mut rng);
+        assert_eq!(s.accel, Vec3::splat(-spec.accel_range()));
+        assert_eq!(s.gyro, Vec3::splat(-spec.gyro_range()));
+
+        let mut inj = injector(FaultKind::Max, FaultTarget::Imu);
+        let s = inj.apply(clean(10.0), &mut rng);
+        assert_eq!(s.accel, Vec3::splat(spec.accel_range()));
+        assert_eq!(s.gyro, Vec3::splat(spec.gyro_range()));
+    }
+
+    #[test]
+    fn noise_is_bounded_perturbation() {
+        let mut inj = injector(FaultKind::Noise, FaultTarget::Accelerometer);
+        let mut rng = Pcg::seed_from(9);
+        let spec = ImuSpec::default();
+        let amp = ACCEL_NOISE_FRACTION * spec.accel_range();
+        for i in 0..200 {
+            let c = clean(10.0 + i as f64 * 0.01);
+            let s = inj.apply(c, &mut rng);
+            let dev = (s.accel - c.accel).max_abs();
+            assert!(dev <= amp + 1e-12, "noise exceeded bound: {dev}");
+            assert_eq!(s.gyro, c.gyro);
+        }
+    }
+
+    #[test]
+    fn multiple_faults_compose() {
+        let spec = ImuSpec::default();
+        let mut inj = FaultInjector::new(
+            spec,
+            vec![
+                FaultSpec::new(
+                    FaultKind::Zeros,
+                    FaultTarget::Accelerometer,
+                    InjectionWindow::new(10.0, 5.0),
+                ),
+                FaultSpec::new(
+                    FaultKind::Max,
+                    FaultTarget::Gyrometer,
+                    InjectionWindow::new(12.0, 5.0),
+                ),
+            ],
+        );
+        let mut rng = Pcg::seed_from(10);
+        // Only the first fault active.
+        let s = inj.apply(clean(11.0), &mut rng);
+        assert_eq!(s.accel, Vec3::ZERO);
+        assert_eq!(s.gyro, clean(11.0).gyro);
+        // Both active.
+        let s = inj.apply(clean(13.0), &mut rng);
+        assert_eq!(s.accel, Vec3::ZERO);
+        assert_eq!(s.gyro, Vec3::splat(spec.gyro_range()));
+        // Only the second.
+        let s = inj.apply(clean(16.0), &mut rng);
+        assert_eq!(s.accel, clean(16.0).accel);
+        assert_eq!(s.gyro, Vec3::splat(spec.gyro_range()));
+    }
+
+    #[test]
+    fn any_active_tracks_windows() {
+        let inj = injector(FaultKind::Zeros, FaultTarget::Imu);
+        assert!(!inj.any_active(9.9));
+        assert!(inj.any_active(10.0));
+        assert!(inj.any_active(14.9));
+        assert!(!inj.any_active(15.0));
+    }
+
+    #[test]
+    fn label_formats_like_the_paper() {
+        let spec = FaultSpec::new(
+            FaultKind::Zeros,
+            FaultTarget::Accelerometer,
+            InjectionWindow::new(90.0, 2.0),
+        );
+        assert_eq!(spec.label(), "Acc Zeros");
+        let spec = FaultSpec::new(
+            FaultKind::FixedValue,
+            FaultTarget::Imu,
+            InjectionWindow::new(90.0, 2.0),
+        );
+        assert_eq!(spec.label(), "IMU Fixed Value");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = injector(FaultKind::Random, FaultTarget::Imu);
+        let mut b = injector(FaultKind::Random, FaultTarget::Imu);
+        let mut ra = Pcg::seed_from(11);
+        let mut rb = Pcg::seed_from(11);
+        for i in 0..50 {
+            let t = 10.0 + i as f64 * 0.004;
+            assert_eq!(a.apply(clean(t), &mut ra), b.apply(clean(t), &mut rb));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Which component of the IMU a fault corrupts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The component targeted by a fault: the paper runs every fault primitive
+/// against each of these three cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// Only the accelerometer output is corrupted.
+    Accelerometer,
+    /// Only the gyroscope output is corrupted.
+    Gyrometer,
+    /// Both outputs are corrupted simultaneously.
+    Imu,
+}
+
+impl FaultTarget {
+    /// All three targets, in the paper's order.
+    pub const ALL: [FaultTarget; 3] = [
+        FaultTarget::Accelerometer,
+        FaultTarget::Gyrometer,
+        FaultTarget::Imu,
+    ];
+
+    /// True if this target corrupts the accelerometer stream.
+    pub fn affects_accel(self) -> bool {
+        matches!(self, FaultTarget::Accelerometer | FaultTarget::Imu)
+    }
+
+    /// True if this target corrupts the gyroscope stream.
+    pub fn affects_gyro(self) -> bool {
+        matches!(self, FaultTarget::Gyrometer | FaultTarget::Imu)
+    }
+
+    /// The short label used in the paper's tables ("Acc", "Gyro", "IMU").
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultTarget::Accelerometer => "Acc",
+            FaultTarget::Gyrometer => "Gyro",
+            FaultTarget::Imu => "IMU",
+        }
+    }
+
+    /// A stable small integer id for RNG stream derivation.
+    pub fn id(self) -> u64 {
+        match self {
+            FaultTarget::Accelerometer => 0,
+            FaultTarget::Gyrometer => 1,
+            FaultTarget::Imu => 2,
+        }
+    }
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_coverage() {
+        assert!(FaultTarget::Accelerometer.affects_accel());
+        assert!(!FaultTarget::Accelerometer.affects_gyro());
+        assert!(!FaultTarget::Gyrometer.affects_accel());
+        assert!(FaultTarget::Gyrometer.affects_gyro());
+        assert!(FaultTarget::Imu.affects_accel());
+        assert!(FaultTarget::Imu.affects_gyro());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FaultTarget::Accelerometer.to_string(), "Acc");
+        assert_eq!(FaultTarget::Gyrometer.to_string(), "Gyro");
+        assert_eq!(FaultTarget::Imu.to_string(), "IMU");
+    }
+
+    #[test]
+    fn three_distinct_targets() {
+        let mut ids: Vec<u64> = FaultTarget::ALL.iter().map(|t| t.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+}

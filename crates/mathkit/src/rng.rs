@@ -1,0 +1,262 @@
+//! Deterministic random-number streams for reproducible campaigns.
+//!
+//! A fault-injection campaign runs hundreds of experiments, possibly across
+//! many threads. To make every experiment bit-reproducible regardless of
+//! scheduling, each experiment derives its own independent seed from the
+//! campaign master seed and a list of identifiers (mission id, fault kind,
+//! duration index, ...) via a SplitMix64-based mixer. The derived seed then
+//! feeds a self-contained xoshiro-style generator implemented here (so the
+//! streams are stable across `rand` crate upgrades), exposed through the
+//! `rand::RngCore` trait for interoperability.
+
+use rand::RngCore;
+
+/// SplitMix64 step: advances the state and returns the next mixed value.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a child seed from a master seed and a path of identifiers.
+///
+/// The derivation is stable: the same `(master, path)` always produces the
+/// same seed, and distinct paths produce (statistically) independent seeds.
+///
+/// # Example
+///
+/// ```
+/// use imufit_math::rng::derive_seed;
+///
+/// let a = derive_seed(42, &[1, 2, 3]);
+/// let b = derive_seed(42, &[1, 2, 4]);
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_seed(42, &[1, 2, 3]));
+/// ```
+pub fn derive_seed(master: u64, path: &[u64]) -> u64 {
+    let mut state = master ^ 0xD6E8_FEB8_6659_FD93;
+    let mut acc = splitmix64(&mut state);
+    for &id in path {
+        state ^= id.wrapping_mul(0xA076_1D64_78BD_642F);
+        acc ^= splitmix64(&mut state).rotate_left(17);
+    }
+    // One final avalanche so trailing zeros in the path still diffuse.
+    state ^= acc;
+    splitmix64(&mut state)
+}
+
+/// A small, fast, deterministic PRNG (xoshiro256++) with a stable stream.
+///
+/// Implements [`rand::RngCore`] so it can be used with the `rand`
+/// distribution adapters.
+///
+/// # Example
+///
+/// ```
+/// use imufit_math::rng::Pcg;
+/// use rand::Rng;
+///
+/// let mut rng = Pcg::seed_from(7);
+/// let x: f64 = rng.gen_range(0.0..1.0);
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg {
+    s: [u64; 4],
+}
+
+impl Pcg {
+    /// Creates a generator from a 64-bit seed, expanding it with SplitMix64
+    /// as recommended by the xoshiro authors.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // All-zero state is invalid for xoshiro; SplitMix64 cannot produce
+        // four zeros from any seed, but guard anyway.
+        if s == [0; 4] {
+            Pcg { s: [1, 2, 3, 4] }
+        } else {
+            Pcg { s }
+        }
+    }
+
+    /// Derives a child generator for the given identifier path (see
+    /// [`derive_seed`]).
+    pub fn derive(&self, path: &[u64]) -> Pcg {
+        // Use the current state as the master key without consuming entropy
+        // from `self`.
+        let master = self.s[0] ^ self.s[2].rotate_left(32);
+        Pcg::seed_from(derive_seed(master, path))
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform sample in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `lo > hi`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "uniform_range: lo > hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A standard-normal sample (Box–Muller, one value per call).
+    pub fn normal(&mut self) -> f64 {
+        // Reject u1 == 0 to avoid ln(0).
+        let mut u1 = self.uniform();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = self.uniform();
+        }
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// A normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.normal()
+    }
+}
+
+impl RngCore for Pcg {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_deterministic() {
+        assert_eq!(derive_seed(1, &[]), derive_seed(1, &[]));
+        assert_eq!(derive_seed(9, &[5, 6]), derive_seed(9, &[5, 6]));
+    }
+
+    #[test]
+    fn derive_seed_separates_paths() {
+        let base = derive_seed(42, &[0]);
+        assert_ne!(base, derive_seed(42, &[1]));
+        assert_ne!(base, derive_seed(43, &[0]));
+        assert_ne!(derive_seed(42, &[0, 0]), derive_seed(42, &[0]));
+        // Trailing-zero paths must still differ.
+        assert_ne!(derive_seed(42, &[1, 0]), derive_seed(42, &[1]));
+    }
+
+    #[test]
+    fn generator_is_reproducible() {
+        let mut a = Pcg::seed_from(123);
+        let mut b = Pcg::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg::seed_from(1);
+        let mut b = Pcg::seed_from(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let mut rng = Pcg::seed_from(7);
+        for _ in 0..10_000 {
+            let x = rng.uniform();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = Pcg::seed_from(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Pcg::seed_from(13);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn child_streams_are_independent_and_stable() {
+        let parent = Pcg::seed_from(99);
+        let mut c1 = parent.derive(&[1]);
+        let mut c2 = parent.derive(&[2]);
+        let mut c1b = parent.derive(&[1]);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = Pcg::seed_from(5);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn works_with_rand_adapters() {
+        use rand::Rng;
+        let mut rng = Pcg::seed_from(3);
+        let v: f64 = rng.gen_range(-5.0..5.0);
+        assert!((-5.0..5.0).contains(&v));
+        let i: u32 = rng.gen_range(0..10);
+        assert!(i < 10);
+    }
+}

@@ -1,0 +1,113 @@
+//! Barometric altimeter model.
+
+use serde::{Deserialize, Serialize};
+
+use imufit_math::rng::Pcg;
+
+/// A barometer reading already converted to altitude.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaroSample {
+    /// Pressure altitude above the local-frame origin, meters (positive up).
+    pub altitude: f64,
+    /// Raw static pressure, Pascal.
+    pub pressure_pa: f64,
+}
+
+/// Barometer specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaroSpec {
+    /// Altitude white-noise standard deviation, meters.
+    pub noise_std: f64,
+    /// Slow pressure-drift standard deviation per sqrt(s), meters.
+    pub drift_walk: f64,
+}
+
+impl Default for BaroSpec {
+    fn default() -> Self {
+        BaroSpec {
+            noise_std: 0.15,
+            drift_walk: 0.002,
+        }
+    }
+}
+
+/// A simulated barometer referenced to the local-frame origin altitude.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Barometer {
+    spec: BaroSpec,
+    /// Mean sea-level altitude of the local origin, meters.
+    origin_msl: f64,
+    drift: f64,
+}
+
+impl Barometer {
+    /// Creates a barometer for a local frame whose origin sits at
+    /// `origin_msl` meters above sea level.
+    pub fn new(spec: BaroSpec, origin_msl: f64) -> Self {
+        Barometer {
+            spec,
+            origin_msl,
+            drift: 0.0,
+        }
+    }
+
+    /// Measures altitude above the origin for a vehicle at `altitude_agl`
+    /// meters above the origin.
+    pub fn sample(&mut self, altitude_agl: f64, dt: f64, rng: &mut Pcg) -> BaroSample {
+        self.drift += rng.normal_with(0.0, self.spec.drift_walk * dt.sqrt());
+        let measured_alt = altitude_agl + self.drift + rng.normal_with(0.0, self.spec.noise_std);
+        BaroSample {
+            altitude: measured_alt,
+            pressure_pa: crate::baro_pressure(self.origin_msl + measured_alt),
+        }
+    }
+
+    /// The accumulated drift (for tests).
+    pub fn drift(&self) -> f64 {
+        self.drift
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbiased_at_startup() {
+        let mut b = Barometer::new(BaroSpec::default(), 16.0);
+        let mut rng = Pcg::seed_from(5);
+        let n = 2000;
+        let mean: f64 = (0..n)
+            .map(|_| b.sample(10.0, 0.04, &mut rng).altitude)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean altitude {mean}");
+    }
+
+    #[test]
+    fn pressure_consistent_with_altitude() {
+        let mut b = Barometer::new(
+            BaroSpec {
+                noise_std: 0.0,
+                drift_walk: 0.0,
+            },
+            0.0,
+        );
+        let mut rng = Pcg::seed_from(6);
+        let s = b.sample(100.0, 0.04, &mut rng);
+        assert!(s.pressure_pa < crate::baro_pressure(0.0));
+        assert!((s.altitude - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_accumulates_slowly() {
+        let mut b = Barometer::new(BaroSpec::default(), 0.0);
+        let mut rng = Pcg::seed_from(7);
+        for _ in 0..10_000 {
+            let _ = b.sample(0.0, 0.04, &mut rng);
+        }
+        // 400 s of drift should stay under a meter.
+        assert!(b.drift().abs() < 1.0, "drift {}", b.drift());
+        assert!(b.drift().abs() > 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! In-process publish/subscribe broker.
+//!
+//! Mirrors the paper's two-tier deployment: vehicles publish to an *edge*
+//! broker, which forwards into the *core* broker that the tracker reads.
+//! Both tiers are instances of [`Broker`]; [`Broker::bridge`] wires an edge
+//! to a core.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+
+/// A handle for receiving messages on a topic.
+#[derive(Debug)]
+pub struct Subscription {
+    receiver: Receiver<Bytes>,
+}
+
+impl Subscription {
+    /// Receives the next message if one is queued.
+    pub fn try_recv(&self) -> Option<Bytes> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Drains every queued message.
+    pub fn drain(&self) -> Vec<Bytes> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.receiver.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.receiver.len()
+    }
+
+    /// True if no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.receiver.is_empty()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Topics {
+    subscribers: HashMap<String, Vec<Sender<Bytes>>>,
+}
+
+/// A thread-safe topic-based pub/sub broker.
+///
+/// Cloning a `Broker` clones a handle to the same broker.
+#[derive(Debug, Clone, Default)]
+pub struct Broker {
+    topics: Arc<RwLock<Topics>>,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Broker::default()
+    }
+
+    /// Subscribes to a topic; every message published afterwards is
+    /// delivered to the returned subscription.
+    pub fn subscribe(&self, topic: &str) -> Subscription {
+        let (tx, rx) = unbounded();
+        self.topics
+            .write()
+            .subscribers
+            .entry(topic.to_string())
+            .or_default()
+            .push(tx);
+        Subscription { receiver: rx }
+    }
+
+    /// Publishes a message to a topic. Returns the number of subscribers
+    /// that received it. Disconnected subscribers are pruned.
+    pub fn publish(&self, topic: &str, payload: Bytes) -> usize {
+        let mut guard = self.topics.write();
+        let Some(subs) = guard.subscribers.get_mut(topic) else {
+            return 0;
+        };
+        subs.retain(|tx| tx.send(payload.clone()).is_ok());
+        subs.len()
+    }
+
+    /// Bridges this (edge) broker into a core broker: every message
+    /// published to `topic` here is re-published to the core under the same
+    /// topic. Returns a join guard thread that forwards until the edge
+    /// broker drops the channel; in this in-process implementation the
+    /// forwarding is performed synchronously via a subscription pump, so the
+    /// caller drives it with [`BrokerBridge::pump`].
+    pub fn bridge(&self, core: &Broker, topic: &str) -> BrokerBridge {
+        BrokerBridge {
+            subscription: self.subscribe(topic),
+            core: core.clone(),
+            topic: topic.to_string(),
+        }
+    }
+}
+
+/// Forwards messages from an edge broker to the core broker.
+#[derive(Debug)]
+pub struct BrokerBridge {
+    subscription: Subscription,
+    core: Broker,
+    topic: String,
+}
+
+impl BrokerBridge {
+    /// Forwards all queued messages; returns how many were forwarded.
+    pub fn pump(&self) -> usize {
+        let msgs = self.subscription.drain();
+        let n = msgs.len();
+        for m in msgs {
+            self.core.publish(&self.topic, m);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_without_subscribers_is_dropped() {
+        let b = Broker::new();
+        assert_eq!(b.publish("t", Bytes::from_static(b"x")), 0);
+    }
+
+    #[test]
+    fn subscriber_receives_published_messages() {
+        let b = Broker::new();
+        let sub = b.subscribe("positions");
+        assert_eq!(b.publish("positions", Bytes::from_static(b"a")), 1);
+        b.publish("positions", Bytes::from_static(b"b"));
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.try_recv().unwrap(), Bytes::from_static(b"a"));
+        assert_eq!(sub.drain(), vec![Bytes::from_static(b"b")]);
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let b = Broker::new();
+        let sub_a = b.subscribe("a");
+        let sub_b = b.subscribe("b");
+        b.publish("a", Bytes::from_static(b"1"));
+        assert_eq!(sub_a.len(), 1);
+        assert_eq!(sub_b.len(), 0);
+    }
+
+    #[test]
+    fn multiple_subscribers_all_receive() {
+        let b = Broker::new();
+        let s1 = b.subscribe("t");
+        let s2 = b.subscribe("t");
+        assert_eq!(b.publish("t", Bytes::from_static(b"m")), 2);
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s2.len(), 1);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let b = Broker::new();
+        let s1 = b.subscribe("t");
+        {
+            let _dropped = b.subscribe("t");
+        }
+        assert_eq!(b.publish("t", Bytes::from_static(b"m")), 1);
+        assert_eq!(s1.len(), 1);
+    }
+
+    #[test]
+    fn clone_shares_state() {
+        let b = Broker::new();
+        let b2 = b.clone();
+        let sub = b.subscribe("t");
+        b2.publish("t", Bytes::from_static(b"via-clone"));
+        assert_eq!(sub.len(), 1);
+    }
+
+    #[test]
+    fn edge_to_core_bridge_forwards() {
+        let edge = Broker::new();
+        let core = Broker::new();
+        let bridge = edge.bridge(&core, "positions");
+        let tracker_sub = core.subscribe("positions");
+
+        edge.publish("positions", Bytes::from_static(b"p1"));
+        edge.publish("positions", Bytes::from_static(b"p2"));
+        assert_eq!(bridge.pump(), 2);
+        assert_eq!(tracker_sub.len(), 2);
+        // Nothing further to pump.
+        assert_eq!(bridge.pump(), 0);
+    }
+
+    #[test]
+    fn works_across_threads() {
+        let b = Broker::new();
+        let sub = b.subscribe("t");
+        let b2 = b.clone();
+        let handle = std::thread::spawn(move || {
+            for i in 0..100u8 {
+                b2.publish("t", Bytes::from(vec![i]));
+            }
+        });
+        handle.join().unwrap();
+        assert_eq!(sub.drain().len(), 100);
+    }
+}

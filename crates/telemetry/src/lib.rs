@@ -1,0 +1,27 @@
+//! Tracking and telemetry substrate.
+//!
+//! The paper's testbed (Fig. 1) includes "a tracking system comprising a
+//! tracker, core brokers, and edge brokers" that samples every drone's
+//! position for U-space evaluation. This crate provides that substrate:
+//!
+//! * [`wire`] — a compact MAVLink-style binary codec for telemetry messages
+//!   (built on [`bytes`]).
+//! * [`broker`] — an in-process publish/subscribe message broker
+//!   (crossbeam channels behind a topic map), with edge brokers that
+//!   forward into a core broker like the paper's two-tier deployment.
+//! * [`tracker`] — subscribes to position messages and maintains per-drone
+//!   tracks at the 1 Hz tracking cadence used by the bubble metrics.
+//! * [`recorder`] — an in-memory flight recorder with CSV export, the
+//!   equivalent of the platform's flight logs.
+
+pub mod broker;
+pub mod flightlog;
+pub mod recorder;
+pub mod tracker;
+pub mod wire;
+
+pub use broker::{Broker, Subscription};
+pub use flightlog::{read_log, write_log, FlightLog};
+pub use recorder::{FlightRecorder, TrackPoint};
+pub use tracker::{Track, Tracker};
+pub use wire::{decode, encode, Message, WireError};

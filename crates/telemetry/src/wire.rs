@@ -1,0 +1,290 @@
+//! A compact binary wire format for telemetry messages.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! [0xFD][len: u16][msg_id: u8][payload: len bytes][crc: u16]
+//! ```
+//!
+//! The CRC is CCITT-16 over everything from `len` through the payload —
+//! the same accumulate-over-header-and-payload structure MAVLink v2 uses.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use imufit_math::Vec3;
+
+/// Frame start marker.
+pub const MAGIC: u8 = 0xFD;
+
+/// Telemetry messages exchanged between vehicles and the tracker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Message {
+    /// Periodic position report (the tracker's input).
+    Position {
+        /// Vehicle identifier.
+        drone_id: u32,
+        /// Flight time, seconds.
+        time: f64,
+        /// Estimated NED position, meters.
+        position: Vec3,
+        /// Estimated NED velocity, m/s.
+        velocity: Vec3,
+    },
+    /// Vehicle status change.
+    Status {
+        /// Vehicle identifier.
+        drone_id: u32,
+        /// Flight time, seconds.
+        time: f64,
+        /// Flight-mode discriminant.
+        mode: u8,
+        /// Failsafe latched flag.
+        failsafe: bool,
+    },
+}
+
+impl Message {
+    /// The message id on the wire.
+    pub fn id(&self) -> u8 {
+        match self {
+            Message::Position { .. } => 1,
+            Message::Status { .. } => 2,
+        }
+    }
+}
+
+/// Errors produced by [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than a complete frame.
+    Truncated,
+    /// The first byte is not [`MAGIC`].
+    BadMagic,
+    /// The checksum does not match.
+    BadChecksum,
+    /// Unknown message id.
+    UnknownMessage(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::UnknownMessage(id) => write!(f, "unknown message id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// CCITT-16 (polynomial 0x1021, init 0xFFFF).
+fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+fn put_vec3(buf: &mut BytesMut, v: Vec3) {
+    buf.put_f64_le(v.x);
+    buf.put_f64_le(v.y);
+    buf.put_f64_le(v.z);
+}
+
+fn get_vec3(buf: &mut impl Buf) -> Vec3 {
+    Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le())
+}
+
+/// Encodes a message into a framed byte buffer.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut payload = BytesMut::with_capacity(64);
+    match *msg {
+        Message::Position {
+            drone_id,
+            time,
+            position,
+            velocity,
+        } => {
+            payload.put_u32_le(drone_id);
+            payload.put_f64_le(time);
+            put_vec3(&mut payload, position);
+            put_vec3(&mut payload, velocity);
+        }
+        Message::Status {
+            drone_id,
+            time,
+            mode,
+            failsafe,
+        } => {
+            payload.put_u32_le(drone_id);
+            payload.put_f64_le(time);
+            payload.put_u8(mode);
+            payload.put_u8(failsafe as u8);
+        }
+    }
+
+    let mut frame = BytesMut::with_capacity(payload.len() + 6);
+    frame.put_u8(MAGIC);
+    frame.put_u16_le(payload.len() as u16);
+    frame.put_u8(msg.id());
+    frame.extend_from_slice(&payload);
+    let crc = crc16(&frame[1..]);
+    frame.put_u16_le(crc);
+    frame.freeze()
+}
+
+/// Decodes one framed message.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] for truncated, corrupted, or unknown frames.
+pub fn decode(mut buf: Bytes) -> Result<Message, WireError> {
+    if buf.len() < 6 {
+        return Err(WireError::Truncated);
+    }
+    if buf.get_u8() != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let len = buf.get_u16_le() as usize;
+    let msg_id = buf.get_u8();
+    if buf.remaining() < len + 2 {
+        return Err(WireError::Truncated);
+    }
+
+    // Verify CRC over len + id + payload.
+    let mut crc_region = BytesMut::with_capacity(len + 3);
+    crc_region.put_u16_le(len as u16);
+    crc_region.put_u8(msg_id);
+    crc_region.extend_from_slice(&buf[..len]);
+    let mut payload = buf.split_to(len);
+    let expect = buf.get_u16_le();
+    if crc16(&crc_region) != expect {
+        return Err(WireError::BadChecksum);
+    }
+
+    match msg_id {
+        1 => {
+            let drone_id = payload.get_u32_le();
+            let time = payload.get_f64_le();
+            let position = get_vec3(&mut payload);
+            let velocity = get_vec3(&mut payload);
+            Ok(Message::Position {
+                drone_id,
+                time,
+                position,
+                velocity,
+            })
+        }
+        2 => {
+            let drone_id = payload.get_u32_le();
+            let time = payload.get_f64_le();
+            let mode = payload.get_u8();
+            let failsafe = payload.get_u8() != 0;
+            Ok(Message::Status {
+                drone_id,
+                time,
+                mode,
+                failsafe,
+            })
+        }
+        other => Err(WireError::UnknownMessage(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_position() -> Message {
+        Message::Position {
+            drone_id: 7,
+            time: 123.456,
+            position: Vec3::new(100.0, -50.0, -18.0),
+            velocity: Vec3::new(3.0, 0.5, -0.1),
+        }
+    }
+
+    #[test]
+    fn position_round_trip() {
+        let msg = sample_position();
+        let decoded = decode(encode(&msg)).expect("decode");
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn status_round_trip() {
+        let msg = Message::Status {
+            drone_id: 3,
+            time: 9.5,
+            mode: 2,
+            failsafe: true,
+        };
+        assert_eq!(decode(encode(&msg)).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let bytes = encode(&sample_position());
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            let r = decode(bytes.slice(..cut));
+            assert_eq!(r, Err(WireError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        let bytes = encode(&sample_position());
+        let mut v = bytes.to_vec();
+        v[0] = 0x00;
+        assert_eq!(decode(Bytes::from(v)), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let bytes = encode(&sample_position());
+        // Flip one payload byte.
+        let mut v = bytes.to_vec();
+        v[10] ^= 0xFF;
+        assert_eq!(decode(Bytes::from(v)), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn unknown_message_id() {
+        let bytes = encode(&sample_position());
+        let mut v = bytes.to_vec();
+        v[3] = 99; // msg id
+                   // Fix the CRC so only the id is "wrong".
+        let len = u16::from_le_bytes([v[1], v[2]]) as usize;
+        let mut region = Vec::new();
+        region.extend_from_slice(&v[1..4 + len]);
+        let crc = crc16(&region);
+        let n = v.len();
+        v[n - 2..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(Bytes::from(v)), Err(WireError::UnknownMessage(99)));
+    }
+
+    #[test]
+    fn crc_is_position_sensitive() {
+        assert_ne!(crc16(&[1, 2, 3]), crc16(&[3, 2, 1]));
+        assert_ne!(crc16(&[0, 0]), crc16(&[0]));
+    }
+
+    #[test]
+    fn wire_error_displays() {
+        assert_eq!(WireError::Truncated.to_string(), "truncated frame");
+        assert_eq!(
+            WireError::UnknownMessage(9).to_string(),
+            "unknown message id 9"
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Flight outcomes and per-flight results.
+
+use serde::{Deserialize, Serialize};
+
+use imufit_bubble::ViolationCounts;
+use imufit_controller::FailsafeReason;
+use imufit_telemetry::FlightRecorder;
+
+/// How a flight ended. Classification follows the paper: a mission is
+/// *completed* when it "nor crashed neither failsafe is enabled"; failed
+/// missions split into crashes and failsafe activations. If failsafe latched
+/// before an eventual ground impact, the flight counts as a failsafe
+/// activation (the flight controller gave up before physics did).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FlightOutcome {
+    /// Landed, disarmed, all waypoints visited, no failsafe.
+    Completed,
+    /// Ground impact (or divergence) without a prior failsafe activation.
+    Crashed {
+        /// Impact time, seconds.
+        time: f64,
+    },
+    /// Failsafe latched (possibly followed by a hard landing).
+    Failsafe {
+        /// Activation time, seconds.
+        time: f64,
+        /// Why.
+        reason: FailsafeReason,
+    },
+    /// The watchdog expired: the vehicle neither finished nor crashed
+    /// (e.g. drifting with a corrupted estimator). Counted as a failsafe-
+    /// style failure in the tables, per DESIGN.md.
+    Timeout,
+}
+
+impl FlightOutcome {
+    /// True for [`FlightOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, FlightOutcome::Completed)
+    }
+
+    /// True for a crash.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, FlightOutcome::Crashed { .. })
+    }
+
+    /// True when failsafe latched (including timeouts, which the tables
+    /// count on the failsafe side).
+    pub fn is_failsafe(&self) -> bool {
+        matches!(
+            self,
+            FlightOutcome::Failsafe { .. } | FlightOutcome::Timeout
+        )
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FlightOutcome::Completed => "completed",
+            FlightOutcome::Crashed { .. } => "crash",
+            FlightOutcome::Failsafe { .. } => "failsafe",
+            FlightOutcome::Timeout => "timeout",
+        }
+    }
+}
+
+/// Everything measured from one flight.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlightResult {
+    /// How the flight ended.
+    pub outcome: FlightOutcome,
+    /// Flight duration, seconds: takeoff to disarm, or to the crash.
+    pub duration: f64,
+    /// Distance traveled according to the EKF estimate, meters (the paper's
+    /// distance metric).
+    pub distance_est: f64,
+    /// Ground-truth distance traveled, meters.
+    pub distance_true: f64,
+    /// Bubble violation tallies.
+    pub violations: ViolationCounts,
+    /// Number of EKF kinematic resets during the flight.
+    pub ekf_resets: u32,
+    /// The recorded track (1 Hz tracking cadence).
+    pub recorder: FlightRecorder,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_helpers() {
+        assert!(FlightOutcome::Completed.is_completed());
+        assert!(FlightOutcome::Crashed { time: 1.0 }.is_crash());
+        assert!(FlightOutcome::Failsafe {
+            time: 2.0,
+            reason: FailsafeReason::GyroImplausible
+        }
+        .is_failsafe());
+        assert!(FlightOutcome::Timeout.is_failsafe());
+        assert!(!FlightOutcome::Timeout.is_crash());
+        assert!(!FlightOutcome::Timeout.is_completed());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FlightOutcome::Completed.label(), "completed");
+        assert_eq!(FlightOutcome::Crashed { time: 0.0 }.label(), "crash");
+        assert_eq!(FlightOutcome::Timeout.label(), "timeout");
+    }
+}

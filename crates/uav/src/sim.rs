@@ -1,0 +1,677 @@
+//! The single-flight simulator.
+
+use serde::{Deserialize, Serialize};
+
+use imufit_bubble::{BubbleTracker, InnerBubbleSpec, Route};
+use imufit_controller::{ControllerParams, FlightController};
+use imufit_detect::{Detector, EnsembleDetector};
+use imufit_dynamics::{Quadrotor, QuadrotorParams, WindModel};
+use imufit_estimator::{Ekf, EkfParams};
+use imufit_faults::{FaultInjector, FaultSpec};
+use imufit_math::rng::Pcg;
+use imufit_math::Vec3;
+use imufit_missions::Mission;
+use imufit_sensors::{
+    consensus_deviation, healthiest_instance, yaw_from_mag, Barometer, Gps, ImuSpec, Magnetometer,
+    RedundantImu,
+};
+use imufit_telemetry::{encode, Broker, FlightRecorder, Message, TrackPoint, Tracker};
+
+use crate::outcome::{FlightOutcome, FlightResult};
+
+/// Barometer spec re-export kept private; defaults are used.
+use imufit_sensors::baro::BaroSpec;
+use imufit_sensors::gps::GpsSpec;
+use imufit_sensors::mag::MagSpec;
+
+/// Simulation configuration for one flight.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Physics and control base rate, Hz.
+    pub physics_rate: f64,
+    /// GNSS fix rate, Hz.
+    pub gps_rate: f64,
+    /// Barometer sample rate, Hz.
+    pub baro_rate: f64,
+    /// Compass (yaw aiding) rate, Hz.
+    pub compass_rate: f64,
+    /// Tracking/bubble cadence, Hz (the paper uses 1 Hz).
+    pub tracking_rate: f64,
+    /// Number of redundant IMU instances (PX4-class autopilots carry 3).
+    pub imu_redundancy: usize,
+    /// Watchdog limit, simulated seconds.
+    pub max_sim_time: f64,
+    /// Wind model.
+    pub wind: WindModel,
+    /// Risk factor `R` for the outer bubble (>= 1; the paper uses 1).
+    pub risk_factor: f64,
+    /// The paper's assumption: injected faults corrupt *all* redundant IMU
+    /// instances (true, the default). Set to `false` to inject only into
+    /// the primary instance and let the consistency-voting monitor mask the
+    /// fault by switching — the redundancy ablation of DESIGN.md.
+    pub faults_affect_all_redundant: bool,
+    /// Fast-detection mitigation (off by default, matching the paper's
+    /// setup): runs the `imufit-detect` ensemble on the consumed IMU stream
+    /// and latches failsafe as soon as an alarm persists for
+    /// [`SimConfig::mitigation_persist`] — the "quick detection and
+    /// tolerance techniques" the paper's discussion calls for.
+    pub fast_detection: bool,
+    /// Continuous alarm time before the mitigation triggers failsafe, s.
+    pub mitigation_persist: f64,
+    /// Master seed for every stochastic model in this flight.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A configuration matched to a mission: the watchdog scales with the
+    /// mission's nominal duration.
+    pub fn default_for(mission: &Mission, seed: u64) -> Self {
+        SimConfig {
+            physics_rate: 250.0,
+            gps_rate: 5.0,
+            baro_rate: 25.0,
+            compass_rate: 10.0,
+            tracking_rate: 1.0,
+            imu_redundancy: 3,
+            max_sim_time: 2.5 * mission.plan().nominal_duration() + 60.0,
+            wind: WindModel::calm(),
+            risk_factor: 1.0,
+            faults_affect_all_redundant: true,
+            fast_detection: false,
+            mitigation_persist: 0.25,
+            seed,
+        }
+    }
+}
+
+/// Crash classification thresholds (ground truth).
+const CRASH_VERTICAL_SPEED: f64 = 2.0; // m/s at contact
+const CRASH_HORIZONTAL_SPEED: f64 = 2.5; // m/s at contact
+const CRASH_TILT: f64 = 0.8; // rad (~45 deg) at contact
+const FLYAWAY_RANGE: f64 = 4_500.0; // m beyond which range safety gives up
+const FLYAWAY_ALTITUDE: f64 = 150.0; // m ceiling bust
+
+/// One vehicle flying one mission, end to end.
+#[derive(Debug)]
+pub struct FlightSimulator {
+    config: SimConfig,
+    dt: f64,
+    time: f64,
+    tick: u64,
+
+    quad: Quadrotor,
+    imu_bank: RedundantImu,
+    baro: Barometer,
+    gps: Gps,
+    mag: Magnetometer,
+    injector: FaultInjector,
+    ekf: Ekf,
+    controller: FlightController,
+    wind: WindModel,
+
+    bubble: BubbleTracker,
+    recorder: FlightRecorder,
+    edge_broker: Broker,
+    /// Kept alive so the bridge's core side stays connected; accessible for
+    /// external subscribers via [`FlightSimulator::core_broker`].
+    core_broker: Broker,
+    tracker: Tracker,
+    bridge: imufit_telemetry::broker::BrokerBridge,
+    drone_id: u32,
+
+    // Independent RNG streams so component noise is reproducible regardless
+    // of the order other components consume randomness.
+    rng_imu: Pcg,
+    rng_gps: Pcg,
+    rng_baro: Pcg,
+    rng_compass: Pcg,
+    rng_wind: Pcg,
+    rng_fault: Pcg,
+
+    airborne: bool,
+    distance_true: f64,
+    last_true_position: Vec3,
+    outcome: Option<FlightOutcome>,
+    mitigation: Option<EnsembleDetector>,
+    mitigation_alarm_since: Option<f64>,
+}
+
+impl FlightSimulator {
+    /// Builds a simulator for a mission with the given scheduled faults
+    /// (empty for a gold run).
+    pub fn new(mission: &Mission, faults: Vec<FaultSpec>, config: SimConfig) -> Self {
+        let master = Pcg::seed_from(config.seed);
+        let mut rng_init = master.derive(&[0]);
+
+        let quad_params =
+            QuadrotorParams::default_airframe().with_payload(mission.drone.payload_kg);
+        let start = imufit_dynamics::RigidBodyState::at_rest(mission.home);
+        let quad = Quadrotor::with_state(quad_params.clone(), start);
+
+        let imu_spec = ImuSpec::default();
+        let imu_bank = RedundantImu::new(imu_spec, config.imu_redundancy.max(1), &mut rng_init);
+        let baro = Barometer::new(BaroSpec::default(), 16.0);
+        let gps = Gps::new(GpsSpec::default());
+        let mag = Magnetometer::new(MagSpec::default(), &mut rng_init);
+        let injector = FaultInjector::new(imu_spec, faults);
+
+        let mut ekf = Ekf::new(EkfParams::default());
+        ekf.initialize(mission.home, Vec3::ZERO, 0.0);
+
+        let plan = mission.plan();
+        let controller_params =
+            ControllerParams::for_vehicle(quad_params.mass, 4.0 * quad_params.rotor_max_thrust);
+        let controller = FlightController::new(controller_params, plan);
+
+        // Assigned route for the bubble: climb at home, cruise legs, descend
+        // at the final waypoint.
+        let mut route_points = vec![
+            mission.home,
+            Vec3::new(
+                mission.home.x,
+                mission.home.y,
+                -imufit_missions::CRUISE_ALTITUDE,
+            ),
+        ];
+        route_points.extend(mission.waypoints.iter().copied());
+        if let Some(last) = mission.waypoints.last() {
+            route_points.push(Vec3::new(last.x, last.y, 0.0));
+        }
+        let bubble = BubbleTracker::new(
+            Route::new(route_points),
+            InnerBubbleSpec {
+                dimension: mission.drone.dimension_m,
+                safety_distance: mission.drone.safety_distance_m,
+                max_tracking_distance: mission
+                    .drone
+                    .max_tracking_distance(1.0 / config.tracking_rate),
+            },
+            config.risk_factor,
+        );
+
+        let edge_broker = Broker::new();
+        let core_broker = Broker::new();
+        let bridge = edge_broker.bridge(&core_broker, imufit_telemetry::tracker::POSITION_TOPIC);
+        let tracker = Tracker::attach(&core_broker);
+
+        let dt = 1.0 / config.physics_rate;
+        FlightSimulator {
+            dt,
+            time: 0.0,
+            tick: 0,
+            quad,
+            imu_bank,
+            baro,
+            gps,
+            mag,
+            injector,
+            ekf,
+            controller,
+            wind: config.wind.clone(),
+            bubble,
+            recorder: FlightRecorder::new(1.0 / config.tracking_rate),
+            edge_broker,
+            core_broker,
+            bridge,
+            tracker,
+            drone_id: mission.drone.id,
+            rng_imu: master.derive(&[1]),
+            rng_gps: master.derive(&[2]),
+            rng_baro: master.derive(&[3]),
+            rng_compass: master.derive(&[4]),
+            rng_wind: master.derive(&[5]),
+            rng_fault: master.derive(&[6]),
+            airborne: false,
+            distance_true: 0.0,
+            last_true_position: mission.home,
+            outcome: None,
+            mitigation: config.fast_detection.then(EnsembleDetector::flight),
+            mitigation_alarm_since: None,
+            config,
+        }
+    }
+
+    /// Current simulated time, seconds.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// The flight controller (for inspection in tests).
+    pub fn controller(&self) -> &FlightController {
+        &self.controller
+    }
+
+    /// The estimator (for inspection in tests).
+    pub fn estimator(&self) -> &Ekf {
+        &self.ekf
+    }
+
+    /// The vehicle ground truth (for inspection in tests).
+    pub fn vehicle(&self) -> &Quadrotor {
+        &self.quad
+    }
+
+    /// The core telemetry broker: subscribe here to observe the vehicle's
+    /// position reports as U-space would.
+    pub fn core_broker(&self) -> &Broker {
+        &self.core_broker
+    }
+
+    /// Runs the flight to completion and returns the result.
+    pub fn run(mut self) -> FlightResult {
+        while self.outcome.is_none() {
+            self.step();
+        }
+        let outcome = self.outcome.expect("loop exits only with an outcome");
+        FlightResult {
+            outcome,
+            duration: self.time,
+            distance_est: self.ekf.distance_traveled(),
+            distance_true: self.distance_true,
+            violations: self.bubble.counts(),
+            ekf_resets: self.ekf.health().reset_count,
+            recorder: self.recorder,
+        }
+    }
+
+    /// Advances the simulation by one physics tick.
+    pub fn step(&mut self) {
+        if self.outcome.is_some() {
+            return;
+        }
+        let dt = self.dt;
+        self.tick += 1;
+        self.time += dt;
+
+        // --- Environment ---
+        let wind = self.wind.step(dt, &mut self.rng_wind);
+
+        // --- Sensors ---
+        let true_force = self.quad.specific_force_body();
+        let true_rate = self.quad.angular_rate_body();
+        let corrupted = if self.config.faults_affect_all_redundant {
+            // Paper assumption: every redundant instance carries the fault,
+            // so corrupting the merged primary stream is equivalent.
+            let clean = self
+                .imu_bank
+                .sample_primary(true_force, true_rate, dt, &mut self.rng_imu);
+            self.injector.apply(clean, &mut self.rng_fault)
+        } else {
+            // Redundancy ablation: only the primary instance is faulty. A
+            // PX4-style IMU consistency monitor compares the instances
+            // against their median and switches the primary away from an
+            // outlier — masking the fault within a few samples.
+            let mut samples =
+                self.imu_bank
+                    .sample_all(true_force, true_rate, dt, &mut self.rng_imu);
+            // The fault afflicts a fixed hardware instance (the boot-time
+            // primary, index 0) — it does not follow the primary slot.
+            samples[0] = self.injector.apply(samples[0], &mut self.rng_fault);
+            let primary = self.imu_bank.primary();
+            let (gyro_dev, accel_dev) = consensus_deviation(&samples, primary);
+            if gyro_dev > 0.2 || accel_dev > 2.0 {
+                let best = healthiest_instance(&samples);
+                if best != primary {
+                    self.imu_bank.switch_primary(best);
+                }
+                samples[best]
+            } else {
+                samples[primary]
+            }
+        };
+
+        // --- Estimation ---
+        self.ekf.predict(&corrupted, dt);
+        if self.every(self.config.gps_rate) {
+            let fix = self.gps.sample(
+                self.quad.state().position,
+                self.quad.state().velocity,
+                1.0 / self.config.gps_rate,
+                &mut self.rng_gps,
+            );
+            self.ekf.fuse_gps(&fix);
+        }
+        if self.every(self.config.baro_rate) {
+            let sample = self.baro.sample(
+                self.quad.state().altitude(),
+                1.0 / self.config.baro_rate,
+                &mut self.rng_baro,
+            );
+            self.ekf.fuse_baro(&sample);
+        }
+        if self.every(self.config.compass_rate) {
+            // A real magnetometer pipeline: sample the body-frame field from
+            // the true attitude, then tilt-compensate with the *estimated*
+            // roll/pitch (so attitude-estimate errors degrade the yaw aid,
+            // exactly as on a real autopilot).
+            let sample = self
+                .mag
+                .sample(self.quad.state().attitude, &mut self.rng_compass);
+            let (est_roll, est_pitch, _) = self.ekf.state().attitude.to_euler();
+            let yaw = yaw_from_mag(&sample, est_roll, est_pitch, self.mag.spec().declination);
+            self.ekf.fuse_yaw(yaw);
+        }
+
+        // --- Control ---
+        let rejecting = self.ekf.health().any_rejecting();
+        let nav = *self.ekf.state();
+
+        // Optional fast-detection mitigation: the detect ensemble watches
+        // the same corrupted stream and pulls the failsafe handle early.
+        if let Some(detector) = self.mitigation.as_mut() {
+            let alarm = detector.observe(&corrupted, dt);
+            if alarm && self.airborne {
+                let since = *self.mitigation_alarm_since.get_or_insert(self.time);
+                if self.time - since >= self.config.mitigation_persist {
+                    self.controller.trigger_external_failsafe(self.time, &nav);
+                }
+            } else {
+                self.mitigation_alarm_since = None;
+            }
+        }
+
+        let out = self
+            .controller
+            .update(self.time, dt, &nav, &corrupted, rejecting);
+        if out.rotate_imu {
+            self.imu_bank.rotate_primary();
+        }
+
+        // --- Physics ---
+        self.quad.step_with_wind(out.throttles, wind, dt);
+        let s = *self.quad.state();
+        self.distance_true += s.position.distance(self.last_true_position);
+        self.last_true_position = s.position;
+
+        if !self.airborne && s.altitude() > 1.5 {
+            self.airborne = true;
+        }
+
+        // --- Tracking, bubble, telemetry ---
+        if self.every(self.config.tracking_rate) && self.airborne {
+            self.bubble.observe(s.position, s.velocity.norm());
+            self.recorder.offer(TrackPoint {
+                time: self.time,
+                true_position: s.position,
+                est_position: nav.position,
+                true_velocity: s.velocity,
+                airspeed: s.velocity.norm(),
+                fault_active: self.injector.any_active(self.time),
+                failsafe: self.controller.failsafe_active(),
+            });
+            let msg = Message::Position {
+                drone_id: self.drone_id,
+                time: self.time,
+                position: nav.position,
+                velocity: nav.velocity,
+            };
+            self.edge_broker
+                .publish(imufit_telemetry::tracker::POSITION_TOPIC, encode(&msg));
+            self.bridge.pump();
+            self.tracker.pump();
+        }
+
+        self.evaluate_end_conditions(&s);
+    }
+
+    /// Ticks a sub-rate scheduler: true when an event at `rate` Hz is due.
+    fn every(&self, rate: f64) -> bool {
+        let period = (self.config.physics_rate / rate).round() as u64;
+        period <= 1 || self.tick.is_multiple_of(period)
+    }
+
+    /// Crash / completion / timeout classification on ground truth.
+    fn evaluate_end_conditions(&mut self, s: &imufit_dynamics::RigidBodyState) {
+        // Watchdog.
+        if self.time >= self.config.max_sim_time {
+            self.outcome = Some(FlightOutcome::Timeout);
+            return;
+        }
+
+        // Divergence / flyaway: range safety would terminate the flight.
+        let out_of_bounds = s.position.norm_xy() > FLYAWAY_RANGE || s.altitude() > FLYAWAY_ALTITUDE;
+        if !s.is_finite() || out_of_bounds {
+            self.outcome = Some(self.failure_outcome());
+            return;
+        }
+
+        // Ground contact while airborne. Classification follows the flight
+        // controller's state: if failsafe latched before the impact the run
+        // counts as a failsafe activation (the paper's Table IV splits
+        // failures by whether the failsafe was enabled), otherwise a hard
+        // impact is a crash.
+        if self.airborne && s.altitude() < 0.15 {
+            let hard = s.velocity.z > CRASH_VERTICAL_SPEED
+                || s.velocity.norm_xy() > CRASH_HORIZONTAL_SPEED
+                || s.tilt() > CRASH_TILT;
+            if hard {
+                self.outcome = Some(self.failure_outcome());
+                return;
+            }
+            // Gentle contact: legitimate landing or an unscheduled soft
+            // touchdown; wait for the controller to disarm (below).
+        }
+
+        // Disarm: the flight controller believes the flight is over.
+        if self.controller.is_disarmed() {
+            if s.altitude() > 2.0 {
+                // Land-detector false positive mid-air: the vehicle will
+                // fall from here.
+                self.outcome = Some(self.failure_outcome());
+            } else if self.controller.mission_completed() {
+                self.outcome = Some(FlightOutcome::Completed);
+            } else {
+                self.outcome = Some(self.failure_outcome());
+            }
+        }
+    }
+
+    /// A failure is a failsafe activation if failsafe latched first,
+    /// otherwise a crash.
+    fn failure_outcome(&self) -> FlightOutcome {
+        match self.controller.failsafe_reason() {
+            Some(reason) => FlightOutcome::Failsafe {
+                time: self.time,
+                reason,
+            },
+            None => FlightOutcome::Crashed { time: self.time },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imufit_faults::{FaultKind, FaultTarget, InjectionWindow};
+    use imufit_missions::{all_missions, DroneSpec, CRUISE_ALTITUDE};
+
+    /// A short mission so closed-loop tests stay fast: ~200 m at 12 km/h.
+    fn short_mission() -> Mission {
+        Mission {
+            drone: DroneSpec {
+                id: 99,
+                name: "test".into(),
+                cruise_speed_kmh: 12.0,
+                payload_kg: 0.2,
+                dimension_m: 0.6,
+                safety_distance_m: 2.0,
+            },
+            home: Vec3::ZERO,
+            waypoints: vec![Vec3::new(200.0, 0.0, -CRUISE_ALTITUDE)],
+            direction: "S-N".into(),
+        }
+    }
+
+    fn fault_at(kind: FaultKind, target: FaultTarget, start: f64, dur: f64) -> Vec<FaultSpec> {
+        vec![FaultSpec::new(
+            kind,
+            target,
+            InjectionWindow::new(start, dur),
+        )]
+    }
+
+    #[test]
+    fn gold_run_completes() {
+        let m = short_mission();
+        let sim = FlightSimulator::new(&m, Vec::new(), SimConfig::default_for(&m, 7));
+        let r = sim.run();
+        assert!(
+            r.outcome.is_completed(),
+            "gold run should complete, got {:?} after {:.1}s",
+            r.outcome,
+            r.duration
+        );
+        assert_eq!(
+            r.violations.inner, 0,
+            "gold run must not violate the inner bubble"
+        );
+        assert_eq!(r.violations.outer, 0);
+        assert!(r.distance_true > 190.0, "distance {}", r.distance_true);
+        // Duration plausible for 200 m at 3.33 m/s plus climb/descent.
+        assert!(
+            r.duration > 60.0 && r.duration < 220.0,
+            "duration {}",
+            r.duration
+        );
+        // Recorder sampled at ~1 Hz.
+        assert!(r.recorder.len() as f64 > r.duration * 0.7);
+    }
+
+    #[test]
+    fn gold_run_is_deterministic() {
+        let m = short_mission();
+        let a = FlightSimulator::new(&m, Vec::new(), SimConfig::default_for(&m, 5)).run();
+        let b = FlightSimulator::new(&m, Vec::new(), SimConfig::default_for(&m, 5)).run();
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.distance_est, b.distance_est);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn different_seeds_differ_slightly() {
+        let m = short_mission();
+        let a = FlightSimulator::new(&m, Vec::new(), SimConfig::default_for(&m, 1)).run();
+        let b = FlightSimulator::new(&m, Vec::new(), SimConfig::default_for(&m, 2)).run();
+        assert!(a.outcome.is_completed() && b.outcome.is_completed());
+        assert_ne!(a.distance_est, b.distance_est);
+    }
+
+    #[test]
+    fn gyro_min_fault_destroys_the_flight() {
+        let m = short_mission();
+        let faults = fault_at(FaultKind::Min, FaultTarget::Gyrometer, 30.0, 10.0);
+        let r = FlightSimulator::new(&m, faults, SimConfig::default_for(&m, 11)).run();
+        assert!(
+            !r.outcome.is_completed(),
+            "gyro min must fail, got {:?}",
+            r.outcome
+        );
+        // It should end quickly after injection.
+        assert!(r.duration < 60.0, "ended at {:.1}s", r.duration);
+    }
+
+    #[test]
+    fn imu_random_fault_fails_fast() {
+        let m = short_mission();
+        let faults = fault_at(FaultKind::Random, FaultTarget::Imu, 30.0, 30.0);
+        let r = FlightSimulator::new(&m, faults, SimConfig::default_for(&m, 13)).run();
+        assert!(!r.outcome.is_completed());
+    }
+
+    #[test]
+    fn short_acc_noise_fault_is_survivable() {
+        let m = short_mission();
+        let faults = fault_at(FaultKind::Noise, FaultTarget::Accelerometer, 30.0, 2.0);
+        let r = FlightSimulator::new(&m, faults, SimConfig::default_for(&m, 17)).run();
+        assert!(
+            r.outcome.is_completed(),
+            "2s acc noise should be survivable, got {:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn fault_runs_accumulate_bubble_violations() {
+        // Saturated accel for 10 s: the EKF velocity runs away and the true
+        // trajectory deviates from the route (or the flight fails outright).
+        let m = short_mission();
+        let faults = fault_at(FaultKind::Max, FaultTarget::Accelerometer, 30.0, 10.0);
+        let r = FlightSimulator::new(&m, faults, SimConfig::default_for(&m, 19)).run();
+        assert!(
+            r.violations.inner > 0 || !r.outcome.is_completed(),
+            "expected deviation or failure, got {:?} with {:?}",
+            r.outcome,
+            r.violations
+        );
+    }
+
+    #[test]
+    fn redundancy_masks_single_instance_faults() {
+        // The paper assumes faults hit all redundant instances; when only
+        // the primary instance is faulty, the consistency monitor switches
+        // away and an otherwise-fatal fault becomes survivable.
+        let m = short_mission();
+        let faults = fault_at(FaultKind::Min, FaultTarget::Imu, 30.0, 10.0);
+        let mut config = SimConfig::default_for(&m, 37);
+        config.faults_affect_all_redundant = false;
+        let masked = FlightSimulator::new(&m, faults.clone(), config).run();
+        assert!(
+            masked.outcome.is_completed(),
+            "voting should mask a single-instance IMU Min fault, got {:?}",
+            masked.outcome
+        );
+
+        // Same fault across all instances remains fatal.
+        let all = FlightSimulator::new(&m, faults, SimConfig::default_for(&m, 37)).run();
+        assert!(!all.outcome.is_completed());
+    }
+
+    #[test]
+    fn fast_detection_converts_crashes_into_failsafes() {
+        // Gyro Max tumbles the vehicle within ~2 s by default; with the
+        // detect-ensemble mitigation the failsafe latches within ~0.3 s of
+        // onset, before control is lost.
+        let m = short_mission();
+        let faults = fault_at(FaultKind::Max, FaultTarget::Gyrometer, 30.0, 30.0);
+
+        let default_run =
+            FlightSimulator::new(&m, faults.clone(), SimConfig::default_for(&m, 41)).run();
+        assert!(!default_run.outcome.is_completed());
+
+        let mut config = SimConfig::default_for(&m, 41);
+        config.fast_detection = true;
+        let mitigated = FlightSimulator::new(&m, faults, config).run();
+        assert!(
+            mitigated.outcome.is_failsafe(),
+            "mitigation should produce a failsafe activation, got {:?}",
+            mitigated.outcome
+        );
+    }
+
+    #[test]
+    fn fast_detection_does_not_break_gold_runs() {
+        let m = short_mission();
+        let mut config = SimConfig::default_for(&m, 43);
+        config.fast_detection = true;
+        let r = FlightSimulator::new(&m, Vec::new(), config).run();
+        assert!(
+            r.outcome.is_completed(),
+            "mitigation must not false-positive on a clean flight: {:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn full_mission_zero_gold_runs() {
+        // The real mission 0 (shortest real route) must complete too.
+        let m = &all_missions()[0];
+        let r = FlightSimulator::new(m, Vec::new(), SimConfig::default_for(m, 23)).run();
+        assert!(
+            r.outcome.is_completed(),
+            "mission 0 gold run failed: {:?} at {:.0}s",
+            r.outcome,
+            r.duration
+        );
+        assert_eq!(r.violations.inner, 0);
+    }
+}

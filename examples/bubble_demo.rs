@@ -1,0 +1,80 @@
+//! Demonstrates the 2-layer bubble (paper Fig. 2 and Equations 1–3): flies
+//! one mission while printing the dynamic bubble radii, then injects a
+//! fault and shows the violations appear.
+//!
+//! ```text
+//! cargo run --release --example bubble_demo
+//! ```
+
+use imufit::bubble::{BubbleTracker, InnerBubbleSpec, Route};
+use imufit::prelude::*;
+use imufit_math::Vec3;
+
+fn main() {
+    let missions = all_missions();
+    let mission = &missions[9]; // the 25 km/h drone has the largest bubble
+
+    let inner = InnerBubbleSpec {
+        dimension: mission.drone.dimension_m,
+        safety_distance: mission.drone.safety_distance_m,
+        max_tracking_distance: mission.drone.max_tracking_distance(1.0),
+    };
+    println!(
+        "drone {}: D_o = {:.2} m, D_s = {:.1} m, D_m = {:.2} m",
+        mission.drone.name,
+        mission.drone.dimension_m,
+        mission.drone.safety_distance_m,
+        mission.drone.max_tracking_distance(1.0)
+    );
+    println!(
+        "Equation 1: inner bubble = D_o + max(D_s, D_m) = {:.2} m\n",
+        inner.radius()
+    );
+
+    // Fly the gold run and re-evaluate the bubble from the recorded track,
+    // printing the dynamic outer radius while the drone accelerates.
+    let gold = FlightSimulator::new(mission, Vec::new(), SimConfig::default_for(mission, 8)).run();
+    let mut route_points = vec![
+        mission.home,
+        Vec3::new(mission.home.x, mission.home.y, -18.0),
+    ];
+    route_points.extend(mission.waypoints.iter().copied());
+    let mut tracker = BubbleTracker::new(Route::new(route_points), inner, 1.0);
+
+    println!("first 25 tracking instants of the gold run (acceleration phase):");
+    println!(
+        "{:>6} | {:>9} | {:>9} | {:>9} | viol",
+        "t (s)", "speed", "deviation", "outer r"
+    );
+    for p in gold.recorder.points().iter().take(25) {
+        let obs = tracker.observe(p.true_position, p.airspeed);
+        println!(
+            "{:>6.1} | {:>7.2} m/s | {:>7.2} m | {:>7.2} m | {}",
+            p.time,
+            p.airspeed,
+            obs.deviation,
+            obs.outer_radius,
+            if obs.inner_violated { "INNER" } else { "" }
+        );
+    }
+    println!(
+        "\ngold run violations: {:?} (must be zero)",
+        gold.violations
+    );
+    assert_eq!(gold.violations.inner, 0);
+
+    // Same mission with a 10 s accelerometer saturation: violations appear.
+    let fault = FaultSpec::new(
+        FaultKind::Max,
+        FaultTarget::Accelerometer,
+        InjectionWindow::new(90.0, 10.0),
+    );
+    let faulty =
+        FlightSimulator::new(mission, vec![fault], SimConfig::default_for(mission, 8)).run();
+    println!(
+        "with Acc Max for 10 s: outcome {}, {} inner / {} outer violations",
+        faulty.outcome.label(),
+        faulty.violations.inner,
+        faulty.violations.outer
+    );
+}

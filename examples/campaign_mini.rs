@@ -1,0 +1,52 @@
+//! Runs a scaled-down fault-injection campaign (3 missions, 2 durations)
+//! and prints all three of the paper's tables from the measured records.
+//!
+//! The full 850-case campaign is `cargo run --release --bin reproduce`.
+//!
+//! ```text
+//! cargo run --release --example campaign_mini
+//! ```
+
+use imufit::core::tables::{Table2, Table3, Table4};
+use imufit::core::{report, Campaign, CampaignConfig};
+
+fn main() {
+    let config = CampaignConfig::scaled(3, vec![2.0, 30.0], 2024);
+    let total = config.matrix().len();
+    eprintln!("running {total} experiments (3 missions x {{2 s, 30 s}} x 21 faults + gold)...");
+
+    let progress = |done: usize, total: usize| {
+        if done.is_multiple_of(25) || done == total {
+            eprintln!("  {done}/{total}");
+        }
+    };
+    let results = Campaign::new(config).run_with_progress(Some(&progress));
+
+    let records = results.records();
+    println!(
+        "\nTable II — by injection duration\n{}",
+        Table2::from_records(records).render()
+    );
+    println!(
+        "Table III — by fault type\n{}",
+        Table3::from_records(records).render()
+    );
+    println!(
+        "Table IV — failure analysis\n{}",
+        Table4::from_records(records).render()
+    );
+
+    println!("Shape targets:");
+    for check in report::shape_checks(records) {
+        println!(
+            "  [{}] {} — {}",
+            if check.passed { "x" } else { " " },
+            check.name,
+            check.details
+        );
+    }
+    println!(
+        "\noverall faulty completion: {:.1}% (paper, all durations: 14.4%)",
+        results.faulty_completion_pct()
+    );
+}

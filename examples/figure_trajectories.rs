@@ -1,0 +1,31 @@
+//! Regenerates the paper's three trajectory figures (Figs. 3–5) and prints
+//! each as an ASCII map, plus CSV paths for external plotting.
+//!
+//! ```text
+//! cargo run --release --example figure_trajectories
+//! ```
+
+use imufit::core::figures::{run_scenario_matching, scenarios};
+
+fn main() {
+    for (i, scenario) in scenarios().iter().enumerate() {
+        let result = run_scenario_matching(scenario, 2024 + i as u64, 6);
+        println!("=== {} ===", scenario.name);
+        println!("{}", scenario.description);
+        println!(
+            "outcome: {} after {:.1} s (paper shows: {})",
+            result.outcome.label(),
+            result.duration,
+            scenario.expected_outcome
+        );
+        println!("{}", result.ascii_plot);
+
+        let path = format!(
+            "/tmp/{}_track.csv",
+            scenario.name.to_lowercase().replace(' ', "_")
+        );
+        if std::fs::write(&path, &result.track_csv).is_ok() {
+            println!("track written to {path}\n");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! Full reproduction driver: runs the paper's 850-case campaign plus the
+//! three trajectory figures and writes EXPERIMENTS.md, the raw CSV, and the
+//! figure tracks.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin reproduce [-- --seed N --missions M --out DIR --quick]
+//! ```
+//!
+//! `--quick` runs a scaled campaign (3 missions, durations 2 s and 30 s)
+//! for a fast smoke reproduction.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use imufit_core::{conflicts, figures, report, sweep, Campaign, CampaignConfig};
+use imufit_detect::{evaluate, EnsembleDetector, LabeledStream};
+use imufit_faults::{FaultKind, FaultSpec, FaultTarget, InjectionWindow};
+use imufit_missions::all_missions;
+use imufit_uav::{FlightSimulator, SimConfig};
+
+struct Args {
+    seed: u64,
+    missions: usize,
+    out: String,
+    quick: bool,
+    extras: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 2024,
+        missions: 10,
+        out: ".".to_string(),
+        quick: false,
+        extras: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
+            "--missions" => {
+                args.missions = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(args.missions)
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| ".".to_string()),
+            "--quick" => args.quick = true,
+            "--no-extras" => args.extras = false,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Collects the beyond-the-paper sections (duration sweep, fleet
+/// separation, redundancy ablation).
+fn collect_extras(seed: u64) -> report::ExtraSections {
+    let missions = all_missions();
+
+    eprintln!("extras: sub-2-second duration sweep...");
+    let sweep_missions: Vec<_> = missions.iter().take(3).cloned().collect();
+    let points = sweep::duration_sweep(&sweep_missions, &[0.5, 1.0, 2.0], seed);
+    let duration_sweep = Some(sweep::render_sweep("duration", &points));
+
+    eprintln!("extras: fleet separation analysis...");
+    let clean = conflicts::analyze(&conflicts::fly_fleet(&missions, None, seed));
+    let fault = FaultSpec::new(
+        FaultKind::Freeze,
+        FaultTarget::Accelerometer,
+        InjectionWindow::new(90.0, 30.0),
+    );
+    let faulty = conflicts::analyze(&conflicts::fly_fleet(&missions, Some((9, fault)), seed));
+
+    eprintln!("extras: redundancy ablation...");
+    let mut rows = String::from(
+        "| fault | all instances | primary only |
+|---|---|---|
+",
+    );
+    for (kind, target) in [
+        (FaultKind::Min, FaultTarget::Imu),
+        (FaultKind::Random, FaultTarget::Gyrometer),
+        (FaultKind::Max, FaultTarget::Accelerometer),
+    ] {
+        let mut done = [0usize; 2];
+        for (col, all_redundant) in [(0, true), (1, false)] {
+            for mission in missions.iter().take(3) {
+                let f = FaultSpec::new(kind, target, InjectionWindow::new(90.0, 10.0));
+                let mut config =
+                    SimConfig::default_for(mission, seed.wrapping_add(mission.drone.id as u64));
+                config.faults_affect_all_redundant = all_redundant;
+                if FlightSimulator::new(mission, vec![f], config)
+                    .run()
+                    .outcome
+                    .is_completed()
+                {
+                    done[col] += 1;
+                }
+            }
+        }
+        rows.push_str(&format!(
+            "| {} {} | {}/3 completed | {}/3 completed |
+",
+            target.label(),
+            kind.label(),
+            done[0],
+            done[1]
+        ));
+    }
+
+    eprintln!("extras: detection-latency matrix...");
+    let mut ensemble = EnsembleDetector::full();
+    let mut detection = format!(
+        "{:<12} | {:>10} | {:>12}
+",
+        "fault", "latency", "false alarms"
+    );
+    for kind in FaultKind::ALL {
+        let stream = LabeledStream::hover(
+            kind,
+            FaultTarget::Imu,
+            InjectionWindow::new(10.0, 10.0),
+            25.0,
+            seed.wrapping_add(kind.id()),
+        );
+        let r = evaluate(&mut ensemble, &stream);
+        detection.push_str(&format!(
+            "{:<12} | {:>10} | {:>12}
+",
+            kind.label(),
+            r.latency
+                .map(|l| format!("{:.0} ms", l * 1000.0))
+                .unwrap_or_else(|| "miss".into()),
+            r.false_alarms
+        ));
+    }
+
+    eprintln!("extras: fast-detection mitigation study...");
+    let mut mitigation = String::from(
+        "| fault | default outcome | with fast detection |
+|---|---|---|
+",
+    );
+    for (kind, target) in [
+        (FaultKind::Max, FaultTarget::Gyrometer),
+        (FaultKind::Min, FaultTarget::Imu),
+        (FaultKind::Random, FaultTarget::Gyrometer),
+    ] {
+        let mission = &missions[0];
+        let f = FaultSpec::new(kind, target, InjectionWindow::new(90.0, 30.0));
+        let base =
+            FlightSimulator::new(mission, vec![f], SimConfig::default_for(mission, seed)).run();
+        let mut config = SimConfig::default_for(mission, seed);
+        config.fast_detection = true;
+        let fast = FlightSimulator::new(mission, vec![f], config).run();
+        mitigation.push_str(&format!(
+            "| {} {} | {} | {} |
+",
+            target.label(),
+            kind.label(),
+            base.outcome.label(),
+            fast.outcome.label()
+        ));
+    }
+
+    report::ExtraSections {
+        duration_sweep,
+        conflicts_clean: Some(clean.render()),
+        conflicts_faulty: Some(faulty.render()),
+        redundancy: Some(rows),
+        detection: Some(detection),
+        mitigation: Some(mitigation),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let config = if args.quick {
+        CampaignConfig::scaled(3.min(args.missions), vec![2.0, 30.0], args.seed)
+    } else {
+        let mut c = CampaignConfig { seed: args.seed, ..Default::default() };
+        c.missions.truncate(args.missions);
+        c
+    };
+
+    let total = config.matrix().len();
+    eprintln!(
+        "campaign: {} experiments across {} missions (seed {})",
+        total,
+        config.missions.len(),
+        args.seed
+    );
+
+    let started = std::time::Instant::now();
+    let last_reported = AtomicUsize::new(0);
+    let progress = move |done: usize, total: usize| {
+        // Report every ~2% without spamming.
+        let step = (total / 50).max(1);
+        let prev = last_reported.load(Ordering::Relaxed);
+        if done >= prev + step || done == total {
+            last_reported.store(done, Ordering::Relaxed);
+            eprintln!("  {done}/{total} experiments done");
+        }
+    };
+    let results = Campaign::new(config).run_with_progress(Some(&progress));
+    eprintln!(
+        "campaign finished in {:.0} s wall-clock; faulty completion {:.1}%",
+        started.elapsed().as_secs_f64(),
+        results.faulty_completion_pct()
+    );
+
+    eprintln!("running figure scenarios...");
+    let figure_results = figures::run_all(args.seed);
+
+    let extras = if args.extras && !args.quick {
+        collect_extras(args.seed)
+    } else {
+        report::ExtraSections::default()
+    };
+
+    let md = report::render_experiments_md_with_extras(&results, &figure_results, &extras);
+    let out = std::path::Path::new(&args.out);
+    write_file(&out.join("EXPERIMENTS.md"), &md);
+    write_file(&out.join("campaign_results.csv"), &results.to_csv());
+    for f in &figure_results {
+        let name = f.scenario.name.to_lowercase().replace(' ', "_");
+        write_file(&out.join(format!("{name}_track.csv")), &f.track_csv);
+        write_file(&out.join(format!("{name}.svg")), &f.svg);
+    }
+    println!("{md}");
+}
+
+fn write_file(path: &std::path::Path, contents: &str) {
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    f.write_all(contents.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}

@@ -1,0 +1,97 @@
+//! Integration tests for the campaign engine: real simulated experiments
+//! aggregated into the paper's tables.
+
+use imufit::core::tables::{Table2, Table3, Table4};
+use imufit::core::{report, Campaign, CampaignConfig};
+
+/// One shared tiny-but-real campaign for all assertions in this file
+/// (1 mission x 2 durations = 43 experiments; the expensive part).
+fn tiny_results() -> imufit::core::CampaignResults {
+    let config = CampaignConfig::scaled(1, vec![2.0, 30.0], 4242);
+    Campaign::new(config).run()
+}
+
+#[test]
+fn campaign_to_tables_end_to_end() {
+    let results = tiny_results();
+    assert_eq!(results.records().len(), 1 + 2 * 21);
+
+    let records = results.records();
+    let t2 = Table2::from_records(records);
+    assert_eq!(t2.gold.n, 1);
+    assert_eq!(t2.gold.completed_pct, 100.0);
+    assert_eq!(t2.rows.len(), 2);
+    assert_eq!(t2.rows.iter().map(|r| r.n).sum::<usize>(), 42);
+
+    let t3 = Table3::from_records(records);
+    assert_eq!(t3.rows.len(), 21, "all 21 fault experiments present");
+    for row in &t3.rows {
+        assert_eq!(row.n, 2, "each fault type ran at both durations");
+        assert!(row.inner_violations >= row.outer_violations - 1e-9);
+    }
+
+    let t4 = Table4::from_records(records);
+    assert_eq!(t4.by_duration.len(), 2);
+    assert_eq!(t4.by_component.len(), 3);
+    for row in t4.by_duration.iter().chain(&t4.by_component) {
+        assert!((0.0..=100.0).contains(&row.failed_pct));
+        // Crash + failsafe account for every failure.
+        if row.failed_pct > 0.0 {
+            assert!((row.crash_pct + row.failsafe_pct - 100.0).abs() < 1e-9);
+        }
+    }
+
+    // The experiments document renders with every section.
+    let md = report::render_experiments_md(&results, &[]);
+    for needle in [
+        "# EXPERIMENTS",
+        "Shape targets",
+        "Table II",
+        "Table III",
+        "Table IV",
+        "Gold Run",
+        "Acc Zeros",
+        "IMU Freeze",
+    ] {
+        assert!(md.contains(needle), "missing section {needle}");
+    }
+
+    // CSV export round-trip sanity: header + one line per record.
+    let csv = results.to_csv();
+    assert_eq!(csv.lines().count(), 1 + results.records().len());
+    // Every line has the same number of fields.
+    let fields = csv.lines().next().unwrap().split(',').count();
+    for line in csv.lines() {
+        assert_eq!(line.split(',').count(), fields);
+    }
+}
+
+#[test]
+fn parallel_and_serial_execution_agree() {
+    let mut config = CampaignConfig::scaled(1, vec![], 99);
+    config.threads = 1;
+    let serial = Campaign::new(config.clone()).run();
+    config.threads = 4;
+    let parallel = Campaign::new(config).run();
+    assert_eq!(serial.records().len(), parallel.records().len());
+    for (a, b) in serial.records().iter().zip(parallel.records()) {
+        assert_eq!(a.outcome.label(), b.outcome.label());
+        assert_eq!(a.flight_duration, b.flight_duration);
+        assert_eq!(a.distance_est, b.distance_est);
+        assert_eq!(a.inner_violations, b.inner_violations);
+    }
+}
+
+#[test]
+fn progress_callback_counts_every_experiment() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let config = CampaignConfig::scaled(1, vec![], 7);
+    let total_expected = config.matrix().len();
+    let count = AtomicUsize::new(0);
+    let cb = |_done: usize, total: usize| {
+        assert_eq!(total, total_expected);
+        count.fetch_add(1, Ordering::Relaxed);
+    };
+    let _ = Campaign::new(config).run_with_progress(Some(&cb));
+    assert_eq!(count.load(Ordering::Relaxed), total_expected);
+}

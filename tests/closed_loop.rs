@@ -1,0 +1,228 @@
+//! Integration tests: the full closed-loop stack (dynamics → sensors → EKF →
+//! controller → mixer) flying real missions.
+
+use imufit::prelude::*;
+use imufit_faults::FaultSpec;
+use imufit_math::Vec3;
+use imufit_missions::{DroneSpec, CRUISE_ALTITUDE};
+
+/// A short 200 m mission so each test stays fast.
+fn short_mission() -> Mission {
+    Mission {
+        drone: DroneSpec {
+            id: 50,
+            name: "it-short".into(),
+            cruise_speed_kmh: 12.0,
+            payload_kg: 0.25,
+            dimension_m: 0.6,
+            safety_distance_m: 2.0,
+        },
+        home: Vec3::new(50.0, -80.0, 0.0),
+        waypoints: vec![Vec3::new(250.0, -80.0, -CRUISE_ALTITUDE)],
+        direction: "S-N".into(),
+    }
+}
+
+fn run(mission: &Mission, faults: Vec<FaultSpec>, seed: u64) -> FlightResult {
+    FlightSimulator::new(mission, faults, SimConfig::default_for(mission, seed)).run()
+}
+
+#[test]
+fn gold_flight_lands_at_destination() {
+    let m = short_mission();
+    let r = run(&m, Vec::new(), 11);
+    assert!(r.outcome.is_completed(), "outcome {:?}", r.outcome);
+    // The recorded track's last point is near the final waypoint,
+    // on the ground.
+    let last = r.recorder.points().last().expect("non-empty track");
+    let wp = m.waypoints[0];
+    assert!(
+        last.true_position.distance_xy(wp) < 6.0,
+        "landed {:.1} m from the waypoint",
+        last.true_position.distance_xy(wp)
+    );
+    assert!(-last.true_position.z < 2.0, "should end near the ground");
+}
+
+#[test]
+fn gold_flight_tracks_route_altitude() {
+    let m = short_mission();
+    let r = run(&m, Vec::new(), 12);
+    // Mid-flight samples hold cruise altitude within a couple of meters.
+    let mid: Vec<_> = r
+        .recorder
+        .points()
+        .iter()
+        .filter(|p| p.time > 30.0 && p.time < r.duration - 30.0)
+        .collect();
+    assert!(!mid.is_empty());
+    for p in mid {
+        let alt = -p.true_position.z;
+        assert!(
+            (CRUISE_ALTITUDE - 3.0..=CRUISE_ALTITUDE + 3.0).contains(&alt),
+            "altitude excursion to {alt:.1} m at t={:.0}",
+            p.time
+        );
+    }
+}
+
+#[test]
+fn estimator_tracks_truth_in_gold_flight() {
+    let m = short_mission();
+    let r = run(&m, Vec::new(), 13);
+    for p in r.recorder.points() {
+        let err = (p.est_position - p.true_position).norm();
+        assert!(err < 5.0, "estimate error {err:.1} m at t={:.0}", p.time);
+    }
+}
+
+#[test]
+fn same_seed_same_flight_different_seed_different_flight() {
+    let m = short_mission();
+    let a = run(&m, Vec::new(), 14);
+    let b = run(&m, Vec::new(), 14);
+    let c = run(&m, Vec::new(), 15);
+    assert_eq!(a.duration, b.duration);
+    assert_eq!(a.distance_est, b.distance_est);
+    assert_ne!(a.distance_est, c.distance_est);
+}
+
+#[test]
+fn fault_before_takeoff_window_never_fires() {
+    // A fault scheduled entirely after the flight should change nothing.
+    let m = short_mission();
+    let gold = run(&m, Vec::new(), 16);
+    let late_fault = FaultSpec::new(
+        FaultKind::Max,
+        FaultTarget::Imu,
+        InjectionWindow::new(10_000.0, 30.0),
+    );
+    let faulty = run(&m, vec![late_fault], 16);
+    assert_eq!(gold.outcome.label(), faulty.outcome.label());
+    assert_eq!(gold.duration, faulty.duration);
+}
+
+#[test]
+fn acc_zeros_is_absorbed_by_bad_accel_handling() {
+    // 2 s accelerometer zeros: the EKF's bad-accel fallback (hover
+    // assumption for free-fall readings) absorbs it — the mission completes
+    // with at most a small excursion.
+    let m = short_mission();
+    let fault = FaultSpec::new(
+        FaultKind::Zeros,
+        FaultTarget::Accelerometer,
+        InjectionWindow::new(40.0, 2.0),
+    );
+    let r = run(&m, vec![fault], 17);
+    assert!(
+        r.outcome.is_completed(),
+        "2 s acc zeros should recover, got {:?}",
+        r.outcome
+    );
+}
+
+#[test]
+fn violent_acc_fault_leaves_a_trace() {
+    // A saturated accelerometer cannot be absorbed: whatever the outcome,
+    // the run must show violations, estimator resets, or failure.
+    let m = short_mission();
+    let fault = FaultSpec::new(
+        FaultKind::Max,
+        FaultTarget::Accelerometer,
+        InjectionWindow::new(40.0, 10.0),
+    );
+    let r = run(&m, vec![fault], 17);
+    assert!(
+        !r.outcome.is_completed() || r.violations.inner > 0 || r.ekf_resets > 0,
+        "acc max left no trace: {:?} {:?} resets {}",
+        r.outcome,
+        r.violations,
+        r.ekf_resets
+    );
+}
+
+#[test]
+fn imu_min_is_fatal_even_at_two_seconds() {
+    // The paper: "IMU Min ... resulted in a complete mission failure, even
+    // when faults were injected for only 2 seconds".
+    let m = short_mission();
+    for seed in [21, 22, 23] {
+        let fault = FaultSpec::new(
+            FaultKind::Min,
+            FaultTarget::Imu,
+            InjectionWindow::new(40.0, 2.0),
+        );
+        let r = run(&m, vec![fault], seed);
+        assert!(
+            !r.outcome.is_completed(),
+            "seed {seed}: IMU Min completed?!"
+        );
+    }
+}
+
+#[test]
+fn longer_gyro_fault_is_not_better() {
+    // Monotonicity spot check on one fault type.
+    let m = short_mission();
+    let outcome_for = |duration: f64| {
+        let fault = FaultSpec::new(
+            FaultKind::Noise,
+            FaultTarget::Gyrometer,
+            InjectionWindow::new(40.0, duration),
+        );
+        run(&m, vec![fault], 31).outcome
+    };
+    let short = outcome_for(2.0);
+    let long = outcome_for(30.0);
+    // If the short one failed, fine; but the long one must not succeed
+    // while the short fails.
+    if short.is_completed() {
+        // Long may fail or succeed; nothing to assert beyond no panic.
+        let _ = long;
+    } else {
+        assert!(
+            !long.is_completed(),
+            "30 s fault succeeded where 2 s failed"
+        );
+    }
+}
+
+#[test]
+fn failsafe_reason_is_reported() {
+    let m = short_mission();
+    let fault = FaultSpec::new(
+        FaultKind::Noise,
+        FaultTarget::Gyrometer,
+        InjectionWindow::new(40.0, 30.0),
+    );
+    let r = run(&m, vec![fault], 41);
+    if let FlightOutcome::Failsafe { reason, time } = r.outcome {
+        assert!(time > 40.0, "failsafe before the fault started");
+        let _ = reason.label();
+    }
+    // Whatever the outcome, duration and distance must be sane.
+    assert!(r.duration > 0.0 && r.duration.is_finite());
+    assert!(r.distance_est >= 0.0 && r.distance_est.is_finite());
+}
+
+#[test]
+fn all_ten_study_missions_complete_gold_runs() {
+    // The full fleet: every mission's gold run must complete with zero
+    // bubble violations. This is the long test of the suite (~10 real
+    // missions), kept as one test to amortize.
+    for (i, mission) in all_missions().iter().enumerate() {
+        let r = run(mission, Vec::new(), 700 + i as u64);
+        assert!(
+            r.outcome.is_completed(),
+            "mission {i} ({}) gold run: {:?} after {:.0}s",
+            mission.drone.name,
+            r.outcome,
+            r.duration
+        );
+        assert_eq!(
+            (r.violations.inner, r.violations.outer),
+            (0, 0),
+            "mission {i} gold violations"
+        );
+    }
+}

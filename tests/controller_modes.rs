@@ -1,0 +1,180 @@
+//! Flight-mode state-machine edge cases, driven through the public
+//! controller API with synthetic estimates.
+
+use imufit::controller::{
+    ControllerParams, FailsafeReason, FlightController, FlightMode, FlightPlan, Waypoint,
+};
+use imufit::estimator::NavState;
+use imufit::math::{Quat, Vec3};
+use imufit::sensors::ImuSample;
+
+fn clean_imu(t: f64) -> ImuSample {
+    ImuSample {
+        accel: Vec3::new(0.0, 0.0, -9.8),
+        gyro: Vec3::ZERO,
+        time: t,
+    }
+}
+
+fn nav_at(pos: Vec3) -> NavState {
+    NavState {
+        position: pos,
+        velocity: Vec3::ZERO,
+        attitude: Quat::IDENTITY,
+        gyro_bias: Vec3::ZERO,
+        accel_bias: Vec3::ZERO,
+    }
+}
+
+fn three_waypoint_plan() -> FlightPlan {
+    FlightPlan::new(
+        Vec3::ZERO,
+        18.0,
+        vec![
+            Waypoint::at(100.0, 0.0, 18.0),
+            Waypoint::at(100.0, 100.0, 18.0),
+            Waypoint::at(0.0, 100.0, 18.0),
+        ],
+        5.0,
+    )
+}
+
+#[test]
+fn waypoints_advance_in_order() {
+    let mut fc = FlightController::new(ControllerParams::default_airframe(), three_waypoint_plan());
+    let mut t = 0.0;
+    let mut step = |fc: &mut FlightController, pos: Vec3| {
+        t += 0.004;
+        fc.update(t, 0.004, &nav_at(pos), &clean_imu(t), false);
+    };
+    step(&mut fc, nav_at(Vec3::ZERO).position); // arm
+    step(&mut fc, Vec3::new(0.0, 0.0, -17.5)); // altitude reached
+    assert_eq!(fc.mode(), FlightMode::Mission(0));
+    step(&mut fc, Vec3::new(99.5, 0.0, -18.0));
+    assert_eq!(fc.mode(), FlightMode::Mission(1));
+    step(&mut fc, Vec3::new(100.0, 99.5, -18.0));
+    assert_eq!(fc.mode(), FlightMode::Mission(2));
+    step(&mut fc, Vec3::new(0.5, 100.0, -18.0));
+    assert_eq!(fc.mode(), FlightMode::Land);
+}
+
+#[test]
+fn waypoint_acceptance_is_horizontal_only() {
+    // Passing directly above/below a waypoint at the wrong altitude still
+    // counts (the acceptance radius is horizontal, like PX4's).
+    let mut fc = FlightController::new(ControllerParams::default_airframe(), three_waypoint_plan());
+    let mut t = 0.0;
+    for pos in [
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, -17.5),
+        Vec3::new(99.9, 0.1, -10.0), // 8 m below cruise altitude
+    ] {
+        t += 0.004;
+        fc.update(t, 0.004, &nav_at(pos), &clean_imu(t), false);
+    }
+    assert_eq!(fc.mode(), FlightMode::Mission(1));
+}
+
+#[test]
+fn external_failsafe_from_any_airborne_mode() {
+    let mut fc = FlightController::new(ControllerParams::default_airframe(), three_waypoint_plan());
+    let mut t = 0.0;
+    // Arm + takeoff only (still climbing).
+    t += 0.004;
+    fc.update(t, 0.004, &nav_at(Vec3::new(0.0, 0.0, -5.0)), &clean_imu(t), false);
+    assert_eq!(fc.mode(), FlightMode::Takeoff);
+    let nav = nav_at(Vec3::new(0.0, 0.0, -5.0));
+    fc.trigger_external_failsafe(t, &nav);
+    assert_eq!(fc.mode(), FlightMode::FailsafeLand);
+    assert_eq!(fc.failsafe_reason(), Some(FailsafeReason::ExternalDetection));
+    assert!(!fc.mission_completed());
+}
+
+#[test]
+fn external_failsafe_is_idempotent_and_ignored_preflight() {
+    let mut fc = FlightController::new(ControllerParams::default_airframe(), three_waypoint_plan());
+    // Before arming: no effect.
+    let nav = nav_at(Vec3::ZERO);
+    fc.trigger_external_failsafe(0.0, &nav);
+    assert_eq!(fc.mode(), FlightMode::PreFlight);
+    assert!(!fc.failsafe_active());
+
+    // Airborne: latches once; a second trigger does not change the capture.
+    let mut t = 0.0;
+    t += 0.004;
+    fc.update(t, 0.004, &nav_at(Vec3::new(0.0, 0.0, -18.0)), &clean_imu(t), false);
+    let nav1 = nav_at(Vec3::new(10.0, 0.0, -18.0));
+    fc.trigger_external_failsafe(t, &nav1);
+    assert!(fc.failsafe_active());
+    let nav2 = nav_at(Vec3::new(500.0, 0.0, -18.0));
+    fc.trigger_external_failsafe(t + 1.0, &nav2);
+    assert_eq!(fc.failsafe_reason(), Some(FailsafeReason::ExternalDetection));
+}
+
+#[test]
+fn land_detector_requires_sustained_stillness() {
+    let mut fc = FlightController::new(ControllerParams::default_airframe(), three_waypoint_plan());
+    let mut t = 0.0;
+    // Get to Land mode quickly.
+    for pos in [
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, -17.5),
+        Vec3::new(99.9, 0.0, -18.0),
+        Vec3::new(100.0, 99.9, -18.0),
+        Vec3::new(0.1, 100.0, -18.0),
+    ] {
+        t += 0.004;
+        fc.update(t, 0.004, &nav_at(pos), &clean_imu(t), false);
+    }
+    assert_eq!(fc.mode(), FlightMode::Land);
+
+    // A 0.5 s touch-and-go must NOT disarm.
+    let grounded = nav_at(Vec3::new(0.0, 100.0, -0.1));
+    for _ in 0..125 {
+        t += 0.004;
+        fc.update(t, 0.004, &grounded, &clean_imu(t), false);
+    }
+    assert!(!fc.is_disarmed(), "disarmed after only 0.5 s on the ground");
+    // Bounce back up: the debounce resets.
+    let airborne = nav_at(Vec3::new(0.0, 100.0, -3.0));
+    for _ in 0..50 {
+        t += 0.004;
+        fc.update(t, 0.004, &airborne, &clean_imu(t), false);
+    }
+    // Now settle for > 1 s: disarm.
+    for _ in 0..300 {
+        t += 0.004;
+        fc.update(t, 0.004, &grounded, &clean_imu(t), false);
+    }
+    assert!(fc.is_disarmed());
+    assert!(fc.mission_completed());
+}
+
+#[test]
+fn completed_controller_keeps_motors_off() {
+    let mut fc = FlightController::new(ControllerParams::default_airframe(), three_waypoint_plan());
+    let mut t = 0.0;
+    for pos in [
+        Vec3::ZERO,
+        Vec3::new(0.0, 0.0, -17.5),
+        Vec3::new(99.9, 0.0, -18.0),
+        Vec3::new(100.0, 99.9, -18.0),
+        Vec3::new(0.1, 100.0, -18.0),
+    ] {
+        t += 0.004;
+        fc.update(t, 0.004, &nav_at(pos), &clean_imu(t), false);
+    }
+    let grounded = nav_at(Vec3::new(0.0, 100.0, -0.05));
+    for _ in 0..300 {
+        t += 0.004;
+        fc.update(t, 0.004, &grounded, &clean_imu(t), false);
+    }
+    assert!(fc.is_disarmed());
+    // Even with a wild estimate afterwards, outputs stay at zero.
+    let wild = nav_at(Vec3::new(0.0, 100.0, -50.0));
+    for _ in 0..10 {
+        t += 0.004;
+        let out = fc.update(t, 0.004, &wild, &clean_imu(t), false);
+        assert_eq!(out.throttles, [0.0; 4]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Filter-consistency integration tests: the EKF's covariance must remain a
+//! valid (symmetric positive-definite) uncertainty description through
+//! realistic flight segments, and the estimate must stay statistically
+//! consistent with its own covariance on clean data.
+
+use imufit::estimator::{Ekf, EkfParams};
+use imufit::math::rng::Pcg;
+use imufit::math::{Vec3, GRAVITY};
+use imufit::sensors::{BaroSample, GpsSample, ImuSample};
+
+fn gps_at(p: Vec3, v: Vec3) -> GpsSample {
+    GpsSample {
+        position: p,
+        velocity: v,
+        horizontal_accuracy: 1.2,
+        vertical_accuracy: 1.8,
+    }
+}
+
+/// Runs a stationary-with-aiding scenario and returns the filter.
+fn settled_filter(seed: u64, seconds: f64) -> Ekf {
+    let mut ekf = Ekf::new(EkfParams::default());
+    ekf.initialize(Vec3::ZERO, Vec3::ZERO, 0.0);
+    let mut rng = Pcg::seed_from(seed);
+    let steps = (seconds * 250.0) as usize;
+    for i in 0..steps {
+        let imu = ImuSample {
+            accel: Vec3::new(
+                rng.normal_with(0.0, 0.05),
+                rng.normal_with(0.0, 0.05),
+                -GRAVITY + rng.normal_with(0.0, 0.05),
+            ),
+            gyro: Vec3::new(
+                rng.normal_with(0.0, 0.002),
+                rng.normal_with(0.0, 0.002),
+                rng.normal_with(0.0, 0.002),
+            ),
+            time: i as f64 * 0.004,
+        };
+        ekf.predict(&imu, 0.004);
+        if i % 50 == 0 {
+            let noise = Vec3::new(
+                rng.normal_with(0.0, 0.7),
+                rng.normal_with(0.0, 0.7),
+                rng.normal_with(0.0, 1.0),
+            );
+            ekf.fuse_gps(&gps_at(noise, Vec3::ZERO));
+        }
+        if i % 10 == 0 {
+            ekf.fuse_baro(&BaroSample {
+                altitude: rng.normal_with(0.0, 0.15),
+                pressure_pa: 101_325.0,
+            });
+        }
+        if i % 25 == 0 {
+            ekf.fuse_yaw(rng.normal_with(0.0, 0.02));
+        }
+    }
+    ekf
+}
+
+#[test]
+fn covariance_is_positive_definite_after_flight() {
+    // Cholesky succeeds (after symmetrization, which the filter maintains)
+    // at several points during a long aided run.
+    for seed in [1, 2, 3] {
+        let ekf = settled_filter(seed, 60.0);
+        let p = ekf.covariance().symmetrize();
+        assert!(
+            p.cholesky().is_some(),
+            "covariance lost positive definiteness (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn estimate_errors_match_reported_uncertainty() {
+    // On clean data the position error must sit within a few reported
+    // standard deviations (filter not over-confident).
+    let ekf = settled_filter(7, 120.0);
+    let d = ekf.covariance_diagonal();
+    let pos_err = ekf.state().position.norm();
+    let pos_sigma = (d[0] + d[1] + d[2]).sqrt();
+    assert!(
+        pos_err < 5.0 * pos_sigma + 0.5,
+        "position error {pos_err:.2} m vs sigma {pos_sigma:.2} m: over-confident filter"
+    );
+    // And not absurdly under-confident either.
+    assert!(pos_sigma < 5.0, "position sigma ballooned to {pos_sigma:.1} m");
+}
+
+#[test]
+fn aiding_shrinks_uncertainty() {
+    let mut ekf = Ekf::new(EkfParams::default());
+    ekf.initialize(Vec3::ZERO, Vec3::ZERO, 0.0);
+    // Dead-reckon for 10 s.
+    for i in 0..2500 {
+        let imu = ImuSample {
+            accel: Vec3::new(0.0, 0.0, -GRAVITY),
+            gyro: Vec3::ZERO,
+            time: i as f64 * 0.004,
+        };
+        ekf.predict(&imu, 0.004);
+    }
+    let before = ekf.covariance_diagonal();
+    // A single GPS fix collapses position/velocity variance.
+    ekf.fuse_gps(&gps_at(Vec3::ZERO, Vec3::ZERO));
+    let after = ekf.covariance_diagonal();
+    for axis in 0..3 {
+        assert!(
+            after[axis] < before[axis] * 0.8,
+            "position variance axis {axis}: {} -> {}",
+            before[axis],
+            after[axis]
+        );
+        assert!(
+            after[3 + axis] < before[3 + axis],
+            "velocity variance axis {axis} did not shrink"
+        );
+    }
+}
+
+#[test]
+fn bias_estimates_stay_bounded_forever() {
+    // Two minutes of aided flight: bias estimates must stay inside their
+    // clamps and the filter must not drift.
+    let ekf = settled_filter(11, 120.0);
+    let params = EkfParams::default();
+    assert!(ekf.state().gyro_bias.max_abs() <= params.max_gyro_bias + 1e-12);
+    assert!(ekf.state().accel_bias.max_abs() <= params.max_accel_bias + 1e-12);
+    assert!(ekf.state().velocity.norm() < 0.5);
+}
+
+#[test]
+fn distance_metric_ignores_stationary_jitter() {
+    // A stationary vehicle accumulates only noise-level distance.
+    let ekf = settled_filter(13, 60.0);
+    assert!(
+        ekf.distance_traveled() < 60.0,
+        "stationary distance accumulated {:.1} m/min",
+        ekf.distance_traveled()
+    );
+}

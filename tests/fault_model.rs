@@ -1,0 +1,143 @@
+//! End-to-end spot checks of the whole fault model: every primitive on
+//! every target, flown on a short mission, with class-level outcome
+//! expectations derived from the paper's Table III.
+
+use imufit::prelude::*;
+use imufit_math::Vec3;
+use imufit_missions::{DroneSpec, CRUISE_ALTITUDE};
+
+fn mission() -> Mission {
+    Mission {
+        drone: DroneSpec {
+            id: 60,
+            name: "fault-model-it".into(),
+            cruise_speed_kmh: 12.0,
+            payload_kg: 0.2,
+            dimension_m: 0.6,
+            safety_distance_m: 2.0,
+        },
+        home: Vec3::new(-100.0, 40.0, 0.0),
+        waypoints: vec![Vec3::new(120.0, 40.0, -CRUISE_ALTITUDE)],
+        direction: "S-N".into(),
+    }
+}
+
+fn outcome(kind: FaultKind, target: FaultTarget, duration: f64, seed: u64) -> FlightOutcome {
+    let m = mission();
+    let fault = FaultSpec::new(kind, target, InjectionWindow::new(40.0, duration));
+    FlightSimulator::new(&m, vec![fault], SimConfig::default_for(&m, seed))
+        .run()
+        .outcome
+}
+
+#[test]
+fn every_fault_cell_produces_a_classified_outcome() {
+    // The full 7 x 3 grid at 2 s: whatever happens, every run must reach a
+    // terminal classification (no hangs, panics, or unclassified ends).
+    for target in FaultTarget::ALL {
+        for kind in FaultKind::ALL {
+            let o = outcome(kind, target, 2.0, 101);
+            let label = o.label();
+            assert!(
+                ["completed", "crash", "failsafe", "timeout"].contains(&label),
+                "{target} {kind}: unclassified outcome {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn saturation_faults_are_never_survivable_at_30s() {
+    // Min/Max on any component for 30 s: the paper's worst class (0-2.5%).
+    for target in FaultTarget::ALL {
+        for kind in [FaultKind::Min, FaultKind::Max] {
+            let o = outcome(kind, target, 30.0, 103);
+            assert!(
+                !o.is_completed(),
+                "{target} {kind} for 30 s should be fatal, got {o:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn the_three_zeros_cases_split_like_the_paper() {
+    // Paper Table III: Acc Zeros 67.5%, Gyro Zeros 40%, IMU Zeros 2.5%.
+    // At 2 s on this mission: the accel case must survive, the IMU case must
+    // not, and the gyro case sits in between (either outcome allowed, but
+    // never *better* than the accel case across seeds).
+    let mut acc_done = 0;
+    let mut gyro_done = 0;
+    let mut imu_done = 0;
+    for seed in [5, 6, 7] {
+        acc_done +=
+            outcome(FaultKind::Zeros, FaultTarget::Accelerometer, 2.0, seed).is_completed() as u32;
+        gyro_done +=
+            outcome(FaultKind::Zeros, FaultTarget::Gyrometer, 2.0, seed).is_completed() as u32;
+        imu_done += outcome(FaultKind::Zeros, FaultTarget::Imu, 2.0, seed).is_completed() as u32;
+    }
+    assert_eq!(acc_done, 3, "Acc Zeros at 2 s should always survive");
+    assert_eq!(
+        imu_done, 0,
+        "IMU Zeros should always fail (dead-IMU failsafe)"
+    );
+    assert!(gyro_done <= acc_done, "Gyro Zeros must not beat Acc Zeros");
+}
+
+#[test]
+fn imu_zeros_fails_as_failsafe_not_crash() {
+    // The dead-IMU path latches failsafe before any impact.
+    for seed in [11, 12, 13] {
+        let o = outcome(FaultKind::Zeros, FaultTarget::Imu, 10.0, seed);
+        assert!(
+            o.is_failsafe(),
+            "IMU Zeros should be a failsafe activation, got {o:?}"
+        );
+    }
+}
+
+#[test]
+fn gyro_saturation_crashes_fast() {
+    // Gyro Min slams the rate loop: the flight ends within a few seconds of
+    // injection (fault at t = 40 s).
+    let m = mission();
+    let fault = FaultSpec::new(
+        FaultKind::Min,
+        FaultTarget::Gyrometer,
+        InjectionWindow::new(40.0, 30.0),
+    );
+    let r = FlightSimulator::new(&m, vec![fault], SimConfig::default_for(&m, 17)).run();
+    assert!(!r.outcome.is_completed());
+    assert!(
+        r.duration < 40.0 + 8.0,
+        "gyro min should end the flight quickly, lasted {:.1} s",
+        r.duration
+    );
+}
+
+#[test]
+fn noise_severity_ordering() {
+    // Accel-only noise is the mildest, whole-IMU noise the harshest; count
+    // completions over a few seeds at 10 s duration.
+    let mut acc = 0;
+    let mut imu = 0;
+    for seed in [23, 29, 31] {
+        acc +=
+            outcome(FaultKind::Noise, FaultTarget::Accelerometer, 10.0, seed).is_completed() as u32;
+        imu += outcome(FaultKind::Noise, FaultTarget::Imu, 10.0, seed).is_completed() as u32;
+    }
+    assert!(
+        acc >= imu,
+        "Acc Noise ({acc}) must not be harsher than IMU Noise ({imu})"
+    );
+}
+
+#[test]
+fn fault_catalog_covers_all_primitives_used_in_campaign() {
+    // Every primitive in the campaign grid is backed by at least one
+    // real-world fault from Table I.
+    for kind in FaultKind::ALL {
+        let entries = imufit::faults::catalog::faults_represented_by(kind);
+        assert!(!entries.is_empty(), "{kind} has no Table-I backing");
+    }
+}

@@ -1,0 +1,283 @@
+//! Cross-crate property-based tests (proptest) on the testbed's invariants.
+
+use proptest::prelude::*;
+
+use imufit::controller::{ActuatorDemand, Mixer};
+use imufit::estimator::{Ekf, EkfParams};
+use imufit::faults::{FaultInjector, FaultKind, FaultSpec, FaultTarget, InjectionWindow};
+use imufit::math::rng::Pcg;
+use imufit::math::{wrap_pi, GeoPoint, LocalFrame, Quat, Vec3};
+use imufit::sensors::{ImuSample, ImuSpec};
+
+fn any_vec3(range: f64) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn any_kind() -> impl Strategy<Value = FaultKind> {
+    prop::sample::select(FaultKind::ALL.to_vec())
+}
+
+fn any_target() -> impl Strategy<Value = FaultTarget> {
+    prop::sample::select(FaultTarget::ALL.to_vec())
+}
+
+proptest! {
+    /// The injector never emits values beyond the sensor's physical range,
+    /// for any fault, any target, any time, any input.
+    #[test]
+    fn injector_output_always_in_range(
+        kind in any_kind(),
+        target in any_target(),
+        start in 0.0_f64..100.0,
+        duration in 0.1_f64..60.0,
+        accel in any_vec3(200.0),
+        gyro in any_vec3(40.0),
+        t in 0.0_f64..200.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = ImuSpec::default();
+        let mut injector = FaultInjector::new(
+            spec,
+            vec![FaultSpec::new(kind, target, InjectionWindow::new(start, duration))],
+        );
+        let mut rng = Pcg::seed_from(seed);
+        // Clamp the clean input like the real sensor would.
+        let clean = ImuSample {
+            accel: accel.clamp(-spec.accel_range(), spec.accel_range()),
+            gyro: gyro.clamp(-spec.gyro_range(), spec.gyro_range()),
+            time: t,
+        };
+        let out = injector.apply(clean, &mut rng);
+        prop_assert!(out.accel.max_abs() <= spec.accel_range() + 1e-9);
+        prop_assert!(out.gyro.max_abs() <= spec.gyro_range() + 1e-9);
+        prop_assert!(out.accel.is_finite() && out.gyro.is_finite());
+    }
+
+    /// Outside the window the injector is exactly the identity.
+    #[test]
+    fn injector_is_identity_outside_window(
+        kind in any_kind(),
+        target in any_target(),
+        accel in any_vec3(100.0),
+        gyro in any_vec3(30.0),
+        seed in 0u64..1000,
+    ) {
+        let spec = ImuSpec::default();
+        let mut injector = FaultInjector::new(
+            spec,
+            vec![FaultSpec::new(kind, target, InjectionWindow::new(50.0, 10.0))],
+        );
+        let mut rng = Pcg::seed_from(seed);
+        for t in [0.0, 10.0, 49.99, 60.0, 100.0] {
+            let clean = ImuSample { accel, gyro, time: t };
+            let out = injector.apply(clean, &mut rng);
+            prop_assert_eq!(out, clean, "corrupted outside window at t={}", t);
+        }
+    }
+
+    /// The mixer's outputs are valid throttles for arbitrary demands.
+    #[test]
+    fn mixer_outputs_valid_for_any_demand(
+        collective in -2.0_f64..3.0,
+        roll in -3.0_f64..3.0,
+        pitch in -3.0_f64..3.0,
+        yaw in -3.0_f64..3.0,
+    ) {
+        let mixer = Mixer::new();
+        let out = mixer.mix(&ActuatorDemand { collective, roll, pitch, yaw });
+        for v in out {
+            prop_assert!((0.0..=1.0).contains(&v) && v.is_finite());
+        }
+    }
+
+    /// The EKF stays finite under arbitrary bounded IMU input streams.
+    #[test]
+    fn ekf_never_goes_non_finite(
+        accel in any_vec3(160.0),
+        gyro in any_vec3(35.0),
+        steps in 1usize..500,
+    ) {
+        let mut ekf = Ekf::new(EkfParams::default());
+        ekf.initialize(Vec3::ZERO, Vec3::ZERO, 0.0);
+        for i in 0..steps {
+            let imu = ImuSample { accel, gyro, time: i as f64 * 0.004 };
+            ekf.predict(&imu, 0.004);
+        }
+        prop_assert!(ekf.state().is_finite());
+        prop_assert!(ekf.covariance_diagonal().iter().all(|v| v.is_finite() && *v > 0.0));
+    }
+
+    /// Quaternion attitude round trip: Euler -> quat -> Euler.
+    #[test]
+    fn quaternion_euler_round_trip(
+        roll in -3.0_f64..3.0,
+        pitch in -1.4_f64..1.4,
+        yaw in -3.0_f64..3.0,
+    ) {
+        let q = Quat::from_euler(roll, pitch, yaw);
+        let (r, p, y) = q.to_euler();
+        prop_assert!((wrap_pi(r - roll)).abs() < 1e-9);
+        prop_assert!((p - pitch).abs() < 1e-9);
+        prop_assert!((wrap_pi(y - yaw)).abs() < 1e-9);
+        prop_assert!((q.norm() - 1.0).abs() < 1e-12);
+    }
+
+    /// Rotation preserves vector length.
+    #[test]
+    fn rotation_preserves_norm(
+        roll in -3.0_f64..3.0,
+        pitch in -1.5_f64..1.5,
+        yaw in -3.0_f64..3.0,
+        v in any_vec3(100.0),
+    ) {
+        let q = Quat::from_euler(roll, pitch, yaw);
+        prop_assert!((q.rotate(v).norm() - v.norm()).abs() < 1e-9);
+    }
+
+    /// Geodesy round trip over the whole study area.
+    #[test]
+    fn geodesy_round_trip(
+        north in -3000.0_f64..3000.0,
+        east in -3000.0_f64..3000.0,
+        down in -100.0_f64..10.0,
+    ) {
+        let frame = LocalFrame::new(GeoPoint::new(39.4699, -0.3763, 0.0));
+        let ned = Vec3::new(north, east, down);
+        let back = frame.to_ned(frame.to_geo(ned));
+        prop_assert!((back - ned).norm() < 1e-6);
+    }
+
+    /// The bubble's outer radius never shrinks below the inner radius.
+    #[test]
+    fn outer_bubble_floor(
+        inner in 0.1_f64..50.0,
+        anticipated in -10.0_f64..100.0,
+        risk in 1.0_f64..5.0,
+    ) {
+        let outer = imufit::bubble::outer_radius(risk, inner, anticipated);
+        prop_assert!(outer >= inner * risk - 1e-12);
+        prop_assert!(outer >= inner - 1e-12);
+    }
+
+    /// Wire codec round trip for arbitrary position messages.
+    #[test]
+    fn wire_round_trip(
+        id in 0u32..1000,
+        t in 0.0_f64..10_000.0,
+        pos in any_vec3(5000.0),
+        vel in any_vec3(50.0),
+    ) {
+        let msg = imufit::telemetry::Message::Position {
+            drone_id: id,
+            time: t,
+            position: pos,
+            velocity: vel,
+        };
+        let decoded = imufit::telemetry::decode(imufit::telemetry::encode(&msg)).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Flight logs round-trip arbitrary track points bit-exactly.
+    #[test]
+    fn flightlog_round_trip(
+        id in 0u32..100,
+        n in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        use imufit::telemetry::{read_log, write_log, FlightRecorder, TrackPoint};
+        let mut rng = Pcg::seed_from(seed);
+        let mut rec = FlightRecorder::new(1.0);
+        for k in 0..n {
+            rec.offer(TrackPoint {
+                time: k as f64,
+                true_position: Vec3::new(rng.normal() * 100.0, rng.normal() * 100.0, -rng.uniform() * 20.0),
+                est_position: Vec3::new(rng.normal() * 100.0, rng.normal() * 100.0, -rng.uniform() * 20.0),
+                true_velocity: Vec3::new(rng.normal(), rng.normal(), rng.normal()),
+                airspeed: rng.uniform() * 10.0,
+                fault_active: rng.uniform() > 0.5,
+                failsafe: rng.uniform() > 0.8,
+            });
+        }
+        let log = read_log(write_log(id, "prop", &rec)).unwrap();
+        prop_assert_eq!(log.drone_id, id);
+        prop_assert_eq!(log.points.as_slice(), rec.points());
+    }
+
+    /// The consensus of identical samples is that sample, and voting always
+    /// returns a valid index.
+    #[test]
+    fn consensus_properties(
+        accel in any_vec3(150.0),
+        gyro in any_vec3(30.0),
+        outlier_axis in 0usize..3,
+        count in 1usize..6,
+    ) {
+        use imufit::sensors::{consensus, healthiest_instance, ImuSample};
+        let base = ImuSample { accel, gyro, time: 1.0 };
+        let mut samples = vec![base; count];
+        let c = consensus(&samples);
+        prop_assert_eq!(c.accel, accel);
+        prop_assert_eq!(c.gyro, gyro);
+        // Poison one instance; with >= 3 instances the consensus is immune
+        // and the vote avoids the outlier.
+        if count >= 3 {
+            samples[0].gyro[outlier_axis] += 1000.0;
+            let c2 = consensus(&samples);
+            prop_assert_eq!(c2.gyro, gyro);
+            prop_assert_ne!(healthiest_instance(&samples), 0);
+        }
+        let h = healthiest_instance(&samples);
+        prop_assert!(h < samples.len());
+    }
+
+    /// Merging running statistics equals computing them in one pass.
+    #[test]
+    fn running_stats_merge(
+        xs in prop::collection::vec(-1000.0_f64..1000.0, 0..100),
+        split in 0usize..100,
+    ) {
+        use imufit::math::stats::RunningStats;
+        let split = split.min(xs.len());
+        let mut all = RunningStats::new();
+        for &x in &xs { all.push(x); }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), all.count());
+        prop_assert!((left.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - all.variance()).abs() < 1e-6);
+    }
+
+    /// Derived experiment seeds never collide for distinct cells
+    /// (pairwise check on random pairs).
+    #[test]
+    fn experiment_seeds_distinct(
+        m1 in 0usize..10, m2 in 0usize..10,
+        k1 in 0usize..7, k2 in 0usize..7,
+        t1 in 0usize..3, t2 in 0usize..3,
+        d1 in 0usize..4, d2 in 0usize..4,
+        master in 0u64..10_000,
+    ) {
+        use imufit::core::ExperimentSpec;
+        let durations = [2.0, 5.0, 10.0, 30.0];
+        let s1 = ExperimentSpec::faulty(
+            m1,
+            FaultKind::ALL[k1],
+            FaultTarget::ALL[t1],
+            InjectionWindow::new(90.0, durations[d1]),
+        );
+        let s2 = ExperimentSpec::faulty(
+            m2,
+            FaultKind::ALL[k2],
+            FaultTarget::ALL[t2],
+            InjectionWindow::new(90.0, durations[d2]),
+        );
+        if (m1, k1, t1, d1) != (m2, k2, t2, d2) {
+            prop_assert_ne!(s1.derive_seed(master), s2.derive_seed(master));
+        } else {
+            prop_assert_eq!(s1.derive_seed(master), s2.derive_seed(master));
+        }
+    }
+}
