@@ -13,11 +13,20 @@ use imufit_uav::{FlightSimulator, SimConfig};
 fn environment(c: &mut Criterion) {
     banner("Wind sensitivity: gold runs under increasing wind (2 missions)");
     let missions = all_missions();
-    println!("{:<24} | {:>9} | {:>15}", "wind", "completed", "inner violations");
+    println!(
+        "{:<24} | {:>9} | {:>15}",
+        "wind", "completed", "inner violations"
+    );
     for (label, wind) in [
         ("calm", WindModel::calm()),
-        ("breeze 2 m/s + gusts", WindModel::light_breeze(Vec3::new(2.0, 0.5, 0.0))),
-        ("wind 5 m/s + gusts", WindModel::light_breeze(Vec3::new(5.0, 1.0, 0.0))),
+        (
+            "breeze 2 m/s + gusts",
+            WindModel::light_breeze(Vec3::new(2.0, 0.5, 0.0)),
+        ),
+        (
+            "wind 5 m/s + gusts",
+            WindModel::light_breeze(Vec3::new(5.0, 1.0, 0.0)),
+        ),
     ] {
         let mut done = 0;
         let mut violations = 0;

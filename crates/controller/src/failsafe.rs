@@ -667,7 +667,11 @@ mod tests {
         // Alternate: brief tilt spikes below the persistence window.
         while t < 3.0 {
             t += dt;
-            let tilt = if ((t * 10.0) as u64).is_multiple_of(4) { 1.3 } else { 0.1 };
+            let tilt = if ((t * 10.0) as u64).is_multiple_of(4) {
+                1.3
+            } else {
+                0.1
+            };
             det.update_with_tilt(t, &clean_imu(t), Vec3::ZERO, false, tilt);
         }
         assert!(!det.failsafe_active());

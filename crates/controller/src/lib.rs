@@ -30,6 +30,7 @@
 
 pub mod attitude;
 pub mod failsafe;
+pub mod mitigation;
 pub mod mixer;
 pub mod pid;
 pub mod plan;
@@ -40,6 +41,9 @@ use serde::{Deserialize, Serialize};
 
 pub use attitude::{AttitudeController, AttitudeParams};
 pub use failsafe::{FailsafeParams, FailsafePhase, FailsafeReason, FailureDetector};
+pub use mitigation::{
+    CascadeTransition, DegradedMode, MitigationLevel, RecoveryCascade, RedundancyStatus,
+};
 pub use mixer::{ActuatorDemand, Mixer};
 pub use pid::{Pid, Pid3, PidConfig};
 pub use plan::{FlightPlan, Waypoint};
@@ -154,6 +158,7 @@ pub struct FlightController {
     failsafe_capture: Vec3,
     landed_since: Option<f64>,
     disarmed: bool,
+    cascade: RecoveryCascade,
 }
 
 impl FlightController {
@@ -189,6 +194,7 @@ impl FlightController {
             failsafe_capture: Vec3::ZERO,
             landed_since: None,
             disarmed: false,
+            cascade: RecoveryCascade::new(),
         }
     }
 
@@ -229,6 +235,21 @@ impl FlightController {
         self.disarmed
     }
 
+    /// The recovery cascade (current mitigation level, degraded mode).
+    pub fn cascade(&self) -> &RecoveryCascade {
+        &self.cascade
+    }
+
+    /// The current mitigation level.
+    pub fn mitigation_level(&self) -> MitigationLevel {
+        self.cascade.level()
+    }
+
+    /// Drains the cascade's recorded transitions (for the flight log).
+    pub fn take_cascade_transitions(&mut self) -> Vec<CascadeTransition> {
+        self.cascade.take_transitions()
+    }
+
     /// Latches failsafe on behalf of an external detection system and
     /// switches to the failsafe-landing mode at the current estimated
     /// position.
@@ -258,6 +279,30 @@ impl FlightController {
         imu: &ImuSample,
         estimator_rejecting: bool,
     ) -> ControlOutput {
+        self.update_with_redundancy(
+            t,
+            dt,
+            nav,
+            imu,
+            estimator_rejecting,
+            RedundancyStatus::default(),
+        )
+    }
+
+    /// [`FlightController::update`] plus the redundancy layer's health
+    /// report, which drives the graceful-degradation cascade: an excluded
+    /// or substituted instance registers as a mitigation level, and a
+    /// channel that stays implausible after redundancy acted drops the
+    /// rate loop into its degraded fallback.
+    pub fn update_with_redundancy(
+        &mut self,
+        t: f64,
+        dt: f64,
+        nav: &NavState,
+        imu: &ImuSample,
+        estimator_rejecting: bool,
+        mut redundancy: RedundancyStatus,
+    ) -> ControlOutput {
         self.tick += 1;
 
         if self.disarmed {
@@ -285,6 +330,19 @@ impl FlightController {
                 self.position_ctl.reset();
             }
         }
+
+        // --- Recovery cascade bookkeeping ---
+        redundancy.switched |= rotate_imu;
+        let isolating_reason = match self.detector.phase() {
+            FailsafePhase::Isolating { reason, .. } => Some(reason),
+            _ => None,
+        };
+        self.cascade.update(
+            t,
+            &redundancy,
+            isolating_reason,
+            self.detector.failsafe_active(),
+        );
 
         // --- Mode transitions ---
         self.advance_mode(t, nav);
@@ -328,8 +386,10 @@ impl FlightController {
         // --- Rate loop: raw gyro feedback ---
         // Dead-gyro dropout: a living gyro never reads exactly zero on all
         // axes; when it does, hold the previous torque (trim) rather than
-        // spinning the vehicle up against a dead signal.
-        let torque = if imu.gyro.norm() < 1e-12 {
+        // spinning the vehicle up against a dead signal. The accel-only
+        // degraded fallback distrusts the gyro the same way.
+        let gyro_untrusted = self.cascade.degraded_mode() == DegradedMode::AccelOnly;
+        let torque = if imu.gyro.norm() < 1e-12 || gyro_untrusted {
             self.held_torque
         } else {
             self.rate_ctl.update(self.rate_setpoint, imu.gyro, dt)

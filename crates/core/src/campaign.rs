@@ -1,6 +1,11 @@
 //! Campaign execution: runs the experiment matrix, in parallel when cores
 //! allow, with bit-reproducible results regardless of scheduling.
+//!
+//! Every run is isolated with [`std::panic::catch_unwind`]: a panicking
+//! experiment is recorded as an [`FlightOutcome::Aborted`] run instead of
+//! tearing down the whole 850-run campaign.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -8,9 +13,36 @@ use serde::{Deserialize, Serialize};
 
 use imufit_faults::InjectionWindow;
 use imufit_missions::{all_missions, Mission};
-use imufit_uav::{FlightSimulator, SimConfig};
+use imufit_uav::{FlightOutcome, FlightSimulator, SimConfig};
 
 use crate::experiment::{csv_header, experiment_matrix, ExperimentRecord, ExperimentSpec};
+
+/// Errors produced when an experiment cannot be run at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The spec names a mission index outside the configuration.
+    UnknownMission {
+        /// The requested mission index.
+        index: usize,
+        /// How many missions the configuration holds.
+        missions: usize,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::UnknownMission { index, missions } => {
+                write!(
+                    f,
+                    "mission index {index} out of range ({missions} missions)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
 
 /// Campaign configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -25,6 +57,9 @@ pub struct CampaignConfig {
     pub missions: Vec<Mission>,
     /// Worker threads; 0 = one per available core.
     pub threads: usize,
+    /// Redundant IMU instances per vehicle (the paper's platform flies 3).
+    /// Clamped to at least 1 when building simulator configurations.
+    pub imu_redundancy: usize,
 }
 
 impl Default for CampaignConfig {
@@ -35,6 +70,7 @@ impl Default for CampaignConfig {
             injection_start: InjectionWindow::CAMPAIGN_START,
             missions: all_missions(),
             threads: 0,
+            imu_redundancy: 3,
         }
     }
 }
@@ -50,12 +86,21 @@ impl CampaignConfig {
             injection_start: InjectionWindow::CAMPAIGN_START,
             missions: all.into_iter().take(missions).collect(),
             threads: 0,
+            imu_redundancy: 3,
         }
     }
 
     /// The experiment matrix for this configuration.
     pub fn matrix(&self) -> Vec<ExperimentSpec> {
         experiment_matrix(self.missions.len(), &self.durations, self.injection_start)
+    }
+
+    /// The per-flight simulator configuration for one mission of this
+    /// campaign (applies the campaign's redundancy level).
+    pub fn sim_config(&self, mission: &Mission, seed: u64) -> SimConfig {
+        let mut sim = SimConfig::default_for(mission, seed);
+        sim.imu_redundancy = self.imu_redundancy.max(1);
+        sim
     }
 }
 
@@ -118,14 +163,30 @@ impl Campaign {
         &self.config
     }
 
-    /// Runs one experiment (public so figures/benches can reuse it).
-    pub fn run_experiment(config: &CampaignConfig, spec: ExperimentSpec) -> ExperimentRecord {
-        let mission = &config.missions[spec.mission_index];
+    /// Runs one experiment, reporting a bad spec as an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::UnknownMission`] when the spec's mission
+    /// index is outside the configuration.
+    pub fn try_run_experiment(
+        config: &CampaignConfig,
+        spec: ExperimentSpec,
+    ) -> Result<ExperimentRecord, CampaignError> {
+        let mission =
+            config
+                .missions
+                .get(spec.mission_index)
+                .ok_or(CampaignError::UnknownMission {
+                    index: spec.mission_index,
+                    missions: config.missions.len(),
+                })?;
         let seed = spec.derive_seed(config.seed);
         let faults = spec.fault.map(|f| vec![f]).unwrap_or_default();
-        let sim = FlightSimulator::new(mission, faults, SimConfig::default_for(mission, seed));
+        let sim_config = config.sim_config(mission, seed);
+        let sim = FlightSimulator::new(mission, faults, sim_config);
         let result = sim.run();
-        ExperimentRecord {
+        Ok(ExperimentRecord {
             spec,
             drone_id: mission.drone.id,
             outcome: result.outcome,
@@ -135,6 +196,52 @@ impl Campaign {
             inner_violations: result.violations.inner,
             outer_violations: result.violations.outer,
             ekf_resets: result.ekf_resets,
+        })
+    }
+
+    /// Runs one experiment (public so figures/benches can reuse it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's mission index is out of range; campaign-built
+    /// matrices never are. Use [`Campaign::try_run_experiment`] to handle
+    /// that case as an error instead.
+    pub fn run_experiment(config: &CampaignConfig, spec: ExperimentSpec) -> ExperimentRecord {
+        match Self::try_run_experiment(config, spec) {
+            Ok(record) => record,
+            Err(e) => panic!("run_experiment: {e}"),
+        }
+    }
+
+    /// Runs one experiment with panic isolation: a panicking simulation
+    /// (or a bad spec) yields an [`FlightOutcome::Aborted`] record rather
+    /// than unwinding into the caller.
+    pub fn run_experiment_isolated(
+        config: &CampaignConfig,
+        spec: ExperimentSpec,
+    ) -> ExperimentRecord {
+        catch_unwind(AssertUnwindSafe(|| Self::try_run_experiment(config, spec)))
+            .unwrap_or_else(|_| Ok(Self::aborted_record(config, spec)))
+            .unwrap_or_else(|_| Self::aborted_record(config, spec))
+    }
+
+    /// The record used for experiments that failed to execute.
+    fn aborted_record(config: &CampaignConfig, spec: ExperimentSpec) -> ExperimentRecord {
+        let drone_id = config
+            .missions
+            .get(spec.mission_index)
+            .map(|m| m.drone.id)
+            .unwrap_or(u32::MAX);
+        ExperimentRecord {
+            spec,
+            drone_id,
+            outcome: FlightOutcome::Aborted,
+            flight_duration: 0.0,
+            distance_est: 0.0,
+            distance_true: 0.0,
+            inner_violations: 0,
+            outer_violations: 0,
+            ekf_resets: 0,
         }
     }
 
@@ -145,7 +252,17 @@ impl Campaign {
         &self,
         progress: Option<&(dyn Fn(usize, usize) + Sync)>,
     ) -> CampaignResults {
-        let specs = self.config.matrix();
+        self.run_specs_with_progress(&self.config.matrix(), progress)
+    }
+
+    /// Runs an arbitrary list of experiments (e.g. a re-scoped subset of
+    /// the matrix) with the campaign's worker pool and panic isolation,
+    /// returning records in input order.
+    pub fn run_specs_with_progress(
+        &self,
+        specs: &[ExperimentSpec],
+        progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    ) -> CampaignResults {
         let total = specs.len();
         let workers = if self.config.threads == 0 {
             std::thread::available_parallelism()
@@ -159,29 +276,33 @@ impl Campaign {
         let done = AtomicUsize::new(0);
         let records: Mutex<Vec<Option<ExperimentRecord>>> = Mutex::new(vec![None; total]);
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers.max(1) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         break;
                     }
-                    let record = Self::run_experiment(&self.config, specs[i]);
-                    records.lock().expect("records lock")[i] = Some(record);
+                    // Panic isolation: one diverging experiment becomes an
+                    // aborted record, not a dead campaign.
+                    let record = Self::run_experiment_isolated(&self.config, specs[i]);
+                    records.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(record);
                     let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                     if let Some(cb) = progress {
                         cb(d, total);
                     }
                 });
             }
-        })
-        .expect("campaign worker panicked");
+        });
 
         let records = records
             .into_inner()
-            .expect("records lock")
+            .unwrap_or_else(|e| e.into_inner())
             .into_iter()
-            .map(|r| r.expect("every experiment executed"))
+            .enumerate()
+            // Workers never unwind past catch_unwind, so every slot is
+            // filled; the fallback keeps even an impossible gap non-fatal.
+            .map(|(i, r)| r.unwrap_or_else(|| Self::aborted_record(&self.config, specs[i])))
             .collect();
         CampaignResults { records }
     }

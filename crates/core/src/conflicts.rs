@@ -185,11 +185,7 @@ impl ConflictReport {
                 .unwrap_or_default()
         ));
         let mut sorted: Vec<&PairStats> = self.pairs.iter().collect();
-        sorted.sort_by(|a, b| {
-            a.min_separation
-                .partial_cmp(&b.min_separation)
-                .expect("finite")
-        });
+        sorted.sort_by(|a, b| a.min_separation.total_cmp(&b.min_separation));
         for p in sorted.iter().take(5) {
             s.push_str(&format!(
                 "  drones {:>2} & {:>2}: min sep {:>8.1} m, {} conflicts, {} alerts\n",

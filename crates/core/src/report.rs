@@ -342,9 +342,10 @@ pub fn render_experiments_md_with_extras(
         }
         if let Some(redundancy) = &extras.redundancy {
             s.push_str(
-                "### Redundancy ablation\n\nThe paper assumes faults corrupt **all** redundant IMU \
-                 instances. Injecting into a single instance instead, with a median-consensus \
-                 monitor switching the primary:\n\n",
+                "### Redundancy sweep\n\nThe paper assumes faults corrupt **all** redundant IMU \
+                 instances; the all-instances rows reproduce that regime at each instance count. \
+                 Confining the same faults to a single instance instead lets the consensus voter \
+                 exclude the liar and switch the primary:\n\n",
             );
             s.push_str(redundancy);
             s.push('\n');

@@ -126,8 +126,7 @@ pub fn trajectory_svg(mission: &Mission, points: &[TrackPoint], title: &str) -> 
     for (i, p) in points.iter().enumerate() {
         if i > 0 && p.fault_active != segment_faulty && segment.len() > 1 {
             svg.polyline(&segment, color_for(segment_faulty), 2.0, false);
-            let last = *segment.last().expect("non-empty segment");
-            segment = vec![last];
+            segment = segment.last().map(|&last| vec![last]).unwrap_or_default();
         }
         segment_faulty = p.fault_active;
         segment.push(to_px(p.true_position));

@@ -40,6 +40,7 @@ pub fn duration_sweep(missions: &[Mission], durations: &[f64], seed: u64) -> Vec
                 injection_start: InjectionWindow::CAMPAIGN_START,
                 missions: missions.to_vec(),
                 threads: 0,
+                imu_redundancy: 3,
             };
             let results = Campaign::new(config).run();
             let faulty: Vec<ExperimentRecord> = results
@@ -80,6 +81,7 @@ pub fn start_time_sweep(
                 injection_start: start,
                 missions: missions.to_vec(),
                 threads: 0,
+                imu_redundancy: 3,
             };
             let records: Vec<ExperimentRecord> = missions
                 .iter()

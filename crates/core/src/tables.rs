@@ -89,7 +89,7 @@ impl Table2 {
             .iter()
             .filter_map(|r| r.injection_duration())
             .collect();
-        durations.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+        durations.sort_by(f64::total_cmp);
         durations.dedup();
 
         let mut rows: Vec<MetricRow> = durations
@@ -102,11 +102,7 @@ impl Table2 {
                 MetricRow::from_group(&format!("{d:.0} seconds"), &group)
             })
             .collect();
-        rows.sort_by(|a, b| {
-            b.completed_pct
-                .partial_cmp(&a.completed_pct)
-                .expect("finite pct")
-        });
+        rows.sort_by(|a, b| b.completed_pct.total_cmp(&a.completed_pct));
         Table2 { gold, rows }
     }
 
@@ -161,11 +157,7 @@ impl Table3 {
                     }
                 })
                 .collect();
-            block.sort_by(|a, b| {
-                b.completed_pct
-                    .partial_cmp(&a.completed_pct)
-                    .expect("finite pct")
-            });
+            block.sort_by(|a, b| b.completed_pct.total_cmp(&a.completed_pct));
             rows.extend(block);
         }
         Table3 { gold, rows }
@@ -250,7 +242,7 @@ impl Table4 {
             .iter()
             .filter_map(|r| r.injection_duration())
             .collect();
-        durations.sort_by(|a, b| a.partial_cmp(b).expect("finite durations"));
+        durations.sort_by(f64::total_cmp);
         durations.dedup();
         let by_duration = durations
             .iter()

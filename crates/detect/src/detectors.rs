@@ -32,29 +32,53 @@ pub struct ThresholdDetector {
     accel_filter: LowPass,
 }
 
+/// A non-positive (or non-finite) detector limit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InvalidLimit {
+    /// Which limit was rejected.
+    pub name: &'static str,
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for InvalidLimit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} limit must be positive and finite, got {}",
+            self.name, self.value
+        )
+    }
+}
+
+impl std::error::Error for InvalidLimit {}
+
 impl ThresholdDetector {
     /// Creates a detector with magnitude limits (rad/s, m/s^2).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a limit is not positive.
-    pub fn new(gyro_limit: f64, accel_limit: f64) -> Self {
-        assert!(
-            gyro_limit > 0.0 && accel_limit > 0.0,
-            "limits must be positive"
-        );
-        ThresholdDetector {
+    /// Returns [`InvalidLimit`] when a limit is not positive and finite — a
+    /// zero or negative bound would alarm on every sample, which is never
+    /// what a configuration meant.
+    pub fn new(gyro_limit: f64, accel_limit: f64) -> Result<Self, InvalidLimit> {
+        for (name, value) in [("gyro", gyro_limit), ("accel", accel_limit)] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(InvalidLimit { name, value });
+            }
+        }
+        Ok(ThresholdDetector {
             gyro_limit,
             accel_limit,
             gyro_filter: LowPass::new(8.0),
             accel_filter: LowPass::new(8.0),
-        }
+        })
     }
 
     /// PX4-flavored defaults: 60 deg/s beyond commanded (assumed hover) and
     /// 45 m/s^2.
     pub fn px4_defaults() -> Self {
-        ThresholdDetector::new(60.0_f64.to_radians(), 45.0)
+        ThresholdDetector::new(60.0_f64.to_radians(), 45.0).expect("defaults are positive")
     }
 }
 
@@ -499,6 +523,17 @@ mod tests {
         }
         assert!(alarmed, "the stuck member should fire");
         assert_eq!(det.name(), "ensemble");
+    }
+
+    #[test]
+    fn threshold_rejects_bad_limits() {
+        assert!(ThresholdDetector::new(1.0, 45.0).is_ok());
+        let err = ThresholdDetector::new(0.0, 45.0).expect_err("zero gyro limit");
+        assert_eq!(err.name, "gyro");
+        assert!(err.to_string().contains("positive"));
+        assert!(ThresholdDetector::new(1.0, -3.0).is_err());
+        assert!(ThresholdDetector::new(f64::NAN, 45.0).is_err());
+        assert!(ThresholdDetector::new(1.0, f64::INFINITY).is_err());
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod detectors;
 pub mod eval;
 
 pub use detectors::{
-    CusumDetector, Detector, EnsembleDetector, StuckDetector, ThresholdDetector, VarianceDetector,
+    CusumDetector, Detector, EnsembleDetector, InvalidLimit, StuckDetector, ThresholdDetector,
+    VarianceDetector,
 };
 pub use eval::{evaluate, DetectionReport, LabeledStream};

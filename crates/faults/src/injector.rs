@@ -2,8 +2,23 @@
 //!
 //! The injector sits between the (redundant) IMU and the flight stack,
 //! exactly where the paper's injection tool corrupts PX4's sensor topics.
-//! Because the paper assumes faults affect *all* redundant sensor instances,
-//! the injector corrupts the merged sample that the estimator consumes.
+//! Two injection points are supported:
+//!
+//! - [`FaultInjector::apply_bank`] corrupts the **per-instance** samples
+//!   *before* they are merged, honoring each fault's [`FaultScope`]. This
+//!   is what the simulator uses: an `Instance(k)`-scoped fault corrupts
+//!   only instance `k`, leaving the other instances for the voter to fall
+//!   back on.
+//! - [`FaultInjector::apply`] corrupts a single (merged) sample — the
+//!   paper's original all-instances assumption, kept for compatibility
+//!   with tooling that drives one logical stream. It behaves exactly like
+//!   `apply_bank` on a one-instance bank.
+//!
+//! Corruption draws (activation constants, per-tick random/noise vectors)
+//! happen **once per fault per tick** and are shared by every affected
+//! instance, so the RNG stream consumed by a fault is independent of the
+//! instance count — `All`-scope results are comparable across redundancy
+//! levels.
 
 use serde::{Deserialize, Serialize};
 
@@ -12,6 +27,7 @@ use imufit_math::Vec3;
 use imufit_sensors::{ImuSample, ImuSpec};
 
 use crate::kind::FaultKind;
+use crate::scope::FaultScope;
 use crate::target::FaultTarget;
 use crate::window::InjectionWindow;
 
@@ -27,7 +43,8 @@ pub const ACCEL_NOISE_FRACTION: f64 = 0.45;
 /// Fraction of the gyro full-scale range used by the `Noise` primitive.
 pub const GYRO_NOISE_FRACTION: f64 = 0.08;
 
-/// A fully-specified fault to inject: what, where, and when.
+/// A fully-specified fault to inject: what, where, when, and which
+/// instances.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultSpec {
     /// The injection primitive.
@@ -36,21 +53,48 @@ pub struct FaultSpec {
     pub target: FaultTarget,
     /// The activation window.
     pub window: InjectionWindow,
+    /// Which redundant instances are corrupted (default: all of them, the
+    /// paper's assumption).
+    pub scope: FaultScope,
 }
 
 impl FaultSpec {
-    /// Creates a fault specification.
+    /// Creates a fault specification corrupting **all** redundant
+    /// instances (the paper's assumption).
     pub fn new(kind: FaultKind, target: FaultTarget, window: InjectionWindow) -> Self {
         FaultSpec {
             kind,
             target,
             window,
+            scope: FaultScope::All,
         }
     }
 
+    /// Creates a fault specification corrupting only instance `k`.
+    pub fn instance(
+        kind: FaultKind,
+        target: FaultTarget,
+        window: InjectionWindow,
+        k: usize,
+    ) -> Self {
+        FaultSpec::new(kind, target, window).with_scope(FaultScope::Instance(k))
+    }
+
+    /// Returns the spec with the given instance scope.
+    pub fn with_scope(mut self, scope: FaultScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
     /// The experiment label used in the paper's tables, e.g. "Acc Zeros".
+    /// Instance-scoped faults append the instance, e.g. "Acc Zeros @imu1".
     pub fn label(&self) -> String {
-        format!("{} {}", self.target, self.kind)
+        match self.scope {
+            FaultScope::All => format!("{} {}", self.target, self.kind),
+            FaultScope::Instance(_) => {
+                format!("{} {} @{}", self.target, self.kind, self.scope)
+            }
+        }
     }
 }
 
@@ -61,9 +105,10 @@ enum Phase {
     Pending,
     /// Currently corrupting samples.
     Active {
-        /// Sample captured at activation (for `Freeze`).
-        frozen: ImuSample,
-        /// Constant values drawn at activation (for `FixedValue`).
+        /// Per-instance samples captured at activation (for `Freeze`).
+        frozen: Vec<ImuSample>,
+        /// Constant values drawn at activation (for `FixedValue`), shared
+        /// by every affected instance.
         fixed_accel: Vec3,
         fixed_gyro: Vec3,
     },
@@ -77,16 +122,67 @@ struct ScheduledFault {
     phase: Phase,
 }
 
+/// How one channel is corrupted this tick (drawn once, applied to every
+/// affected instance).
+enum ChannelEffect {
+    /// Replace the channel with this value.
+    Replace(Vec3),
+    /// Replace the channel with the instance's frozen value.
+    Freeze,
+    /// Add this offset to the instance's own value.
+    Offset(Vec3),
+}
+
+impl ChannelEffect {
+    /// Draws the effect for one channel; RNG use is identical to the
+    /// pre-instance-scope injector (per tick per fault, not per instance).
+    fn draw(kind: FaultKind, fixed: Vec3, range: f64, noise_fraction: f64, rng: &mut Pcg) -> Self {
+        match kind {
+            FaultKind::FixedValue => ChannelEffect::Replace(fixed),
+            FaultKind::Zeros => ChannelEffect::Replace(Vec3::ZERO),
+            FaultKind::Freeze => ChannelEffect::Freeze,
+            FaultKind::Random => ChannelEffect::Replace(Vec3::new(
+                rng.uniform_range(-range, range),
+                rng.uniform_range(-range, range),
+                rng.uniform_range(-range, range),
+            )),
+            FaultKind::Min => ChannelEffect::Replace(Vec3::splat(-range)),
+            FaultKind::Max => ChannelEffect::Replace(Vec3::splat(range)),
+            FaultKind::Noise => {
+                let amp = noise_fraction * range;
+                ChannelEffect::Offset(Vec3::new(
+                    rng.uniform_range(-amp, amp),
+                    rng.uniform_range(-amp, amp),
+                    rng.uniform_range(-amp, amp),
+                ))
+            }
+        }
+    }
+
+    /// Applies the effect to one instance's channel value.
+    fn apply(&self, value: Vec3, frozen: Vec3, range: f64) -> Vec3 {
+        let raw = match self {
+            ChannelEffect::Replace(v) => *v,
+            ChannelEffect::Freeze => frozen,
+            ChannelEffect::Offset(o) => value + *o,
+        };
+        // The physical sensor interface cannot report beyond full scale.
+        raw.clamp(-range, range)
+    }
+}
+
 /// Corrupts a stream of [`ImuSample`]s according to a list of scheduled
 /// faults.
 ///
-/// Feed every sample through [`FaultInjector::apply`]; outside all windows
-/// the sample passes through untouched. See the crate-level example.
+/// Feed every per-instance sample bank through
+/// [`FaultInjector::apply_bank`] (or a merged stream through
+/// [`FaultInjector::apply`]); outside all windows the samples pass through
+/// untouched. See the crate-level example.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultInjector {
     imu_spec: ImuSpec,
     faults: Vec<ScheduledFault>,
-    last_clean: Option<ImuSample>,
+    last_clean: Vec<ImuSample>,
 }
 
 impl FaultInjector {
@@ -102,7 +198,7 @@ impl FaultInjector {
                     phase: Phase::Pending,
                 })
                 .collect(),
-            last_clean: None,
+            last_clean: Vec::new(),
         }
     }
 
@@ -121,10 +217,40 @@ impl FaultInjector {
         self.faults.iter().any(|f| f.spec.window.contains(t))
     }
 
-    /// Processes one sample: returns the (possibly corrupted) sample the
-    /// flight stack should see. `sample.time` drives window activation.
+    /// True if any fault is active at time `t` **and** corrupts instance
+    /// `index` of a bank with `count` instances.
+    pub fn instance_active(&self, t: f64, index: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.spec.window.contains(t) && f.spec.scope.affects(index))
+    }
+
+    /// Processes one *merged* sample: returns the (possibly corrupted)
+    /// sample the flight stack should see. `sample.time` drives window
+    /// activation.
+    ///
+    /// This models the paper's merged-topic injection point and therefore
+    /// treats the stream as a single-instance bank: `All`- and
+    /// `Instance(0)`-scoped faults corrupt it, `Instance(k >= 1)` faults
+    /// are inert.
     pub fn apply(&mut self, sample: ImuSample, rng: &mut Pcg) -> ImuSample {
-        let mut out = sample;
+        let mut bank = [sample];
+        self.apply_bank(&mut bank, rng);
+        bank[0]
+    }
+
+    /// Processes one bank of per-instance samples **in place**, before any
+    /// merge: each fault corrupts exactly the instances its
+    /// [`FaultScope`] selects. `samples[0].time` drives window activation.
+    ///
+    /// An `Instance(k)` fault with `k >= samples.len()` never corrupts
+    /// anything (it names a sensor the vehicle does not carry).
+    pub fn apply_bank(&mut self, samples: &mut [ImuSample], rng: &mut Pcg) {
+        let Some(first) = samples.first() else {
+            return;
+        };
+        let t = first.time;
+        let clean: Vec<ImuSample> = samples.to_vec();
         let accel_range = self.imu_spec.accel_range();
         let gyro_range = self.imu_spec.gyro_range();
 
@@ -132,12 +258,16 @@ impl FaultInjector {
             let w = fault.spec.window;
             // Phase transitions.
             match fault.phase {
-                Phase::Pending if w.contains(sample.time) => {
+                Phase::Pending if w.contains(t) => {
                     // Capture activation state. `Freeze` holds the last
-                    // *clean* sample ("same previous value from the point the
-                    // injection started"); if the fault starts on the very
-                    // first sample, freeze that one.
-                    let frozen = self.last_clean.unwrap_or(sample);
+                    // *clean* sample per instance ("same previous value from
+                    // the point the injection started"); if the fault starts
+                    // on the very first sample, freeze that one.
+                    let frozen: Vec<ImuSample> = clean
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| self.last_clean.get(i).copied().unwrap_or(*s))
+                        .collect();
                     let fixed_accel = Vec3::new(
                         rng.uniform_range(-accel_range, accel_range),
                         rng.uniform_range(-accel_range, accel_range),
@@ -154,7 +284,7 @@ impl FaultInjector {
                         fixed_gyro,
                     };
                 }
-                Phase::Active { .. } if w.is_past(sample.time) => {
+                Phase::Active { .. } if w.is_past(t) => {
                     fault.phase = Phase::Expired;
                 }
                 _ => {}
@@ -167,71 +297,46 @@ impl FaultInjector {
             } = &fault.phase
             {
                 let target = fault.spec.target;
-                if target.affects_accel() {
-                    out.accel = corrupt(
+                let scope = fault.spec.scope;
+                // One draw per channel per tick, shared across instances.
+                let accel_effect = target.affects_accel().then(|| {
+                    ChannelEffect::draw(
                         fault.spec.kind,
-                        out.accel,
-                        frozen.accel,
                         *fixed_accel,
                         accel_range,
                         ACCEL_NOISE_FRACTION,
                         rng,
-                    );
-                }
-                if target.affects_gyro() {
-                    out.gyro = corrupt(
+                    )
+                });
+                let gyro_effect = target.affects_gyro().then(|| {
+                    ChannelEffect::draw(
                         fault.spec.kind,
-                        out.gyro,
-                        frozen.gyro,
                         *fixed_gyro,
                         gyro_range,
                         GYRO_NOISE_FRACTION,
                         rng,
-                    );
+                    )
+                });
+
+                for (i, out) in samples.iter_mut().enumerate() {
+                    if !scope.affects(i) {
+                        continue;
+                    }
+                    let frozen_i = frozen.get(i).copied().unwrap_or(clean[i]);
+                    if let Some(effect) = &accel_effect {
+                        out.accel = effect.apply(out.accel, frozen_i.accel, accel_range);
+                    }
+                    if let Some(effect) = &gyro_effect {
+                        out.gyro = effect.apply(out.gyro, frozen_i.gyro, gyro_range);
+                    }
                 }
             }
         }
 
-        // Record the clean (pre-corruption) sample for future Freeze
+        // Record the clean (pre-corruption) samples for future Freeze
         // activations.
-        self.last_clean = Some(sample);
-        out
+        self.last_clean = clean;
     }
-}
-
-/// Applies one primitive to one 3-axis channel.
-fn corrupt(
-    kind: FaultKind,
-    value: Vec3,
-    frozen: Vec3,
-    fixed: Vec3,
-    range: f64,
-    noise_fraction: f64,
-    rng: &mut Pcg,
-) -> Vec3 {
-    let raw = match kind {
-        FaultKind::FixedValue => fixed,
-        FaultKind::Zeros => Vec3::ZERO,
-        FaultKind::Freeze => frozen,
-        FaultKind::Random => Vec3::new(
-            rng.uniform_range(-range, range),
-            rng.uniform_range(-range, range),
-            rng.uniform_range(-range, range),
-        ),
-        FaultKind::Min => Vec3::splat(-range),
-        FaultKind::Max => Vec3::splat(range),
-        FaultKind::Noise => {
-            let amp = noise_fraction * range;
-            value
-                + Vec3::new(
-                    rng.uniform_range(-amp, amp),
-                    rng.uniform_range(-amp, amp),
-                    rng.uniform_range(-amp, amp),
-                )
-        }
-    };
-    // The physical sensor interface cannot report beyond full scale.
-    raw.clamp(-range, range)
 }
 
 #[cfg(test)]
@@ -447,6 +552,18 @@ mod tests {
     }
 
     #[test]
+    fn instance_label_names_the_instance() {
+        let spec = FaultSpec::instance(
+            FaultKind::Zeros,
+            FaultTarget::Gyrometer,
+            InjectionWindow::new(90.0, 2.0),
+            1,
+        );
+        assert_eq!(spec.label(), "Gyro Zeros @imu1");
+        assert_eq!(spec.scope, FaultScope::Instance(1));
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let mut a = injector(FaultKind::Random, FaultTarget::Imu);
         let mut b = injector(FaultKind::Random, FaultTarget::Imu);
@@ -456,5 +573,121 @@ mod tests {
             let t = 10.0 + i as f64 * 0.004;
             assert_eq!(a.apply(clean(t), &mut ra), b.apply(clean(t), &mut rb));
         }
+    }
+
+    fn bank(t: f64, n: usize) -> Vec<ImuSample> {
+        (0..n)
+            .map(|i| ImuSample {
+                accel: Vec3::new(0.1 + i as f64 * 1e-3, -0.2, -9.8),
+                gyro: Vec3::new(0.01, 0.02 - i as f64 * 1e-4, -0.03),
+                time: t,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn instance_scope_corrupts_only_its_instance() {
+        let mut inj = FaultInjector::new(
+            ImuSpec::default(),
+            vec![FaultSpec::instance(
+                FaultKind::Zeros,
+                FaultTarget::Imu,
+                InjectionWindow::new(10.0, 5.0),
+                1,
+            )],
+        );
+        let mut rng = Pcg::seed_from(12);
+        let mut samples = bank(12.0, 3);
+        let pristine = samples.clone();
+        inj.apply_bank(&mut samples, &mut rng);
+        assert_eq!(samples[0], pristine[0]);
+        assert_eq!(samples[1].accel, Vec3::ZERO);
+        assert_eq!(samples[1].gyro, Vec3::ZERO);
+        assert_eq!(samples[2], pristine[2]);
+        assert!(inj.instance_active(12.0, 1));
+        assert!(!inj.instance_active(12.0, 0));
+    }
+
+    #[test]
+    fn out_of_range_instance_is_inert() {
+        let mut inj = FaultInjector::new(
+            ImuSpec::default(),
+            vec![FaultSpec::instance(
+                FaultKind::Max,
+                FaultTarget::Imu,
+                InjectionWindow::new(10.0, 5.0),
+                7,
+            )],
+        );
+        let mut rng = Pcg::seed_from(13);
+        let mut samples = bank(12.0, 3);
+        let pristine = samples.clone();
+        inj.apply_bank(&mut samples, &mut rng);
+        assert_eq!(samples, pristine);
+    }
+
+    #[test]
+    fn all_scope_corrupts_every_instance_identically() {
+        let mut inj = FaultInjector::new(
+            ImuSpec::default(),
+            vec![FaultSpec::new(
+                FaultKind::Random,
+                FaultTarget::Imu,
+                InjectionWindow::new(10.0, 5.0),
+            )],
+        );
+        let mut rng = Pcg::seed_from(14);
+        let mut samples = bank(12.0, 3);
+        inj.apply_bank(&mut samples, &mut rng);
+        assert_eq!(samples[0].accel, samples[1].accel);
+        assert_eq!(samples[1].accel, samples[2].accel);
+        assert_eq!(samples[0].gyro, samples[2].gyro);
+    }
+
+    #[test]
+    fn bank_freeze_holds_per_instance_values() {
+        let mut inj = FaultInjector::new(
+            ImuSpec::default(),
+            vec![FaultSpec::new(
+                FaultKind::Freeze,
+                FaultTarget::Imu,
+                InjectionWindow::new(10.0, 5.0),
+            )],
+        );
+        let mut rng = Pcg::seed_from(15);
+        // Pre-window bank with distinct per-instance values.
+        let mut pre = bank(9.9, 3);
+        let pre_copy = pre.clone();
+        inj.apply_bank(&mut pre, &mut rng);
+        // In the window every instance holds its *own* last clean sample.
+        let mut s = bank(12.0, 3);
+        inj.apply_bank(&mut s, &mut rng);
+        for i in 0..3 {
+            assert_eq!(s[i].accel, pre_copy[i].accel);
+            assert_eq!(s[i].gyro, pre_copy[i].gyro);
+        }
+    }
+
+    #[test]
+    fn merged_apply_matches_single_instance_bank() {
+        let mut a = injector(FaultKind::Random, FaultTarget::Imu);
+        let mut b = injector(FaultKind::Random, FaultTarget::Imu);
+        let mut ra = Pcg::seed_from(16);
+        let mut rb = Pcg::seed_from(16);
+        for i in 0..50 {
+            let t = 9.0 + i as f64 * 0.1;
+            let merged = a.apply(clean(t), &mut ra);
+            let mut bank1 = [clean(t)];
+            b.apply_bank(&mut bank1, &mut rb);
+            assert_eq!(merged, bank1[0]);
+        }
+    }
+
+    #[test]
+    fn empty_bank_is_a_no_op() {
+        let mut inj = injector(FaultKind::Zeros, FaultTarget::Imu);
+        let mut rng = Pcg::seed_from(17);
+        inj.apply_bank(&mut [], &mut rng);
+        assert!(inj.specs().len() == 1);
     }
 }

@@ -45,11 +45,13 @@
 pub mod catalog;
 pub mod injector;
 pub mod kind;
+pub mod scope;
 pub mod target;
 pub mod window;
 
 pub use catalog::{RealWorldFault, TABLE_I};
 pub use injector::{FaultInjector, FaultSpec};
 pub use kind::FaultKind;
+pub use scope::FaultScope;
 pub use target::FaultTarget;
 pub use window::InjectionWindow;

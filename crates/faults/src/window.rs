@@ -22,15 +22,22 @@ impl InjectionWindow {
     /// The paper's injection start time: 90 s after takeoff.
     pub const CAMPAIGN_START: f64 = 90.0;
 
-    /// Creates a window.
+    /// Creates a window. A zero-duration window is legal and never active:
+    /// `contains` is false for every `t` and `is_past` is immediately true
+    /// at `start` — it degenerates to "no injection".
     ///
     /// # Panics
     ///
-    /// Panics if `start` is negative or `duration` is not positive.
+    /// Panics if `start` is negative or `duration` is negative.
     pub fn new(start: f64, duration: f64) -> Self {
         assert!(start >= 0.0, "window start must be non-negative");
-        assert!(duration > 0.0, "window duration must be positive");
+        assert!(duration >= 0.0, "window duration must be non-negative");
         InjectionWindow { start, duration }
+    }
+
+    /// True if the window can never activate (`duration == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.duration == 0.0
     }
 
     /// The paper's campaign window for a given duration: starts at 90 s.
@@ -84,9 +91,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duration must be positive")]
-    fn zero_duration_panics() {
-        let _ = InjectionWindow::new(0.0, 0.0);
+    fn zero_duration_is_an_empty_window() {
+        let w = InjectionWindow::new(90.0, 0.0);
+        assert!(w.is_empty());
+        assert!(!w.contains(90.0));
+        assert!(!w.contains(89.999));
+        assert!(w.is_past(90.0));
+        assert!(!w.is_past(89.999));
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be non-negative")]
+    fn negative_duration_panics() {
+        let _ = InjectionWindow::new(0.0, -1.0);
     }
 
     #[test]

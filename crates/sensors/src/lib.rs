@@ -32,6 +32,7 @@ pub mod gps;
 pub mod gyro;
 pub mod imu;
 pub mod mag;
+pub mod voter;
 
 pub use accel::Accelerometer;
 pub use baro::{BaroSample, Barometer};
@@ -41,6 +42,7 @@ pub use imu::{
     consensus, consensus_deviation, healthiest_instance, Imu, ImuSample, ImuSpec, RedundantImu,
 };
 pub use mag::{yaw_from_mag, MagSample, MagSpec, Magnetometer};
+pub use voter::{ImuVoter, InstanceHealth, VoterConfig, VoterReport};
 
 /// Isothermal barometric formula: static pressure (Pascal) at `alt_msl`
 /// meters above sea level. Kept in this crate so the sensor layer does not

@@ -7,18 +7,26 @@
 //! string) followed by length-prefixed [`TrackPoint`] records, each
 //! CRC-protected with the same CCITT-16 as the wire codec, so a truncated or
 //! bit-flipped file is detected rather than silently misparsed.
+//!
+//! Version 2 appends an **events section** after the track: a count
+//! followed by length-prefixed, CRC-protected [`FlightEvent`] records
+//! (fault windows, voter exclusions, mitigation transitions). Version-1
+//! logs remain readable and simply parse with no events.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use imufit_math::Vec3;
 
+use crate::events::{FlightEvent, FlightEventKind};
 use crate::recorder::{FlightRecorder, TrackPoint};
 use crate::wire::WireError;
 
 /// File magic: "IFLT".
 pub const LOG_MAGIC: [u8; 4] = *b"IFLT";
-/// Current format version.
-pub const LOG_VERSION: u8 = 1;
+/// Current format version (2 = with the events section).
+pub const LOG_VERSION: u8 = 2;
+/// The previous version, still readable (no events section).
+pub const LOG_VERSION_V1: u8 = 1;
 
 /// Serializes a recorded flight into a standalone binary log.
 pub fn write_log(drone_id: u32, metadata: &str, recorder: &FlightRecorder) -> Bytes {
@@ -45,6 +53,22 @@ pub fn write_log(drone_id: u32, metadata: &str, recorder: &FlightRecorder) -> By
         buf.put_slice(&rec);
         buf.put_u16_le(crc);
     }
+
+    // Events section (v2).
+    buf.put_u32_le(recorder.events().len() as u32);
+    for e in recorder.events() {
+        let detail = e.detail.as_bytes();
+        let mut rec = BytesMut::with_capacity(15 + detail.len());
+        rec.put_f64_le(e.time);
+        rec.put_u8(e.kind.code());
+        rec.put_u32_le(e.param);
+        rec.put_u16_le(detail.len() as u16);
+        rec.put_slice(detail);
+        buf.put_u16_le(rec.len() as u16);
+        let crc = crc16(&rec);
+        buf.put_slice(&rec);
+        buf.put_u16_le(crc);
+    }
     buf.freeze()
 }
 
@@ -57,6 +81,8 @@ pub struct FlightLog {
     pub metadata: String,
     /// The recorded points.
     pub points: Vec<TrackPoint>,
+    /// The recorded events (empty for version-1 logs).
+    pub events: Vec<FlightEvent>,
 }
 
 /// Parses a binary flight log.
@@ -75,7 +101,7 @@ pub fn read_log(mut buf: Bytes) -> Result<FlightLog, WireError> {
         return Err(WireError::BadMagic);
     }
     let version = buf.get_u8();
-    if version != LOG_VERSION {
+    if version != LOG_VERSION && version != LOG_VERSION_V1 {
         return Err(WireError::UnknownMessage(version));
     }
     let drone_id = buf.get_u32_le();
@@ -113,10 +139,54 @@ pub fn read_log(mut buf: Bytes) -> Result<FlightLog, WireError> {
             failsafe: rec.get_u8() != 0,
         });
     }
+
+    // Events section: v2 only; a v1 log ends after the track.
+    let mut events = Vec::new();
+    if version >= LOG_VERSION {
+        if buf.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let event_count = buf.get_u32_le() as usize;
+        events.reserve(event_count.min(1 << 16));
+        for _ in 0..event_count {
+            if buf.remaining() < 2 {
+                return Err(WireError::Truncated);
+            }
+            let len = buf.get_u16_le() as usize;
+            if buf.remaining() < len + 2 {
+                return Err(WireError::Truncated);
+            }
+            let mut rec = buf.split_to(len);
+            let crc = buf.get_u16_le();
+            if crc16(&rec) != crc {
+                return Err(WireError::BadChecksum);
+            }
+            if rec.len() < 8 + 1 + 4 + 2 {
+                return Err(WireError::Truncated);
+            }
+            let time = rec.get_f64_le();
+            let code = rec.get_u8();
+            let kind = FlightEventKind::from_code(code).ok_or(WireError::UnknownMessage(code))?;
+            let param = rec.get_u32_le();
+            let detail_len = rec.get_u16_le() as usize;
+            if rec.remaining() < detail_len {
+                return Err(WireError::Truncated);
+            }
+            let detail = String::from_utf8_lossy(&rec.split_to(detail_len)).into_owned();
+            events.push(FlightEvent {
+                time,
+                kind,
+                param,
+                detail,
+            });
+        }
+    }
+
     Ok(FlightLog {
         drone_id,
         metadata,
         points,
+        events,
     })
 }
 
@@ -222,6 +292,77 @@ mod tests {
         let mut v = bytes.to_vec();
         let offset = v.len() - 20;
         v[offset] ^= 0x40;
+        assert_eq!(read_log(Bytes::from(v)), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let mut rec = sample_recorder(3);
+        rec.push_event(FlightEvent::new(
+            90.0,
+            FlightEventKind::FaultInjected,
+            "Gyro Zeros",
+        ));
+        rec.push_event(FlightEvent::instance(
+            90.1,
+            FlightEventKind::InstanceExcluded,
+            1,
+            "gyro deviation 30.0 rad/s",
+        ));
+        rec.push_event(FlightEvent::new(
+            95.0,
+            FlightEventKind::MitigationRecovered,
+            "outlier exclusion -> nominal",
+        ));
+        let log = read_log(write_log(3, "m", &rec)).expect("parse");
+        assert_eq!(log.events.len(), 3);
+        assert_eq!(log.events, rec.events());
+        assert_eq!(log.events[1].param, 1);
+        assert_eq!(log.events[1].kind, FlightEventKind::InstanceExcluded);
+    }
+
+    #[test]
+    fn v1_logs_still_parse_without_events() {
+        // A v1 log is the v2 layout minus the events section; synthesize
+        // one by stamping version 1 and dropping the (empty) section.
+        let rec = sample_recorder(4);
+        let mut v = write_log(9, "old", &rec).to_vec();
+        v[4] = 1;
+        v.truncate(v.len() - 4);
+        let log = read_log(Bytes::from(v)).expect("v1 parse");
+        assert_eq!(log.points.len(), 4);
+        assert!(log.events.is_empty());
+    }
+
+    #[test]
+    fn truncated_events_section_detected() {
+        let mut rec = sample_recorder(2);
+        rec.push_event(FlightEvent::new(
+            1.0,
+            FlightEventKind::PrimarySwitch,
+            "to imu1",
+        ));
+        let bytes = write_log(1, "m", &rec);
+        for cut in [bytes.len() - 1, bytes.len() - 5, bytes.len() - 12] {
+            assert_eq!(
+                read_log(bytes.slice(..cut)),
+                Err(WireError::Truncated),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_event_detected() {
+        let mut rec = sample_recorder(1);
+        rec.push_event(FlightEvent::new(
+            1.0,
+            FlightEventKind::FailsafeActivated,
+            "x",
+        ));
+        let mut v = write_log(1, "m", &rec).to_vec();
+        let offset = v.len() - 6; // inside the event payload
+        v[offset] ^= 0x10;
         assert_eq!(read_log(Bytes::from(v)), Err(WireError::BadChecksum));
     }
 

@@ -15,12 +15,14 @@
 //!   equivalent of the platform's flight logs.
 
 pub mod broker;
+pub mod events;
 pub mod flightlog;
 pub mod recorder;
 pub mod tracker;
 pub mod wire;
 
 pub use broker::{Broker, Subscription};
+pub use events::{FlightEvent, FlightEventKind};
 pub use flightlog::{read_log, write_log, FlightLog};
 pub use recorder::{FlightRecorder, TrackPoint};
 pub use tracker::{Track, Tracker};

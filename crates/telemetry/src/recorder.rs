@@ -4,6 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use imufit_math::Vec3;
 
+use crate::events::FlightEvent;
+
 /// One recorded sample of a flight.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrackPoint {
@@ -24,12 +26,15 @@ pub struct TrackPoint {
     pub failsafe: bool,
 }
 
-/// Records [`TrackPoint`]s at a fixed interval.
+/// Records [`TrackPoint`]s at a fixed interval, plus discrete
+/// [`FlightEvent`]s (fault windows, exclusions, mitigation transitions) at
+/// their exact times.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlightRecorder {
     interval: f64,
     next_time: f64,
     points: Vec<TrackPoint>,
+    events: Vec<FlightEvent>,
 }
 
 impl FlightRecorder {
@@ -45,6 +50,7 @@ impl FlightRecorder {
             interval,
             next_time: 0.0,
             points: Vec::new(),
+            events: Vec::new(),
         }
     }
 
@@ -73,6 +79,17 @@ impl FlightRecorder {
     /// True if nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
+    }
+
+    /// Records a discrete event (not subject to the sampling interval:
+    /// every event matters).
+    pub fn push_event(&mut self, event: FlightEvent) {
+        self.events.push(event);
+    }
+
+    /// The recorded events, in insertion order.
+    pub fn events(&self) -> &[FlightEvent] {
+        &self.events
     }
 
     /// Serializes the track as CSV (header + one row per point) for the

@@ -31,6 +31,10 @@ pub enum FlightOutcome {
     /// (e.g. drifting with a corrupted estimator). Counted as a failsafe-
     /// style failure in the tables, per DESIGN.md.
     Timeout,
+    /// The simulation itself failed (a panic caught by the campaign
+    /// runner). Counted as a failed — but neither crash nor failsafe —
+    /// run, so one bad experiment cannot kill a whole campaign.
+    Aborted,
 }
 
 impl FlightOutcome {
@@ -53,6 +57,11 @@ impl FlightOutcome {
         )
     }
 
+    /// True when the simulation aborted (panicked) rather than flew.
+    pub fn is_aborted(&self) -> bool {
+        matches!(self, FlightOutcome::Aborted)
+    }
+
     /// Short label for reports.
     pub fn label(&self) -> &'static str {
         match self {
@@ -60,6 +69,7 @@ impl FlightOutcome {
             FlightOutcome::Crashed { .. } => "crash",
             FlightOutcome::Failsafe { .. } => "failsafe",
             FlightOutcome::Timeout => "timeout",
+            FlightOutcome::Aborted => "aborted",
         }
     }
 }
@@ -100,6 +110,10 @@ mod tests {
         assert!(FlightOutcome::Timeout.is_failsafe());
         assert!(!FlightOutcome::Timeout.is_crash());
         assert!(!FlightOutcome::Timeout.is_completed());
+        assert!(FlightOutcome::Aborted.is_aborted());
+        assert!(!FlightOutcome::Aborted.is_completed());
+        assert!(!FlightOutcome::Aborted.is_crash());
+        assert!(!FlightOutcome::Aborted.is_failsafe());
     }
 
     #[test]

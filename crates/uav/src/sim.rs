@@ -3,19 +3,20 @@
 use serde::{Deserialize, Serialize};
 
 use imufit_bubble::{BubbleTracker, InnerBubbleSpec, Route};
-use imufit_controller::{ControllerParams, FlightController};
+use imufit_controller::{ControllerParams, FlightController, RedundancyStatus};
 use imufit_detect::{Detector, EnsembleDetector};
 use imufit_dynamics::{Quadrotor, QuadrotorParams, WindModel};
 use imufit_estimator::{Ekf, EkfParams};
-use imufit_faults::{FaultInjector, FaultSpec};
+use imufit_faults::{FaultInjector, FaultScope, FaultSpec};
 use imufit_math::rng::Pcg;
 use imufit_math::Vec3;
 use imufit_missions::Mission;
 use imufit_sensors::{
-    consensus_deviation, healthiest_instance, yaw_from_mag, Barometer, Gps, ImuSpec, Magnetometer,
-    RedundantImu,
+    yaw_from_mag, Barometer, Gps, ImuSpec, ImuVoter, Magnetometer, RedundantImu, VoterConfig,
 };
-use imufit_telemetry::{encode, Broker, FlightRecorder, Message, TrackPoint, Tracker};
+use imufit_telemetry::{
+    encode, Broker, FlightEvent, FlightEventKind, FlightRecorder, Message, TrackPoint, Tracker,
+};
 
 use crate::outcome::{FlightOutcome, FlightResult};
 
@@ -46,9 +47,11 @@ pub struct SimConfig {
     /// Risk factor `R` for the outer bubble (>= 1; the paper uses 1).
     pub risk_factor: f64,
     /// The paper's assumption: injected faults corrupt *all* redundant IMU
-    /// instances (true, the default). Set to `false` to inject only into
-    /// the primary instance and let the consistency-voting monitor mask the
-    /// fault by switching — the redundancy ablation of DESIGN.md.
+    /// instances (true, the default). Set to `false` to retarget any
+    /// all-scope fault at hardware instance 0 only
+    /// ([`FaultScope::Instance`]) so the consensus voter can exclude it —
+    /// the redundancy ablation of DESIGN.md. Faults that already carry an
+    /// instance scope are used as-is either way.
     pub faults_affect_all_redundant: bool,
     /// Fast-detection mitigation (off by default, matching the paper's
     /// setup): runs the `imufit-detect` ensemble on the consumed IMU stream
@@ -101,6 +104,7 @@ pub struct FlightSimulator {
 
     quad: Quadrotor,
     imu_bank: RedundantImu,
+    voter: ImuVoter,
     baro: Barometer,
     gps: Gps,
     mag: Magnetometer,
@@ -134,6 +138,8 @@ pub struct FlightSimulator {
     outcome: Option<FlightOutcome>,
     mitigation: Option<EnsembleDetector>,
     mitigation_alarm_since: Option<f64>,
+    fault_was_active: bool,
+    failsafe_was_active: bool,
 }
 
 impl FlightSimulator {
@@ -143,13 +149,32 @@ impl FlightSimulator {
         let master = Pcg::seed_from(config.seed);
         let mut rng_init = master.derive(&[0]);
 
+        // The redundancy ablation: retarget all-scope faults at hardware
+        // instance 0 so only one instance lies and the voter can act.
+        let faults: Vec<FaultSpec> = if config.faults_affect_all_redundant {
+            faults
+        } else {
+            faults
+                .into_iter()
+                .map(|f| {
+                    if f.scope.is_all() {
+                        f.with_scope(FaultScope::Instance(0))
+                    } else {
+                        f
+                    }
+                })
+                .collect()
+        };
+
         let quad_params =
             QuadrotorParams::default_airframe().with_payload(mission.drone.payload_kg);
         let start = imufit_dynamics::RigidBodyState::at_rest(mission.home);
         let quad = Quadrotor::with_state(quad_params.clone(), start);
 
         let imu_spec = ImuSpec::default();
-        let imu_bank = RedundantImu::new(imu_spec, config.imu_redundancy.max(1), &mut rng_init);
+        let instance_count = config.imu_redundancy.max(1);
+        let imu_bank = RedundantImu::new(imu_spec, instance_count, &mut rng_init);
+        let voter = ImuVoter::new(VoterConfig::default(), instance_count);
         let baro = Barometer::new(BaroSpec::default(), 16.0);
         let gps = Gps::new(GpsSpec::default());
         let mag = Magnetometer::new(MagSpec::default(), &mut rng_init);
@@ -201,6 +226,7 @@ impl FlightSimulator {
             tick: 0,
             quad,
             imu_bank,
+            voter,
             baro,
             gps,
             mag,
@@ -227,6 +253,8 @@ impl FlightSimulator {
             outcome: None,
             mitigation: config.fast_detection.then(EnsembleDetector::flight),
             mitigation_alarm_since: None,
+            fault_was_active: false,
+            failsafe_was_active: false,
             config,
         }
     }
@@ -259,10 +287,12 @@ impl FlightSimulator {
 
     /// Runs the flight to completion and returns the result.
     pub fn run(mut self) -> FlightResult {
-        while self.outcome.is_none() {
-            self.step();
-        }
-        let outcome = self.outcome.expect("loop exits only with an outcome");
+        let outcome = loop {
+            match self.outcome {
+                Some(outcome) => break outcome,
+                None => self.step(),
+            }
+        };
         FlightResult {
             outcome,
             duration: self.time,
@@ -286,38 +316,60 @@ impl FlightSimulator {
         // --- Environment ---
         let wind = self.wind.step(dt, &mut self.rng_wind);
 
-        // --- Sensors ---
+        // --- Sensors: per-instance injection before the merge ---
+        // Every instance is sampled, the injector corrupts exactly the
+        // instances each fault's scope selects, and the consensus voter
+        // picks the merged sample the flight stack consumes. Under the
+        // paper's all-instances assumption every instance carries the same
+        // corruption, the voter sees perfect agreement, and the merged
+        // stream is identical to corrupting the primary directly.
         let true_force = self.quad.specific_force_body();
         let true_rate = self.quad.angular_rate_body();
-        let corrupted = if self.config.faults_affect_all_redundant {
-            // Paper assumption: every redundant instance carries the fault,
-            // so corrupting the merged primary stream is equivalent.
-            let clean = self
-                .imu_bank
-                .sample_primary(true_force, true_rate, dt, &mut self.rng_imu);
-            self.injector.apply(clean, &mut self.rng_fault)
-        } else {
-            // Redundancy ablation: only the primary instance is faulty. A
-            // PX4-style IMU consistency monitor compares the instances
-            // against their median and switches the primary away from an
-            // outlier — masking the fault within a few samples.
-            let mut samples =
-                self.imu_bank
-                    .sample_all(true_force, true_rate, dt, &mut self.rng_imu);
-            // The fault afflicts a fixed hardware instance (the boot-time
-            // primary, index 0) — it does not follow the primary slot.
-            samples[0] = self.injector.apply(samples[0], &mut self.rng_fault);
-            let primary = self.imu_bank.primary();
-            let (gyro_dev, accel_dev) = consensus_deviation(&samples, primary);
-            if gyro_dev > 0.2 || accel_dev > 2.0 {
-                let best = healthiest_instance(&samples);
-                if best != primary {
-                    self.imu_bank.switch_primary(best);
-                }
-                samples[best]
-            } else {
-                samples[primary]
-            }
+        let mut samples = self
+            .imu_bank
+            .sample_all(true_force, true_rate, dt, &mut self.rng_imu);
+        self.injector.apply_bank(&mut samples, &mut self.rng_fault);
+        let primary = self.imu_bank.primary();
+        let report = self.voter.vote(&samples, primary);
+        let corrupted = report.merged;
+
+        // Voter bookkeeping: log exclusions/reinstatements and move the
+        // bank's primary off an excluded instance.
+        for &i in &report.newly_excluded {
+            self.recorder.push_event(FlightEvent::instance(
+                self.time,
+                FlightEventKind::InstanceExcluded,
+                i,
+                format!(
+                    "consensus deviation gyro {:.2} rad/s, accel {:.2} m/s^2",
+                    report.health[i].gyro_deviation, report.health[i].accel_deviation
+                ),
+            ));
+        }
+        for &i in &report.newly_reinstated {
+            self.recorder.push_event(FlightEvent::instance(
+                self.time,
+                FlightEventKind::InstanceReinstated,
+                i,
+                "rejoined consensus",
+            ));
+        }
+        let mut switched = false;
+        if report.primary_excluded && report.selected != primary {
+            self.imu_bank.switch_primary(report.selected);
+            switched = true;
+            self.recorder.push_event(FlightEvent::instance(
+                self.time,
+                FlightEventKind::PrimarySwitch,
+                report.selected,
+                format!("voter: primary imu{primary} excluded"),
+            ));
+        }
+        let redundancy = RedundancyStatus {
+            instances: self.imu_bank.count(),
+            excluded: report.health.iter().filter(|h| h.excluded).count(),
+            primary_excluded: report.primary_excluded,
+            switched,
         };
 
         // --- Estimation ---
@@ -372,9 +424,63 @@ impl FlightSimulator {
 
         let out = self
             .controller
-            .update(self.time, dt, &nav, &corrupted, rejecting);
+            .update_with_redundancy(self.time, dt, &nav, &corrupted, rejecting, redundancy);
         if out.rotate_imu {
             self.imu_bank.rotate_primary();
+            self.recorder.push_event(FlightEvent::instance(
+                self.time,
+                FlightEventKind::PrimarySwitch,
+                self.imu_bank.primary(),
+                "failsafe isolation rotation",
+            ));
+        }
+        for tr in self.controller.take_cascade_transitions() {
+            let kind = if tr.to > tr.from {
+                FlightEventKind::MitigationEscalated
+            } else {
+                FlightEventKind::MitigationRecovered
+            };
+            self.recorder.push_event(FlightEvent::new(
+                tr.time,
+                kind,
+                format!("{} -> {}: {}", tr.from.label(), tr.to.label(), tr.detail),
+            ));
+        }
+
+        // Edge-detect the fault windows and the failsafe latch so the log
+        // carries explicit markers, not just per-point booleans.
+        let fault_active = self.injector.any_active(self.time);
+        if fault_active != self.fault_was_active {
+            let kind = if fault_active {
+                FlightEventKind::FaultInjected
+            } else {
+                FlightEventKind::FaultCleared
+            };
+            let labels: Vec<String> = self
+                .injector
+                .specs()
+                .iter()
+                .filter(|f| {
+                    if fault_active {
+                        f.window.contains(self.time)
+                    } else {
+                        f.window.is_past(self.time)
+                    }
+                })
+                .map(|f| f.label())
+                .collect();
+            self.recorder
+                .push_event(FlightEvent::new(self.time, kind, labels.join(", ")));
+            self.fault_was_active = fault_active;
+        }
+        let failsafe_active = self.controller.failsafe_active();
+        if failsafe_active && !self.failsafe_was_active {
+            self.recorder.push_event(FlightEvent::new(
+                self.time,
+                FlightEventKind::FailsafeActivated,
+                "descend-and-land latched",
+            ));
+            self.failsafe_was_active = true;
         }
 
         // --- Physics ---
@@ -624,6 +730,98 @@ mod tests {
         // Same fault across all instances remains fatal.
         let all = FlightSimulator::new(&m, faults, SimConfig::default_for(&m, 37)).run();
         assert!(!all.outcome.is_completed());
+    }
+
+    #[test]
+    fn instance_scoped_fault_is_isolated_and_logged() {
+        // Acceptance: with 3 IMUs and an otherwise-fatal Min fault confined
+        // to instance 0, the voter excludes the liar, the primary switches,
+        // the mission completes with a clean outer bubble, and the flight
+        // log carries the isolation events.
+        let m = short_mission();
+        let faults = vec![FaultSpec::instance(
+            FaultKind::Min,
+            FaultTarget::Imu,
+            InjectionWindow::new(30.0, 10.0),
+            0,
+        )];
+        let r = FlightSimulator::new(&m, faults, SimConfig::default_for(&m, 29)).run();
+        assert!(
+            r.outcome.is_completed(),
+            "cascade should isolate the faulty instance, got {:?}",
+            r.outcome
+        );
+        assert_eq!(r.violations.outer, 0, "outer bubble must stay clean");
+        let kinds: Vec<FlightEventKind> = r.recorder.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&FlightEventKind::FaultInjected));
+        assert!(kinds.contains(&FlightEventKind::InstanceExcluded));
+        assert!(kinds.contains(&FlightEventKind::PrimarySwitch));
+        assert!(kinds.contains(&FlightEventKind::MitigationEscalated));
+        assert!(kinds.contains(&FlightEventKind::FaultCleared));
+        assert!(
+            kinds.contains(&FlightEventKind::InstanceReinstated),
+            "instance 0 should rejoin consensus after the window closes"
+        );
+        // The exclusion must name instance 0.
+        let excluded: Vec<u32> = r
+            .recorder
+            .events()
+            .iter()
+            .filter(|e| e.kind == FlightEventKind::InstanceExcluded)
+            .map(|e| e.param)
+            .collect();
+        assert!(excluded.contains(&0), "excluded instances: {excluded:?}");
+    }
+
+    #[test]
+    fn all_scope_fault_sees_no_exclusions() {
+        // The paper's regime: every redundant instance carries the same
+        // corruption, so the voter sees perfect agreement and redundancy
+        // buys nothing — the fault stays fatal and no instance is excluded.
+        let m = short_mission();
+        let faults = fault_at(FaultKind::Min, FaultTarget::Imu, 30.0, 10.0);
+        let a = FlightSimulator::new(&m, faults.clone(), SimConfig::default_for(&m, 31)).run();
+        let b = FlightSimulator::new(&m, faults, SimConfig::default_for(&m, 31)).run();
+        assert!(!a.outcome.is_completed());
+        assert_eq!(
+            a.duration, b.duration,
+            "all-scope runs must be deterministic"
+        );
+        assert_eq!(a.violations, b.violations);
+        assert!(
+            !a.recorder
+                .events()
+                .iter()
+                .any(|e| e.kind == FlightEventKind::InstanceExcluded),
+            "identical corruption must not trip the voter"
+        );
+        assert!(a
+            .recorder
+            .events()
+            .iter()
+            .any(|e| e.kind == FlightEventKind::FaultInjected));
+    }
+
+    #[test]
+    fn single_imu_disables_voting() {
+        // With no redundancy the voter can never exclude; an instance-scoped
+        // fault on the only IMU behaves like the paper's merged injection.
+        let m = short_mission();
+        let faults = vec![FaultSpec::instance(
+            FaultKind::Min,
+            FaultTarget::Imu,
+            InjectionWindow::new(30.0, 10.0),
+            0,
+        )];
+        let mut config = SimConfig::default_for(&m, 47);
+        config.imu_redundancy = 1;
+        let r = FlightSimulator::new(&m, faults, config).run();
+        assert!(!r.outcome.is_completed());
+        assert!(!r
+            .recorder
+            .events()
+            .iter()
+            .any(|e| e.kind == FlightEventKind::InstanceExcluded));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::io::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use imufit_core::{conflicts, figures, report, sweep, Campaign, CampaignConfig};
+use imufit_core::{conflicts, figures, redundancy, report, sweep, Campaign, CampaignConfig};
 use imufit_detect::{evaluate, EnsembleDetector, LabeledStream};
 use imufit_faults::{FaultKind, FaultSpec, FaultTarget, InjectionWindow};
 use imufit_missions::all_missions;
@@ -77,42 +77,14 @@ fn collect_extras(seed: u64) -> report::ExtraSections {
     );
     let faulty = conflicts::analyze(&conflicts::fly_fleet(&missions, Some((9, fault)), seed));
 
-    eprintln!("extras: redundancy ablation...");
-    let mut rows = String::from(
-        "| fault | all instances | primary only |
-|---|---|---|
-",
-    );
-    for (kind, target) in [
-        (FaultKind::Min, FaultTarget::Imu),
-        (FaultKind::Random, FaultTarget::Gyrometer),
-        (FaultKind::Max, FaultTarget::Accelerometer),
-    ] {
-        let mut done = [0usize; 2];
-        for (col, all_redundant) in [(0, true), (1, false)] {
-            for mission in missions.iter().take(3) {
-                let f = FaultSpec::new(kind, target, InjectionWindow::new(90.0, 10.0));
-                let mut config =
-                    SimConfig::default_for(mission, seed.wrapping_add(mission.drone.id as u64));
-                config.faults_affect_all_redundant = all_redundant;
-                if FlightSimulator::new(mission, vec![f], config)
-                    .run()
-                    .outcome
-                    .is_completed()
-                {
-                    done[col] += 1;
-                }
-            }
-        }
-        rows.push_str(&format!(
-            "| {} {} | {}/3 completed | {}/3 completed |
-",
-            target.label(),
-            kind.label(),
-            done[0],
-            done[1]
-        ));
-    }
+    eprintln!("extras: redundancy sweep (instances x fault scope)...");
+    let red_base = CampaignConfig {
+        seed,
+        durations: vec![10.0],
+        missions: missions.iter().take(3).cloned().collect(),
+        ..Default::default()
+    };
+    let rows = redundancy::redundancy_sweep(&red_base, &redundancy::INSTANCE_COUNTS, None).render();
 
     eprintln!("extras: detection-latency matrix...");
     let mut ensemble = EnsembleDetector::full();
@@ -184,7 +156,10 @@ fn main() {
     let config = if args.quick {
         CampaignConfig::scaled(3.min(args.missions), vec![2.0, 30.0], args.seed)
     } else {
-        let mut c = CampaignConfig { seed: args.seed, ..Default::default() };
+        let mut c = CampaignConfig {
+            seed: args.seed,
+            ..Default::default()
+        };
         c.missions.truncate(args.missions);
         c
     };

@@ -81,12 +81,21 @@ fn external_failsafe_from_any_airborne_mode() {
     let mut t = 0.0;
     // Arm + takeoff only (still climbing).
     t += 0.004;
-    fc.update(t, 0.004, &nav_at(Vec3::new(0.0, 0.0, -5.0)), &clean_imu(t), false);
+    fc.update(
+        t,
+        0.004,
+        &nav_at(Vec3::new(0.0, 0.0, -5.0)),
+        &clean_imu(t),
+        false,
+    );
     assert_eq!(fc.mode(), FlightMode::Takeoff);
     let nav = nav_at(Vec3::new(0.0, 0.0, -5.0));
     fc.trigger_external_failsafe(t, &nav);
     assert_eq!(fc.mode(), FlightMode::FailsafeLand);
-    assert_eq!(fc.failsafe_reason(), Some(FailsafeReason::ExternalDetection));
+    assert_eq!(
+        fc.failsafe_reason(),
+        Some(FailsafeReason::ExternalDetection)
+    );
     assert!(!fc.mission_completed());
 }
 
@@ -102,13 +111,22 @@ fn external_failsafe_is_idempotent_and_ignored_preflight() {
     // Airborne: latches once; a second trigger does not change the capture.
     let mut t = 0.0;
     t += 0.004;
-    fc.update(t, 0.004, &nav_at(Vec3::new(0.0, 0.0, -18.0)), &clean_imu(t), false);
+    fc.update(
+        t,
+        0.004,
+        &nav_at(Vec3::new(0.0, 0.0, -18.0)),
+        &clean_imu(t),
+        false,
+    );
     let nav1 = nav_at(Vec3::new(10.0, 0.0, -18.0));
     fc.trigger_external_failsafe(t, &nav1);
     assert!(fc.failsafe_active());
     let nav2 = nav_at(Vec3::new(500.0, 0.0, -18.0));
     fc.trigger_external_failsafe(t + 1.0, &nav2);
-    assert_eq!(fc.failsafe_reason(), Some(FailsafeReason::ExternalDetection));
+    assert_eq!(
+        fc.failsafe_reason(),
+        Some(FailsafeReason::ExternalDetection)
+    );
 }
 
 #[test]

@@ -86,7 +86,10 @@ fn estimate_errors_match_reported_uncertainty() {
         "position error {pos_err:.2} m vs sigma {pos_sigma:.2} m: over-confident filter"
     );
     // And not absurdly under-confident either.
-    assert!(pos_sigma < 5.0, "position sigma ballooned to {pos_sigma:.1} m");
+    assert!(
+        pos_sigma < 5.0,
+        "position sigma ballooned to {pos_sigma:.1} m"
+    );
 }
 
 #[test]

@@ -250,6 +250,144 @@ proptest! {
         prop_assert!((left.variance() - all.variance()).abs() < 1e-6);
     }
 
+    /// A zero-duration window is an empty interval: the injector never
+    /// fires, at any time, for any fault.
+    #[test]
+    fn zero_duration_window_never_fires(
+        kind in any_kind(),
+        target in any_target(),
+        start in 0.0_f64..120.0,
+        accel in any_vec3(100.0),
+        gyro in any_vec3(30.0),
+        t in 0.0_f64..200.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = ImuSpec::default();
+        let mut injector = FaultInjector::new(
+            spec,
+            vec![FaultSpec::new(kind, target, InjectionWindow::new(start, 0.0))],
+        );
+        let mut rng = Pcg::seed_from(seed);
+        let clean = ImuSample { accel, gyro, time: t };
+        prop_assert_eq!(injector.apply(clean, &mut rng), clean);
+        prop_assert!(!injector.any_active(t));
+    }
+
+    /// Two back-to-back Zeros windows behave like one continuous fault:
+    /// zeroed across the junction, identity before and after.
+    #[test]
+    fn back_to_back_windows_cover_the_junction(
+        target in any_target(),
+        d1 in 0.1_f64..20.0,
+        d2 in 0.1_f64..20.0,
+        accel in any_vec3(100.0),
+        gyro in any_vec3(30.0),
+        seed in 0u64..1000,
+    ) {
+        let spec = ImuSpec::default();
+        let start = 10.0;
+        let mut injector = FaultInjector::new(
+            spec,
+            vec![
+                FaultSpec::new(FaultKind::Zeros, target, InjectionWindow::new(start, d1)),
+                FaultSpec::new(FaultKind::Zeros, target, InjectionWindow::new(start + d1, d2)),
+            ],
+        );
+        let mut rng = Pcg::seed_from(seed);
+        // Monotonic sample times: before, inside both windows (including
+        // the exact junction instant), and after.
+        for t in [start - 0.5, start, start + d1, start + d1 + d2 - 1e-6, start + d1 + d2 + 0.5] {
+            let clean = ImuSample { accel, gyro, time: t };
+            let out = injector.apply(clean, &mut rng);
+            let in_window = t >= start && t < start + d1 + d2;
+            prop_assert_eq!(injector.any_active(t), in_window);
+            if in_window {
+                let zeroed = match target {
+                    FaultTarget::Accelerometer => out.accel == Vec3::ZERO,
+                    FaultTarget::Gyrometer => out.gyro == Vec3::ZERO,
+                    FaultTarget::Imu => out.accel == Vec3::ZERO && out.gyro == Vec3::ZERO,
+                };
+                prop_assert!(zeroed, "not zeroed at t={}", t);
+            } else {
+                prop_assert_eq!(out, clean, "corrupted outside both windows at t={}", t);
+            }
+        }
+    }
+
+    /// Overlapping faults on the same target never escape the sensor range,
+    /// stay finite, and are identity outside the union of their windows.
+    #[test]
+    fn overlapping_faults_stay_in_range(
+        k1 in any_kind(),
+        k2 in any_kind(),
+        target in any_target(),
+        overlap in 0.1_f64..5.0,
+        accel in any_vec3(200.0),
+        gyro in any_vec3(40.0),
+        seed in 0u64..1000,
+    ) {
+        let spec = ImuSpec::default();
+        let mut injector = FaultInjector::new(
+            spec,
+            vec![
+                FaultSpec::new(k1, target, InjectionWindow::new(10.0, 5.0 + overlap)),
+                FaultSpec::new(k2, target, InjectionWindow::new(15.0, 5.0)),
+            ],
+        );
+        let mut rng = Pcg::seed_from(seed);
+        let clamped = ImuSample {
+            accel: accel.clamp(-spec.accel_range(), spec.accel_range()),
+            gyro: gyro.clamp(-spec.gyro_range(), spec.gyro_range()),
+            time: 0.0,
+        };
+        for t in [5.0, 12.0, 15.0 + overlap / 2.0, 18.0, 25.0] {
+            let clean = ImuSample { time: t, ..clamped };
+            let out = injector.apply(clean, &mut rng);
+            prop_assert!(out.accel.max_abs() <= spec.accel_range() + 1e-9);
+            prop_assert!(out.gyro.max_abs() <= spec.gyro_range() + 1e-9);
+            prop_assert!(out.accel.is_finite() && out.gyro.is_finite());
+            if !(10.0..20.0).contains(&t) {
+                prop_assert_eq!(out, clean);
+            }
+        }
+    }
+
+    /// An `Instance(k)` scope with `k` beyond the bank is inert: every
+    /// instance passes through untouched.
+    #[test]
+    fn out_of_range_instance_scope_is_inert(
+        kind in any_kind(),
+        target in any_target(),
+        count in 1usize..4,
+        extra in 0usize..4,
+        accel in any_vec3(100.0),
+        gyro in any_vec3(30.0),
+        t in 30.0_f64..40.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = ImuSpec::default();
+        let mut injector = FaultInjector::new(
+            spec,
+            vec![FaultSpec::instance(
+                kind,
+                target,
+                InjectionWindow::new(30.0, 10.0),
+                count + extra,
+            )],
+        );
+        let mut rng = Pcg::seed_from(seed);
+        let clean: Vec<ImuSample> = (0..count)
+            .map(|i| ImuSample {
+                accel: accel + Vec3::new(i as f64 * 0.01, 0.0, 0.0),
+                gyro,
+                time: t,
+            })
+            .collect();
+        let mut bank = clean.clone();
+        injector.apply_bank(&mut bank, &mut rng);
+        prop_assert_eq!(bank, clean);
+    }
+
     /// Derived experiment seeds never collide for distinct cells
     /// (pairwise check on random pairs).
     #[test]

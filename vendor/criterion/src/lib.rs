@@ -1,0 +1,126 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides [`Criterion::bench_function`], [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros so the workspace's bench
+//! targets compile and run without the real statistics engine. Each bench
+//! is timed with a simple warm-up + adaptive-iteration loop and reported
+//! as a mean wall-clock time per iteration.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times closures registered with [`bench_function`](Criterion::bench_function).
+#[derive(Debug)]
+pub struct Criterion {
+    /// Target cumulative measurement time per bench.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
+            println!(
+                "bench {name:<40} {:>12.3} us/iter ({} iters)",
+                per_iter * 1e6,
+                bencher.iters
+            );
+        } else {
+            println!("bench {name:<40} (no measurement)");
+        }
+        self
+    }
+}
+
+/// Passed to bench closures; runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` repeatedly until the time budget is exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed warm-up iteration, also used to bound the loop.
+        let warm = Instant::now();
+        black_box(f());
+        let once = warm.elapsed();
+
+        let max_iters = if once.is_zero() {
+            1000
+        } else {
+            (self.budget.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1000.0) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..max_iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = max_iters;
+    }
+}
+
+/// Collects bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(1),
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+}

@@ -1,0 +1,39 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on data types for API
+//! parity with the upstream crates it mirrors, but never drives an actual
+//! serializer (no `serde_json` et al. in the dependency tree). This shim
+//! provides the two trait names with blanket impls and re-exports the
+//! no-op derive macros, which is enough to compile every
+//! `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` attribute in
+//! the tree.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_everything() {
+        fn is_serialize<T: crate::Serialize>(_: &T) {}
+        is_serialize(&1u8);
+        is_serialize(&vec![String::new()]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace actually serializes through serde (there is no
+//! `serde_json` or other format crate); the derives exist so that types can
+//! carry `#[derive(Serialize, Deserialize)]` for downstream users. The
+//! vendored `serde` crate provides blanket trait impls, so these derives
+//! expand to nothing — they only need to accept the input (including
+//! `#[serde(...)]` field attributes) without error.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the blanket impl in the vendored `serde`
+/// already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; see [`derive_serialize`].
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
