@@ -250,6 +250,9 @@ impl RecoveryCascade {
     }
 
     fn record(&mut self, t: f64, to: MitigationLevel, detail: String) {
+        // Level changes are rare edge events; count them per destination
+        // stage so the campaign metrics show how often each rung engaged.
+        imufit_obs::counter_labeled("cascade_transitions_total", "stage", to.label()).inc();
         self.transitions.push(CascadeTransition {
             time: t,
             from: self.level,

@@ -216,13 +216,31 @@ impl Campaign {
     /// Runs one experiment with panic isolation: a panicking simulation
     /// (or a bad spec) yields an [`FlightOutcome::Aborted`] record rather
     /// than unwinding into the caller.
+    ///
+    /// Every run is counted and wall-clock timed
+    /// (`campaign_runs_total`, `campaign_run_seconds`); caught panics and
+    /// aborted outcomes get their own counters. All of it is write-only
+    /// observability — record contents never depend on it.
     pub fn run_experiment_isolated(
         config: &CampaignConfig,
         spec: ExperimentSpec,
     ) -> ExperimentRecord {
-        catch_unwind(AssertUnwindSafe(|| Self::try_run_experiment(config, spec)))
-            .unwrap_or_else(|_| Ok(Self::aborted_record(config, spec)))
-            .unwrap_or_else(|_| Self::aborted_record(config, spec))
+        imufit_obs::counter("campaign_runs_total").inc();
+        let run_span = imufit_obs::timer_with("campaign_run", imufit_obs::buckets::RUN_S).enter();
+        let record = match catch_unwind(AssertUnwindSafe(|| Self::try_run_experiment(config, spec)))
+        {
+            Ok(Ok(record)) => record,
+            Ok(Err(_)) => Self::aborted_record(config, spec),
+            Err(_) => {
+                imufit_obs::counter("campaign_panics_caught_total").inc();
+                Self::aborted_record(config, spec)
+            }
+        };
+        drop(run_span);
+        if matches!(record.outcome, FlightOutcome::Aborted) {
+            imufit_obs::counter("campaign_runs_aborted_total").inc();
+        }
+        record
     }
 
     /// The record used for experiments that failed to execute.
@@ -272,6 +290,22 @@ impl Campaign {
             self.config.threads
         };
 
+        imufit_obs::gauge("campaign_workers").set(workers.max(1) as f64);
+        imufit_obs::gauge("campaign_experiments_total").set(total as f64);
+        // Pre-register the campaign's headline counters so the exported
+        // snapshot always carries them, even when a run produces no aborts,
+        // panics, or voter activity.
+        imufit_obs::counter("campaign_runs_total");
+        imufit_obs::counter("campaign_runs_aborted_total");
+        imufit_obs::counter("campaign_panics_caught_total");
+        imufit_obs::counter("voter_exclusions_total");
+        imufit_obs::counter("voter_reinstatements_total");
+
+        // The only cross-worker progress state: one work-stealing cursor and
+        // one done-counter, both advanced by a single `fetch_add`. The
+        // progress callback (and the reproduce binary's reporter built on
+        // it) observes `done`; no worker keeps mutable progress state of
+        // its own.
         let next = AtomicUsize::new(0);
         let done = AtomicUsize::new(0);
         let records: Mutex<Vec<Option<ExperimentRecord>>> = Mutex::new(vec![None; total]);

@@ -308,6 +308,9 @@ impl Detector for CusumDetector {
 /// OR-combination of the full detector family.
 pub struct EnsembleDetector {
     detectors: Vec<Box<dyn Detector + Send>>,
+    /// Per-member alarm state from the previous observation, for
+    /// rising-edge trip counting (`detector_trips_total{detector=...}`).
+    was_alarming: Vec<bool>,
 }
 
 impl std::fmt::Debug for EnsembleDetector {
@@ -326,32 +329,32 @@ impl EnsembleDetector {
     /// (hover, offline log analysis); the CUSUM member will false-alarm on
     /// sustained maneuvers — use [`EnsembleDetector::flight`] in the loop.
     pub fn full() -> Self {
-        EnsembleDetector {
-            detectors: vec![
-                Box::new(ThresholdDetector::px4_defaults()),
-                Box::new(StuckDetector::new(8)),
-                Box::new(VarianceDetector::calibrated()),
-                Box::new(CusumDetector::calibrated()),
-            ],
-        }
+        EnsembleDetector::of(vec![
+            Box::new(ThresholdDetector::px4_defaults()),
+            Box::new(StuckDetector::new(8)),
+            Box::new(VarianceDetector::calibrated()),
+            Box::new(CusumDetector::calibrated()),
+        ])
     }
 
     /// The maneuver-robust subset for in-flight use: threshold + stuck +
     /// variance. CUSUM is excluded because legitimate accelerations are
     /// sustained mean shifts by definition.
     pub fn flight() -> Self {
-        EnsembleDetector {
-            detectors: vec![
-                Box::new(ThresholdDetector::px4_defaults()),
-                Box::new(StuckDetector::new(8)),
-                Box::new(VarianceDetector::calibrated()),
-            ],
-        }
+        EnsembleDetector::of(vec![
+            Box::new(ThresholdDetector::px4_defaults()),
+            Box::new(StuckDetector::new(8)),
+            Box::new(VarianceDetector::calibrated()),
+        ])
     }
 
     /// A custom combination.
     pub fn of(detectors: Vec<Box<dyn Detector + Send>>) -> Self {
-        EnsembleDetector { detectors }
+        let was_alarming = vec![false; detectors.len()];
+        EnsembleDetector {
+            detectors,
+            was_alarming,
+        }
     }
 }
 
@@ -359,8 +362,15 @@ impl Detector for EnsembleDetector {
     fn observe(&mut self, sample: &ImuSample, dt: f64) -> bool {
         // Evaluate every member (no short-circuit) so their state advances.
         let mut alarmed = false;
-        for d in &mut self.detectors {
-            alarmed |= d.observe(sample, dt);
+        for (d, was) in self.detectors.iter_mut().zip(&mut self.was_alarming) {
+            let alarm = d.observe(sample, dt);
+            if alarm && !*was {
+                // Rising edge only, so per-member trips stay countable
+                // events rather than per-tick noise.
+                imufit_obs::counter_labeled("detector_trips_total", "detector", d.name()).inc();
+            }
+            *was = alarm;
+            alarmed |= alarm;
         }
         alarmed
     }
@@ -369,6 +379,7 @@ impl Detector for EnsembleDetector {
         for d in &mut self.detectors {
             d.reset();
         }
+        self.was_alarming.fill(false);
     }
 
     fn name(&self) -> &'static str {

@@ -259,6 +259,15 @@ impl FaultInjector {
             // Phase transitions.
             match fault.phase {
                 Phase::Pending if w.contains(t) => {
+                    // One activation per scheduled fault per run; counted by
+                    // primitive so the campaign metrics break injections
+                    // down per kind.
+                    imufit_obs::counter_labeled(
+                        "faults_injected_total",
+                        "kind",
+                        fault.spec.kind.label(),
+                    )
+                    .inc();
                     // Capture activation state. `Freeze` holds the last
                     // *clean* sample per instance ("same previous value from
                     // the point the injection started"); if the fault starts

@@ -1,0 +1,67 @@
+//! A tiny stderr log shim for campaign tooling.
+//!
+//! Replaces scattered `eprintln!` diagnostics: every line is written under
+//! a single process-wide lock (worker threads cannot interleave partial
+//! lines) and carries a monotonic elapsed-time prefix. The shim exists in
+//! every build — metrics can be compiled out, diagnostics stay — and never
+//! touches simulation state, so it preserves bit-reproducibility.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+fn start() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+fn sink() -> &'static Mutex<()> {
+    static SINK: OnceLock<Mutex<()>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(()))
+}
+
+/// Writes one complete, atomically-emitted line to stderr:
+/// `[  12.3s level] message`. Prefer the [`crate::info!`] / [`crate::warn!`]
+/// macros.
+pub fn write_line(level: &str, args: fmt::Arguments<'_>) {
+    let elapsed = start().elapsed().as_secs_f64();
+    let _guard = sink().lock();
+    let mut err = std::io::stderr().lock();
+    // A failed diagnostic write (closed stderr) must never abort a run.
+    let _ = writeln!(err, "[{elapsed:7.1}s {level}] {args}");
+}
+
+/// Initialises the elapsed-time origin; call early in `main` so prefixes
+/// measure from process start rather than from the first log line.
+pub fn init() {
+    let _ = start();
+}
+
+/// Logs an informational line through the shim.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::write_line("info", format_args!($($arg)*))
+    };
+}
+
+/// Logs a warning line through the shim.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::write_line("warn", format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn macros_expand_and_do_not_panic() {
+        crate::log::init();
+        crate::info!("info line {}", 42);
+        crate::warn!("warn line {}", "x");
+    }
+}

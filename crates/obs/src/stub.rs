@@ -1,0 +1,176 @@
+//! No-op mirror of the metric API for builds without the `enabled`
+//! feature: every handle is zero-sized and every operation an inlined
+//! empty function, so instrumented hot paths compile to (near) nothing and
+//! bit-reproducibility checks can build the whole stack metrics-free.
+
+/// No-op counter handle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// Discards the increment.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Discards the increment.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge handle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Discards the value.
+    #[inline(always)]
+    pub fn set(&self, _value: f64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram handle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Discards the observation.
+    #[inline(always)]
+    pub fn observe(&self, _value: f64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn sum(&self) -> f64 {
+        0.0
+    }
+
+    /// Always `None`.
+    #[inline(always)]
+    pub fn quantile(&self, _q: f64) -> Option<f64> {
+        None
+    }
+}
+
+/// No-op span handle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timer {
+    hist: Histogram,
+}
+
+impl Timer {
+    /// Opens a no-op span.
+    #[inline(always)]
+    pub fn enter(&self) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// The no-op histogram.
+    #[inline(always)]
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
+    }
+}
+
+/// No-op span guard.
+#[derive(Debug)]
+pub struct SpanGuard;
+
+/// No-op counter registration.
+#[inline(always)]
+pub fn counter(_name: &str) -> Counter {
+    Counter
+}
+
+/// No-op labeled-counter registration.
+#[inline(always)]
+pub fn counter_labeled(_name: &str, _label_key: &str, _label_value: &str) -> Counter {
+    Counter
+}
+
+/// No-op gauge registration.
+#[inline(always)]
+pub fn gauge(_name: &str) -> Gauge {
+    Gauge
+}
+
+/// No-op histogram registration.
+#[inline(always)]
+pub fn histogram(_name: &str, _bounds: &'static [f64]) -> Histogram {
+    Histogram
+}
+
+/// No-op timer registration.
+#[inline(always)]
+pub fn timer(_name: &'static str) -> Timer {
+    Timer::default()
+}
+
+/// No-op timer registration with explicit bounds.
+#[inline(always)]
+pub fn timer_with(_name: &'static str, _bounds: &'static [f64]) -> Timer {
+    Timer::default()
+}
+
+/// No-op ad-hoc span.
+#[inline(always)]
+pub fn span_enter(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// Always zero without the `enabled` feature.
+#[inline(always)]
+pub fn span_depth() -> usize {
+    0
+}
+
+/// Always empty without the `enabled` feature.
+#[inline(always)]
+pub fn span_path() -> Vec<&'static str> {
+    Vec::new()
+}
+
+pub mod export {
+    //! Export stubs: empty documents when metrics are compiled out.
+
+    /// One parsed exposition sample (always absent in stub builds).
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Sample {
+        /// Metric name.
+        pub name: String,
+        /// Label pairs.
+        pub labels: Vec<(String, String)>,
+        /// Sample value.
+        pub value: f64,
+    }
+
+    /// Empty exposition.
+    pub fn prometheus() -> String {
+        String::new()
+    }
+
+    /// An empty-but-valid metrics document.
+    pub fn json() -> String {
+        "{\n\"counters\": [\n\n],\n\"gauges\": [\n\n],\n\"histograms\": [\n\n]\n}\n".to_string()
+    }
+
+    /// Parses nothing in stub builds.
+    pub fn parse_prometheus(_text: &str) -> Vec<Sample> {
+        Vec::new()
+    }
+}

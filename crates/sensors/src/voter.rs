@@ -231,6 +231,15 @@ impl ImuVoter {
             });
         }
 
+        // Exclusions and reinstatements are rare edge events, so the
+        // registry lookup here stays off the per-tick path.
+        if !newly_excluded.is_empty() {
+            imufit_obs::counter("voter_exclusions_total").add(newly_excluded.len() as u64);
+        }
+        if !newly_reinstated.is_empty() {
+            imufit_obs::counter("voter_reinstatements_total").add(newly_reinstated.len() as u64);
+        }
+
         // Select the merged sample: the primary if trusted, otherwise the
         // included instance closest to consensus.
         let primary_excluded = self.excluded[primary];

@@ -81,9 +81,11 @@ impl Broker {
     pub fn publish(&self, topic: &str, payload: Bytes) -> usize {
         let mut guard = self.topics.write();
         let Some(subs) = guard.subscribers.get_mut(topic) else {
+            imufit_obs::counter("telemetry_messages_dropped_total").inc();
             return 0;
         };
         subs.retain(|tx| tx.send(payload.clone()).is_ok());
+        imufit_obs::counter("telemetry_messages_total").inc();
         subs.len()
     }
 

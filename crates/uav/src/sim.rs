@@ -94,6 +94,32 @@ const CRASH_TILT: f64 = 0.8; // rad (~45 deg) at contact
 const FLYAWAY_RANGE: f64 = 4_500.0; // m beyond which range safety gives up
 const FLYAWAY_ALTITUDE: f64 = 150.0; // m ceiling bust
 
+/// Cached observability handles for the per-tick hot path: registered once
+/// per flight so each span costs two clock reads and three atomic adds
+/// (and nothing at all when the `obs` feature is off). Metrics are
+/// write-only — nothing here ever feeds back into simulation state or RNG
+/// streams, preserving bit-reproducibility.
+#[derive(Debug)]
+struct SimMetrics {
+    /// Whole physics tick, histogram `sim_tick_seconds`.
+    tick: imufit_obs::Timer,
+    /// Estimation block (EKF predict + sensor fusion),
+    /// histogram `ekf_update_seconds`.
+    ekf: imufit_obs::Timer,
+    /// Fault-injector bank pass, histogram `fault_injector_seconds`.
+    inject: imufit_obs::Timer,
+}
+
+impl SimMetrics {
+    fn new() -> Self {
+        SimMetrics {
+            tick: imufit_obs::timer("sim_tick"),
+            ekf: imufit_obs::timer("ekf_update"),
+            inject: imufit_obs::timer("fault_injector"),
+        }
+    }
+}
+
 /// One vehicle flying one mission, end to end.
 #[derive(Debug)]
 pub struct FlightSimulator {
@@ -132,6 +158,7 @@ pub struct FlightSimulator {
     rng_wind: Pcg,
     rng_fault: Pcg,
 
+    metrics: SimMetrics,
     airborne: bool,
     distance_true: f64,
     last_true_position: Vec3,
@@ -247,6 +274,7 @@ impl FlightSimulator {
             rng_compass: master.derive(&[4]),
             rng_wind: master.derive(&[5]),
             rng_fault: master.derive(&[6]),
+            metrics: SimMetrics::new(),
             airborne: false,
             distance_true: 0.0,
             last_true_position: mission.home,
@@ -309,6 +337,7 @@ impl FlightSimulator {
         if self.outcome.is_some() {
             return;
         }
+        let _tick_span = self.metrics.tick.enter();
         let dt = self.dt;
         self.tick += 1;
         self.time += dt;
@@ -328,7 +357,10 @@ impl FlightSimulator {
         let mut samples = self
             .imu_bank
             .sample_all(true_force, true_rate, dt, &mut self.rng_imu);
-        self.injector.apply_bank(&mut samples, &mut self.rng_fault);
+        {
+            let _inject_span = self.metrics.inject.enter();
+            self.injector.apply_bank(&mut samples, &mut self.rng_fault);
+        }
         let primary = self.imu_bank.primary();
         let report = self.voter.vote(&samples, primary);
         let corrupted = report.merged;
@@ -373,6 +405,7 @@ impl FlightSimulator {
         };
 
         // --- Estimation ---
+        let ekf_span = self.metrics.ekf.enter();
         self.ekf.predict(&corrupted, dt);
         if self.every(self.config.gps_rate) {
             let fix = self.gps.sample(
@@ -403,6 +436,7 @@ impl FlightSimulator {
             let yaw = yaw_from_mag(&sample, est_roll, est_pitch, self.mag.spec().declination);
             self.ekf.fuse_yaw(yaw);
         }
+        drop(ekf_span);
 
         // --- Control ---
         let rejecting = self.ekf.health().any_rejecting();

@@ -1,0 +1,185 @@
+//! Aggregates bench estimates into a single `BENCH_campaign.json`.
+//!
+//! The vendored criterion stub appends one JSON line per finished bench
+//! (`{"name":"...","median_ns":...,"samples":N}`) to the file named by the
+//! `IMUFIT_BENCH_ESTIMATES` environment variable. This binary reads that
+//! JSONL file and writes a deterministic summary object mapping each bench
+//! name to its median nanoseconds per iteration (the **last** estimate for
+//! a name wins, so re-runs supersede stale lines).
+//!
+//! Usage:
+//!
+//! ```text
+//! IMUFIT_BENCH_ESTIMATES=bench_estimates.jsonl \
+//!     cargo bench -p imufit-bench --bench components
+//! cargo run --bin bench_summary -- bench_estimates.jsonl BENCH_campaign.json
+//! ```
+
+use std::io::Write as _;
+
+use imufit_obs::{info, warn};
+
+fn main() {
+    imufit_obs::log::init();
+    let mut args = std::env::args().skip(1);
+    let input = args
+        .next()
+        .or_else(|| std::env::var("IMUFIT_BENCH_ESTIMATES").ok())
+        .unwrap_or_else(|| "bench_estimates.jsonl".to_string());
+    let output = args
+        .next()
+        .unwrap_or_else(|| "BENCH_campaign.json".to_string());
+
+    let raw = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            warn!("cannot read estimates file {input}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let estimates = aggregate(&raw);
+    if estimates.is_empty() {
+        warn!("no bench estimates found in {input}");
+        std::process::exit(1);
+    }
+    let json = render(&estimates);
+    let mut f =
+        std::fs::File::create(&output).unwrap_or_else(|e| panic!("cannot create {output}: {e}"));
+    f.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
+    info!("wrote {} ({} benches)", output, estimates.len());
+}
+
+/// Parses the JSONL estimates and reduces them to sorted (name, median_ns)
+/// pairs; the last line for a given name wins.
+fn aggregate(raw: &str) -> Vec<(String, f64)> {
+    let mut by_name: Vec<(String, f64)> = Vec::new();
+    for line in raw.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, median_ns)) = parse_line(line) else {
+            continue;
+        };
+        match by_name.iter_mut().find(|(n, _)| *n == name) {
+            Some(slot) => slot.1 = median_ns,
+            None => by_name.push((name, median_ns)),
+        }
+    }
+    by_name.sort_by(|a, b| a.0.cmp(&b.0));
+    by_name
+}
+
+/// Extracts `name` and `median_ns` from one estimate line. Tolerates
+/// arbitrary extra fields; returns `None` on malformed input.
+fn parse_line(line: &str) -> Option<(String, f64)> {
+    let name = extract_string(line, "name")?;
+    let median_ns = extract_number(line, "median_ns")?;
+    median_ns.is_finite().then_some((name, median_ns))
+}
+
+/// Reads the JSON string value of `key`, handling `\"` and `\\` escapes.
+fn extract_string(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Reads the JSON number value of `key`.
+fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Renders the summary object with escaped names, sorted by name.
+fn render(estimates: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"benches\": {\n");
+    for (i, (name, median_ns)) in estimates.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"median_ns\": {:.1}}}{}\n",
+            escape_json(name),
+            median_ns,
+            if i + 1 < estimates.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_sorts_and_last_wins() {
+        let raw = "\
+{\"name\":\"z/one\",\"median_ns\":100.0,\"samples\":11}
+{\"name\":\"a/two\",\"median_ns\":50.0,\"samples\":11}
+{\"name\":\"z/one\",\"median_ns\":120.0,\"samples\":11}
+";
+        let got = aggregate(raw);
+        assert_eq!(
+            got,
+            vec![("a/two".to_string(), 50.0), ("z/one".to_string(), 120.0)]
+        );
+    }
+
+    #[test]
+    fn aggregate_skips_malformed_lines() {
+        let raw =
+            "not json\n{\"name\":\"ok\",\"median_ns\":1.5,\"samples\":3}\n{\"name\":\"bad\"}\n";
+        assert_eq!(aggregate(raw), vec![("ok".to_string(), 1.5)]);
+    }
+
+    #[test]
+    fn parse_line_unescapes_name() {
+        let (name, ns) =
+            parse_line("{\"name\":\"a\\\"b\\\\c\",\"median_ns\":2e3,\"samples\":1}").unwrap();
+        assert_eq!(name, "a\"b\\c");
+        assert_eq!(ns, 2000.0);
+    }
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let estimates = vec![("ekf/predict".to_string(), 321.5)];
+        let json = render(&estimates);
+        assert!(json.contains("\"ekf/predict\": {\"median_ns\": 321.5}"));
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+    }
+}

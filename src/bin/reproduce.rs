@@ -1,23 +1,30 @@
 //! Full reproduction driver: runs the paper's 850-case campaign plus the
-//! three trajectory figures and writes EXPERIMENTS.md, the raw CSV, and the
-//! figure tracks.
+//! three trajectory figures and writes EXPERIMENTS.md, the raw CSV, the
+//! figure tracks, and the testbed's own observability snapshot
+//! (`campaign_metrics.json`; Prometheus text with `--metrics`).
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release --bin reproduce [-- --seed N --missions M --out DIR --quick]
+//! cargo run --release --bin reproduce \
+//!     [-- --seed N --missions M --out DIR --quick --metrics --no-metrics]
 //! ```
 //!
 //! `--quick` runs a scaled campaign (3 missions, durations 2 s and 30 s)
-//! for a fast smoke reproduction.
+//! for a fast smoke reproduction. `--metrics` additionally writes the
+//! metric registry as Prometheus text (`campaign_metrics.prom`);
+//! `--no-metrics` suppresses the JSON snapshot. Building with
+//! `--no-default-features` compiles the whole observability layer to
+//! no-ops — the resulting `campaign_results.csv` is byte-identical, which
+//! CI checks.
 
 use std::io::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 use imufit_core::{conflicts, figures, redundancy, report, sweep, Campaign, CampaignConfig};
 use imufit_detect::{evaluate, EnsembleDetector, LabeledStream};
 use imufit_faults::{FaultKind, FaultSpec, FaultTarget, InjectionWindow};
 use imufit_missions::all_missions;
+use imufit_obs::{info, warn};
 use imufit_uav::{FlightSimulator, SimConfig};
 
 struct Args {
@@ -26,6 +33,10 @@ struct Args {
     out: String,
     quick: bool,
     extras: bool,
+    /// Write Prometheus text exposition next to the JSON snapshot.
+    prometheus: bool,
+    /// Write the `campaign_metrics.json` snapshot (on by default).
+    metrics_json: bool,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +46,8 @@ fn parse_args() -> Args {
         out: ".".to_string(),
         quick: false,
         extras: true,
+        prometheus: false,
+        metrics_json: true,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -49,8 +62,10 @@ fn parse_args() -> Args {
             "--out" => args.out = it.next().unwrap_or_else(|| ".".to_string()),
             "--quick" => args.quick = true,
             "--no-extras" => args.extras = false,
+            "--metrics" => args.prometheus = true,
+            "--no-metrics" => args.metrics_json = false,
             other => {
-                eprintln!("unknown argument: {other}");
+                warn!("unknown argument: {other}");
                 std::process::exit(2);
             }
         }
@@ -63,12 +78,12 @@ fn parse_args() -> Args {
 fn collect_extras(seed: u64) -> report::ExtraSections {
     let missions = all_missions();
 
-    eprintln!("extras: sub-2-second duration sweep...");
+    info!("extras: sub-2-second duration sweep...");
     let sweep_missions: Vec<_> = missions.iter().take(3).cloned().collect();
     let points = sweep::duration_sweep(&sweep_missions, &[0.5, 1.0, 2.0], seed);
     let duration_sweep = Some(sweep::render_sweep("duration", &points));
 
-    eprintln!("extras: fleet separation analysis...");
+    info!("extras: fleet separation analysis...");
     let clean = conflicts::analyze(&conflicts::fly_fleet(&missions, None, seed));
     let fault = FaultSpec::new(
         FaultKind::Freeze,
@@ -77,7 +92,7 @@ fn collect_extras(seed: u64) -> report::ExtraSections {
     );
     let faulty = conflicts::analyze(&conflicts::fly_fleet(&missions, Some((9, fault)), seed));
 
-    eprintln!("extras: redundancy sweep (instances x fault scope)...");
+    info!("extras: redundancy sweep (instances x fault scope)...");
     let red_base = CampaignConfig {
         seed,
         durations: vec![10.0],
@@ -86,7 +101,7 @@ fn collect_extras(seed: u64) -> report::ExtraSections {
     };
     let rows = redundancy::redundancy_sweep(&red_base, &redundancy::INSTANCE_COUNTS, None).render();
 
-    eprintln!("extras: detection-latency matrix...");
+    info!("extras: detection-latency matrix...");
     let mut ensemble = EnsembleDetector::full();
     let mut detection = format!(
         "{:<12} | {:>10} | {:>12}
@@ -113,7 +128,7 @@ fn collect_extras(seed: u64) -> report::ExtraSections {
         ));
     }
 
-    eprintln!("extras: fast-detection mitigation study...");
+    info!("extras: fast-detection mitigation study...");
     let mut mitigation = String::from(
         "| fault | default outcome | with fast detection |
 |---|---|---|
@@ -152,6 +167,7 @@ fn collect_extras(seed: u64) -> report::ExtraSections {
 }
 
 fn main() {
+    imufit_obs::log::init();
     let args = parse_args();
     let config = if args.quick {
         CampaignConfig::scaled(3.min(args.missions), vec![2.0, 30.0], args.seed)
@@ -165,32 +181,39 @@ fn main() {
     };
 
     let total = config.matrix().len();
-    eprintln!(
-        "campaign: {} experiments across {} missions (seed {})",
+    let workers = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    };
+    info!(
+        "campaign: {} experiments across {} missions (seed {}, {} workers)",
         total,
         config.missions.len(),
-        args.seed
+        args.seed,
+        workers
     );
 
-    let started = std::time::Instant::now();
-    let last_reported = AtomicUsize::new(0);
-    let progress = move |done: usize, total: usize| {
-        // Report every ~2% without spamming.
-        let step = (total / 50).max(1);
-        let prev = last_reported.load(Ordering::Relaxed);
-        if done >= prev + step || done == total {
-            last_reported.store(done, Ordering::Relaxed);
-            eprintln!("  {done}/{total} experiments done");
-        }
+    // Live progress: runs done / total, ETA, and worker utilisation (the
+    // share of elapsed wall-clock the workers spent inside experiments,
+    // read from the per-run duration histogram). One atomic in the
+    // reporter decides which worker prints each ~2% step.
+    let reporter = imufit_obs::progress::ProgressReporter::new("campaign", total, workers);
+    let run_hist = imufit_obs::timer_with("campaign_run", imufit_obs::buckets::RUN_S);
+    let progress = move |done: usize, _total: usize| {
+        reporter.record(done, run_hist.histogram().sum());
     };
+    let started = std::time::Instant::now();
     let results = Campaign::new(config).run_with_progress(Some(&progress));
-    eprintln!(
+    info!(
         "campaign finished in {:.0} s wall-clock; faulty completion {:.1}%",
         started.elapsed().as_secs_f64(),
         results.faulty_completion_pct()
     );
 
-    eprintln!("running figure scenarios...");
+    info!("running figure scenarios...");
     let figure_results = figures::run_all(args.seed);
 
     let extras = if args.extras && !args.quick {
@@ -201,12 +224,26 @@ fn main() {
 
     let md = report::render_experiments_md_with_extras(&results, &figure_results, &extras);
     let out = std::path::Path::new(&args.out);
+    std::fs::create_dir_all(out)
+        .unwrap_or_else(|e| panic!("cannot create output dir {}: {e}", out.display()));
     write_file(&out.join("EXPERIMENTS.md"), &md);
     write_file(&out.join("campaign_results.csv"), &results.to_csv());
     for f in &figure_results {
         let name = f.scenario.name.to_lowercase().replace(' ', "_");
         write_file(&out.join(format!("{name}_track.csv")), &f.track_csv);
         write_file(&out.join(format!("{name}.svg")), &f.svg);
+    }
+    if args.metrics_json {
+        write_file(
+            &out.join("campaign_metrics.json"),
+            &imufit_obs::export::json(),
+        );
+    }
+    if args.prometheus {
+        write_file(
+            &out.join("campaign_metrics.prom"),
+            &imufit_obs::export::prometheus(),
+        );
     }
     println!("{md}");
 }
@@ -216,5 +253,5 @@ fn write_file(path: &std::path::Path, contents: &str) {
         .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
     f.write_all(contents.as_bytes())
         .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
-    eprintln!("wrote {}", path.display());
+    info!("wrote {}", path.display());
 }

@@ -1,0 +1,47 @@
+//! Guards the observability layer's core contract: metrics and spans must
+//! never feed back into simulation state, RNG draws, or scheduling, so a
+//! campaign produces byte-identical results with observability on or off.
+//!
+//! The in-process check flips the runtime kill-switch
+//! ([`imufit_obs::set_runtime_enabled`]) between two identical runs; CI
+//! additionally rebuilds with `--no-default-features` (compile-time off)
+//! and compares the CSVs across binaries.
+
+use imufit_core::{Campaign, CampaignConfig};
+
+#[test]
+fn campaign_csv_identical_with_obs_on_and_off() {
+    let config = || CampaignConfig::scaled(1, vec![2.0], 77);
+
+    imufit_obs::set_runtime_enabled(false);
+    let csv_off = Campaign::new(config()).run().to_csv();
+
+    imufit_obs::set_runtime_enabled(true);
+    let csv_on = Campaign::new(config()).run().to_csv();
+
+    assert_eq!(
+        csv_off, csv_on,
+        "campaign_results.csv must be byte-identical with observability on/off"
+    );
+
+    // With the obs feature compiled in, the second (enabled) run must have
+    // populated the registry with the campaign's headline series.
+    if cfg!(feature = "obs") {
+        let json = imufit_obs::export::json();
+        for name in [
+            "campaign_runs_total",
+            "campaign_run_seconds",
+            "sim_tick_seconds",
+            "ekf_update_seconds",
+            "fault_injector_seconds",
+            "faults_injected_total",
+        ] {
+            assert!(json.contains(name), "metrics JSON missing {name}: {json}");
+        }
+        let prom = imufit_obs::export::prometheus();
+        assert!(
+            prom.contains("campaign_runs_total"),
+            "prometheus export missing campaign_runs_total"
+        );
+    }
+}

@@ -3,12 +3,22 @@
 //! Provides [`Criterion::bench_function`], [`black_box`], and the
 //! `criterion_group!`/`criterion_main!` macros so the workspace's bench
 //! targets compile and run without the real statistics engine. Each bench
-//! is timed with a simple warm-up + adaptive-iteration loop and reported
-//! as a mean wall-clock time per iteration.
+//! is timed with a warm-up followed by a fixed number of measured batches;
+//! the reported figure is the **median** per-iteration wall-clock time
+//! across batches, which is robust against scheduler noise.
+//!
+//! When the `IMUFIT_BENCH_ESTIMATES` environment variable names a file,
+//! every finished bench appends one JSON line
+//! `{"name":"...","median_ns":...,"samples":N}` to it. The workspace's
+//! `bench_summary` binary aggregates those lines into `BENCH_campaign.json`.
 
 #![forbid(unsafe_code)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
+
+/// Number of measured batches per bench; the median is taken across these.
+const BATCHES: usize = 11;
 
 /// Prevents the optimizer from discarding a value.
 pub fn black_box<T>(x: T) -> T {
@@ -38,19 +48,19 @@ impl Criterion {
     {
         let mut bencher = Bencher {
             budget: self.measurement_time,
-            iters: 0,
-            elapsed: Duration::ZERO,
+            samples: Vec::new(),
         };
         f(&mut bencher);
-        if bencher.iters > 0 {
-            let per_iter = bencher.elapsed.as_secs_f64() / bencher.iters as f64;
-            println!(
-                "bench {name:<40} {:>12.3} us/iter ({} iters)",
-                per_iter * 1e6,
-                bencher.iters
-            );
-        } else {
-            println!("bench {name:<40} (no measurement)");
+        match median(&mut bencher.samples) {
+            Some(per_iter) => {
+                println!(
+                    "bench {name:<40} {:>12.3} us/iter (median of {} batches)",
+                    per_iter * 1e6,
+                    bencher.samples.len()
+                );
+                record_estimate(name, per_iter * 1e9, bencher.samples.len());
+            }
+            None => println!("bench {name:<40} (no measurement)"),
         }
         self
     }
@@ -60,30 +70,91 @@ impl Criterion {
 #[derive(Debug)]
 pub struct Bencher {
     budget: Duration,
-    iters: u64,
-    elapsed: Duration,
+    /// Per-iteration seconds, one entry per measured batch.
+    samples: Vec<f64>,
 }
 
 impl Bencher {
-    /// Measures `f` repeatedly until the time budget is exhausted.
+    /// Measures `f` in [`BATCHES`] timed batches within the time budget.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
-        // One untimed warm-up iteration, also used to bound the loop.
+        // One untimed warm-up iteration, also used to size the batches.
         let warm = Instant::now();
         black_box(f());
         let once = warm.elapsed();
 
-        let max_iters = if once.is_zero() {
-            1000
+        let per_batch = self.budget.as_secs_f64() / BATCHES as f64;
+        let batch_iters = if once.is_zero() {
+            100
         } else {
-            (self.budget.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1000.0) as u64
+            (per_batch / once.as_secs_f64()).clamp(1.0, 100.0) as u64
         };
-        let start = Instant::now();
-        for _ in 0..max_iters {
-            black_box(f());
+        self.samples.clear();
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() / batch_iters as f64);
         }
-        self.elapsed = start.elapsed();
-        self.iters = max_iters;
     }
+}
+
+/// Median of `samples`; sorts in place. `None` when empty.
+fn median(samples: &mut [f64]) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let mid = samples.len() / 2;
+    Some(if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    })
+}
+
+/// Appends one JSONL estimate to `$IMUFIT_BENCH_ESTIMATES`, if set.
+/// Failures are ignored: estimates are a best-effort side channel and must
+/// never fail a bench run.
+fn record_estimate(name: &str, median_ns: f64, samples: usize) {
+    let Ok(path) = std::env::var("IMUFIT_BENCH_ESTIMATES") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        return;
+    };
+    let _ = writeln!(
+        file,
+        "{{\"name\":\"{}\",\"median_ns\":{:.1},\"samples\":{}}}",
+        escape_json(name),
+        median_ns,
+        samples
+    );
+}
+
+/// Escapes a string for embedding in a JSON literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Collects bench functions into a runnable group.
@@ -122,5 +193,18 @@ mod tests {
             ran = true;
         });
         assert!(ran);
+    }
+
+    #[test]
+    fn median_odd_even_and_empty() {
+        assert_eq!(median(&mut []), None);
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), Some(2.5));
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_json("x\ny"), "x\\ny");
     }
 }
