@@ -7,11 +7,18 @@
 //! regeneration path continuously exercised and measured.
 
 use imufit_core::{Campaign, CampaignConfig, CampaignResults};
+use imufit_scenario::ScenarioSpec;
 
 /// A scaled campaign used by the table benches: `missions` missions at the
-/// given durations, deterministic under `seed`.
+/// given durations, deterministic under `seed`. Built through the scenario
+/// layer — the paper-default preset with the campaign axes overridden — so
+/// the benches continuously exercise the declarative path.
 pub fn scaled_campaign(missions: usize, durations: Vec<f64>, seed: u64) -> CampaignResults {
-    let config = CampaignConfig::scaled(missions, durations, seed);
+    let mut spec = ScenarioSpec::paper_default();
+    spec.campaign.seed = seed;
+    spec.campaign.missions = missions.max(1);
+    spec.campaign.durations = durations;
+    let config = CampaignConfig::from_scenario(&spec);
     Campaign::new(config).run()
 }
 

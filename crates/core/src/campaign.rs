@@ -13,7 +13,8 @@ use serde::{Deserialize, Serialize};
 
 use imufit_faults::InjectionWindow;
 use imufit_missions::{all_missions, Mission};
-use imufit_uav::{FlightOutcome, FlightSimulator, SimConfig};
+use imufit_scenario::{FaultSettings, FlightSettings, ScenarioSpec};
+use imufit_uav::{FlightOutcome, FlightSimulator, FlightSummary, SimConfig, VehicleBuilder};
 
 use crate::experiment::{csv_header, experiment_matrix, ExperimentRecord, ExperimentSpec};
 
@@ -27,6 +28,12 @@ pub enum CampaignError {
         /// How many missions the configuration holds.
         missions: usize,
     },
+    /// The campaign's flight settings realize to an unusable simulator
+    /// configuration (zero rates, redundancy 0, ...).
+    InvalidConfig(
+        /// The builder's rejection message.
+        String,
+    ),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -38,6 +45,7 @@ impl std::fmt::Display for CampaignError {
                     "mission index {index} out of range ({missions} missions)"
                 )
             }
+            CampaignError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
         }
     }
 }
@@ -60,6 +68,13 @@ pub struct CampaignConfig {
     /// Redundant IMU instances per vehicle (the paper's platform flies 3).
     /// Clamped to at least 1 when building simulator configurations.
     pub imu_redundancy: usize,
+    /// Per-vehicle flight settings (rates, wind, estimator backend,
+    /// mitigation). `imu_redundancy` above wins over the copy in here, so
+    /// existing redundancy-sweep callers keep working unchanged.
+    pub flight: FlightSettings,
+    /// Fault selection: which kinds/targets of the full matrix to fly, and
+    /// whether faults hit all redundant IMU instances.
+    pub faults: FaultSettings,
 }
 
 impl Default for CampaignConfig {
@@ -71,6 +86,8 @@ impl Default for CampaignConfig {
             missions: all_missions(),
             threads: 0,
             imu_redundancy: 3,
+            flight: FlightSettings::default(),
+            faults: FaultSettings::default(),
         }
     }
 }
@@ -85,20 +102,50 @@ impl CampaignConfig {
             durations,
             injection_start: InjectionWindow::CAMPAIGN_START,
             missions: all.into_iter().take(missions).collect(),
-            threads: 0,
-            imu_redundancy: 3,
+            ..CampaignConfig::default()
         }
     }
 
-    /// The experiment matrix for this configuration.
+    /// A campaign realized from a scenario document: every knob — axes,
+    /// flight settings, fault selection — comes from the spec.
+    pub fn from_scenario(spec: &ScenarioSpec) -> Self {
+        CampaignConfig {
+            seed: spec.campaign.seed,
+            durations: spec.campaign.durations.clone(),
+            injection_start: spec.campaign.injection_start,
+            missions: all_missions()
+                .into_iter()
+                .take(spec.campaign.missions.max(1))
+                .collect(),
+            threads: spec.campaign.threads,
+            imu_redundancy: spec.flight.imu_redundancy,
+            flight: spec.flight.clone(),
+            faults: spec.faults.clone(),
+        }
+    }
+
+    /// The experiment matrix for this configuration: the full grid, narrowed
+    /// by the fault selection (empty selection = everything; gold runs are
+    /// always kept).
     pub fn matrix(&self) -> Vec<ExperimentSpec> {
         experiment_matrix(self.missions.len(), &self.durations, self.injection_start)
+            .into_iter()
+            .filter(|spec| match &spec.fault {
+                None => true,
+                Some(f) => self.faults.selects_kind(f.kind) && self.faults.selects_target(f.target),
+            })
+            .collect()
     }
 
     /// The per-flight simulator configuration for one mission of this
     /// campaign (applies the campaign's redundancy level).
     pub fn sim_config(&self, mission: &Mission, seed: u64) -> SimConfig {
-        let mut sim = SimConfig::default_for(mission, seed);
+        let mut sim = SimConfig::from_flight(
+            &self.flight,
+            self.faults.affect_all_redundant,
+            mission,
+            seed,
+        );
         sim.imu_redundancy = self.imu_redundancy.max(1);
         sim
     }
@@ -173,6 +220,25 @@ impl Campaign {
         config: &CampaignConfig,
         spec: ExperimentSpec,
     ) -> Result<ExperimentRecord, CampaignError> {
+        let mut vehicle = None;
+        Self::try_run_experiment_into(config, spec, &mut vehicle)
+    }
+
+    /// Runs one experiment in a recycled vehicle slot: an existing vehicle
+    /// is reset in place (reusing its heap buffers), an empty slot gets a
+    /// fresh build. Campaign workers hold one slot each and fly their whole
+    /// share of the matrix through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::UnknownMission`] for an out-of-range mission
+    /// index and [`CampaignError::InvalidConfig`] when the campaign's flight
+    /// settings realize to an unusable simulator configuration.
+    pub fn try_run_experiment_into(
+        config: &CampaignConfig,
+        spec: ExperimentSpec,
+        vehicle: &mut Option<FlightSimulator>,
+    ) -> Result<ExperimentRecord, CampaignError> {
         let mission =
             config
                 .missions
@@ -184,18 +250,24 @@ impl Campaign {
         let seed = spec.derive_seed(config.seed);
         let faults = spec.fault.map(|f| vec![f]).unwrap_or_default();
         let sim_config = config.sim_config(mission, seed);
-        let sim = FlightSimulator::new(mission, faults, sim_config);
-        let result = sim.run();
+        VehicleBuilder::new(mission, sim_config)
+            .with_faults(faults)
+            .build_into(vehicle)
+            .map_err(|e| CampaignError::InvalidConfig(e.to_string()))?;
+        let summary: FlightSummary = vehicle
+            .as_mut()
+            .expect("build_into leaves the slot filled on success")
+            .run_summary();
         Ok(ExperimentRecord {
             spec,
             drone_id: mission.drone.id,
-            outcome: result.outcome,
-            flight_duration: result.duration,
-            distance_est: result.distance_est,
-            distance_true: result.distance_true,
-            inner_violations: result.violations.inner,
-            outer_violations: result.violations.outer,
-            ekf_resets: result.ekf_resets,
+            outcome: summary.outcome,
+            flight_duration: summary.duration,
+            distance_est: summary.distance_est,
+            distance_true: summary.distance_true,
+            inner_violations: summary.violations.inner,
+            outer_violations: summary.violations.outer,
+            ekf_resets: summary.ekf_resets,
         })
     }
 
@@ -225,14 +297,28 @@ impl Campaign {
         config: &CampaignConfig,
         spec: ExperimentSpec,
     ) -> ExperimentRecord {
+        let mut vehicle = None;
+        Self::run_experiment_isolated_into(config, spec, &mut vehicle)
+    }
+
+    /// [`Campaign::run_experiment_isolated`] over a recycled vehicle slot.
+    /// A panicking experiment drops the slot's vehicle — its state is
+    /// suspect after an unwind — so the next run rebuilds from scratch.
+    pub fn run_experiment_isolated_into(
+        config: &CampaignConfig,
+        spec: ExperimentSpec,
+        vehicle: &mut Option<FlightSimulator>,
+    ) -> ExperimentRecord {
         imufit_obs::counter("campaign_runs_total").inc();
         let run_span = imufit_obs::timer_with("campaign_run", imufit_obs::buckets::RUN_S).enter();
-        let record = match catch_unwind(AssertUnwindSafe(|| Self::try_run_experiment(config, spec)))
-        {
+        let record = match catch_unwind(AssertUnwindSafe(|| {
+            Self::try_run_experiment_into(config, spec, vehicle)
+        })) {
             Ok(Ok(record)) => record,
             Ok(Err(_)) => Self::aborted_record(config, spec),
             Err(_) => {
                 imufit_obs::counter("campaign_panics_caught_total").inc();
+                *vehicle = None;
                 Self::aborted_record(config, spec)
             }
         };
@@ -312,18 +398,29 @@ impl Campaign {
 
         std::thread::scope(|scope| {
             for _ in 0..workers.max(1) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= total {
-                        break;
-                    }
-                    // Panic isolation: one diverging experiment becomes an
-                    // aborted record, not a dead campaign.
-                    let record = Self::run_experiment_isolated(&self.config, specs[i]);
-                    records.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(record);
-                    let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                    if let Some(cb) = progress {
-                        cb(d, total);
+                scope.spawn(|| {
+                    // One vehicle per worker, recycled across every
+                    // experiment this worker steals: reset() re-derives all
+                    // flight state from the spec's seed, so recycling is
+                    // bit-identical to fresh construction.
+                    let mut vehicle: Option<FlightSimulator> = None;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        // Panic isolation: one diverging experiment becomes
+                        // an aborted record, not a dead campaign.
+                        let record = Self::run_experiment_isolated_into(
+                            &self.config,
+                            specs[i],
+                            &mut vehicle,
+                        );
+                        records.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(record);
+                        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(cb) = progress {
+                            cb(d, total);
+                        }
                     }
                 });
             }
@@ -392,5 +489,71 @@ mod tests {
         assert_eq!(config.matrix().len(), 850);
         let scaled = CampaignConfig::scaled(2, vec![2.0, 30.0], 1);
         assert_eq!(scaled.matrix().len(), 2 + 2 * 21 * 2);
+    }
+
+    #[test]
+    fn paper_default_scenario_is_the_default_campaign() {
+        let from_spec = CampaignConfig::from_scenario(&ScenarioSpec::paper_default());
+        let stock = CampaignConfig::default();
+        assert_eq!(from_spec.seed, stock.seed);
+        assert_eq!(from_spec.durations, stock.durations);
+        assert_eq!(from_spec.injection_start, stock.injection_start);
+        assert_eq!(from_spec.missions.len(), stock.missions.len());
+        assert_eq!(from_spec.imu_redundancy, stock.imu_redundancy);
+        assert_eq!(from_spec.matrix().len(), 850);
+        // The realized per-flight configs agree, field for field.
+        let mission = &stock.missions[0];
+        let a = from_spec.sim_config(mission, 42);
+        let b = stock.sim_config(mission, 42);
+        assert_eq!(a.physics_rate, b.physics_rate);
+        assert_eq!(a.max_sim_time, b.max_sim_time);
+        assert_eq!(a.estimator, b.estimator);
+        assert_eq!(a.fast_detection, b.fast_detection);
+        assert_eq!(a.faults_affect_all_redundant, b.faults_affect_all_redundant);
+    }
+
+    #[test]
+    fn fault_selection_narrows_the_matrix() {
+        use imufit_faults::{FaultKind, FaultTarget};
+        let mut config = CampaignConfig::default();
+        config.faults.targets = vec![FaultTarget::Gyrometer];
+        let gyro_only = config.matrix();
+        // Gold runs survive; faulty runs are gyro-targeted only.
+        assert!(gyro_only.iter().any(|s| s.fault.is_none()));
+        assert!(gyro_only
+            .iter()
+            .filter_map(|s| s.fault)
+            .all(|f| f.target == FaultTarget::Gyrometer));
+        assert!(gyro_only.len() < 850);
+
+        config.faults.kinds = vec![FaultKind::Zeros];
+        let narrow = config.matrix();
+        assert!(narrow
+            .iter()
+            .filter_map(|s| s.fault)
+            .all(|f| f.kind == FaultKind::Zeros && f.target == FaultTarget::Gyrometer));
+        // 10 missions x 4 durations x 1 kind x 1 target + 10 gold runs.
+        assert_eq!(narrow.len(), 10 * 4 + 10);
+    }
+
+    /// Recycling one vehicle slot across experiments must match the
+    /// slot-per-run path record for record — this is the campaign-level
+    /// guarantee behind the worker-recycling optimisation.
+    #[test]
+    fn recycled_slot_matches_fresh_runs() {
+        let config = CampaignConfig::scaled(1, vec![2.0], 9);
+        let specs = config.matrix();
+        let mut slot = None;
+        for spec in specs.iter().take(4) {
+            let recycled = Campaign::try_run_experiment_into(&config, *spec, &mut slot).unwrap();
+            let fresh = Campaign::try_run_experiment(&config, *spec).unwrap();
+            assert_eq!(recycled.outcome.label(), fresh.outcome.label());
+            assert_eq!(recycled.flight_duration, fresh.flight_duration);
+            assert_eq!(recycled.distance_est, fresh.distance_est);
+            assert_eq!(recycled.distance_true, fresh.distance_true);
+            assert_eq!(recycled.inner_violations, fresh.inner_violations);
+            assert_eq!(recycled.outer_violations, fresh.outer_violations);
+            assert_eq!(recycled.ekf_resets, fresh.ekf_resets);
+        }
     }
 }

@@ -39,8 +39,7 @@ pub fn duration_sweep(missions: &[Mission], durations: &[f64], seed: u64) -> Vec
                 durations: vec![duration],
                 injection_start: InjectionWindow::CAMPAIGN_START,
                 missions: missions.to_vec(),
-                threads: 0,
-                imu_redundancy: 3,
+                ..CampaignConfig::default()
             };
             let results = Campaign::new(config).run();
             let faulty: Vec<ExperimentRecord> = results
@@ -80,8 +79,7 @@ pub fn start_time_sweep(
                 durations: vec![duration],
                 injection_start: start,
                 missions: missions.to_vec(),
-                threads: 0,
-                imu_redundancy: 3,
+                ..CampaignConfig::default()
             };
             let records: Vec<ExperimentRecord> = missions
                 .iter()

@@ -1,0 +1,164 @@
+//! The pluggable estimator interface.
+//!
+//! `FlightSimulator` drives its navigation filter exclusively through
+//! [`AttitudeEstimator`], so backends are swappable per scenario: the
+//! 15-state EKF ([`crate::Ekf`]) is the paper's reproduction backend, and
+//! the fixed-gain [`crate::ComplementaryFilter`] proves the seam is real.
+//!
+//! ```text
+//!                 ┌────────────────────────┐
+//!  ImuSample ───▶ │   AttitudeEstimator    │ ───▶ NavState (controller)
+//!  GpsSample ───▶ │  predict / fuse_gps /  │ ───▶ EstimatorHealth (detect)
+//!  BaroSample ──▶ │  fuse_baro / fuse_yaw  │ ───▶ distance_traveled (CSV)
+//!  yaw (mag) ───▶ └────────────────────────┘
+//!           ▲                 ▲
+//!        Ekf (15-state)   ComplementaryFilter (fixed-gain)
+//! ```
+
+use imufit_math::Vec3;
+use imufit_sensors::{BaroSample, GpsSample, ImuSample};
+
+use crate::health::EstimatorHealth;
+use crate::state::NavState;
+
+/// A navigation filter the closed loop can fly on.
+///
+/// The contract mirrors the paper's sensor architecture: the IMU is the
+/// *process input* (so IMU faults corrupt every backend directly), while
+/// GNSS, barometer and compass are *measurements* a backend may gate,
+/// blend, or reset on as it sees fit.
+pub trait AttitudeEstimator {
+    /// Resets the filter to a known position/velocity/yaw (pre-takeoff
+    /// alignment). Must clear all accumulated state, including
+    /// [`AttitudeEstimator::distance_traveled`] and health counters, so a
+    /// recycled vehicle starts its next run from scratch.
+    fn initialize(&mut self, position: Vec3, velocity: Vec3, yaw: f64);
+
+    /// True once [`AttitudeEstimator::initialize`] has been called.
+    fn is_initialized(&self) -> bool;
+
+    /// Propagates the state with one IMU sample over `dt` seconds.
+    fn predict(&mut self, imu: &ImuSample, dt: f64);
+
+    /// Incorporates a GNSS position/velocity fix.
+    fn fuse_gps(&mut self, gps: &GpsSample);
+
+    /// Incorporates a barometric height measurement.
+    fn fuse_baro(&mut self, baro: &BaroSample);
+
+    /// Incorporates a compass yaw measurement, radians.
+    fn fuse_yaw(&mut self, measured_yaw: f64);
+
+    /// The current nominal state estimate.
+    fn state(&self) -> &NavState;
+
+    /// Innovation-consistency health flags for the failure detector.
+    fn health(&self) -> EstimatorHealth;
+
+    /// Total distance flown according to the *estimated* position, meters
+    /// (the paper's "Distance Traveled" metric is defined on EKF output).
+    fn distance_traveled(&self) -> f64;
+
+    /// Short backend identifier for telemetry and scenario documents.
+    fn label(&self) -> &'static str;
+}
+
+/// An owned, thread-movable estimator — what `VehicleBuilder` hands to the
+/// simulator and campaign workers ship between threads.
+pub type BoxedEstimator = Box<dyn AttitudeEstimator + Send>;
+
+impl AttitudeEstimator for crate::Ekf {
+    fn initialize(&mut self, position: Vec3, velocity: Vec3, yaw: f64) {
+        crate::Ekf::initialize(self, position, velocity, yaw);
+    }
+
+    fn is_initialized(&self) -> bool {
+        crate::Ekf::is_initialized(self)
+    }
+
+    fn predict(&mut self, imu: &ImuSample, dt: f64) {
+        crate::Ekf::predict(self, imu, dt);
+    }
+
+    fn fuse_gps(&mut self, gps: &GpsSample) {
+        crate::Ekf::fuse_gps(self, gps);
+    }
+
+    fn fuse_baro(&mut self, baro: &BaroSample) {
+        crate::Ekf::fuse_baro(self, baro);
+    }
+
+    fn fuse_yaw(&mut self, measured_yaw: f64) {
+        crate::Ekf::fuse_yaw(self, measured_yaw);
+    }
+
+    fn state(&self) -> &NavState {
+        crate::Ekf::state(self)
+    }
+
+    fn health(&self) -> EstimatorHealth {
+        crate::Ekf::health(self)
+    }
+
+    fn distance_traveled(&self) -> f64 {
+        crate::Ekf::distance_traveled(self)
+    }
+
+    fn label(&self) -> &'static str {
+        "ekf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComplementaryFilter, Ekf, EkfParams};
+    use imufit_math::GRAVITY;
+
+    /// Both backends must be drivable through the same trait object.
+    #[test]
+    fn backends_are_object_safe_and_interchangeable() {
+        let backends: Vec<BoxedEstimator> = vec![
+            Box::new(Ekf::new(EkfParams::default())),
+            Box::new(ComplementaryFilter::default()),
+        ];
+        for mut est in backends {
+            assert!(!est.is_initialized());
+            est.initialize(Vec3::ZERO, Vec3::ZERO, 0.0);
+            assert!(est.is_initialized());
+            for i in 0..500 {
+                let imu = ImuSample {
+                    accel: Vec3::new(0.0, 0.0, -GRAVITY),
+                    gyro: Vec3::ZERO,
+                    time: i as f64 * 0.004,
+                };
+                est.predict(&imu, 0.004);
+            }
+            assert!(est.state().is_finite(), "{}", est.label());
+            assert!(
+                est.state().velocity.norm() < 0.05,
+                "{} drifted: {}",
+                est.label(),
+                est.state().velocity
+            );
+        }
+    }
+
+    /// `initialize` must clear accumulated distance (reset contract).
+    #[test]
+    fn initialize_clears_distance() {
+        let mut est: BoxedEstimator = Box::<ComplementaryFilter>::default();
+        est.initialize(Vec3::ZERO, Vec3::ZERO, 0.0);
+        for i in 0..250 {
+            let imu = ImuSample {
+                accel: Vec3::new(1.0, 0.0, -GRAVITY),
+                gyro: Vec3::ZERO,
+                time: i as f64 * 0.004,
+            };
+            est.predict(&imu, 0.004);
+        }
+        assert!(est.distance_traveled() > 0.0);
+        est.initialize(Vec3::ZERO, Vec3::ZERO, 0.0);
+        assert_eq!(est.distance_traveled(), 0.0);
+    }
+}

@@ -33,10 +33,14 @@
 //! assert!(ekf.state().velocity.norm() < 0.01);
 //! ```
 
+pub mod backend;
+pub mod complementary;
 pub mod ekf;
 pub mod health;
 pub mod state;
 
+pub use backend::{AttitudeEstimator, BoxedEstimator};
+pub use complementary::{ComplementaryFilter, ComplementaryParams};
 pub use ekf::{Ekf, EkfParams};
 pub use health::EstimatorHealth;
 pub use state::NavState;

@@ -1,0 +1,147 @@
+//! Property tests: arbitrary valid scenarios survive TOML and JSON
+//! round-trips bit-for-bit, and the validator accepts exactly what the
+//! generators produce.
+
+use proptest::prelude::*;
+
+use imufit_faults::{FaultKind, FaultTarget};
+use imufit_scenario::{EstimatorBackend, ScenarioSpec, PRESET_NAMES};
+
+/// A scenario with every field perturbed away from its default, so the
+/// round-trip exercises the full document surface rather than the subset
+/// that happens to differ between presets.
+#[allow(clippy::too_many_arguments)] // intentionally perturbs every field
+fn build_spec(
+    physics: f64,
+    sub_rates: (f64, f64, f64, f64),
+    redundancy: usize,
+    seed: u64,
+    missions: usize,
+    durations: Vec<f64>,
+    wind: (f64, f64, f64),
+    backend: EstimatorBackend,
+    fast_detection: bool,
+    kind: FaultKind,
+    target: FaultTarget,
+) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::paper_default();
+    spec.name = format!("prop-{seed}");
+    spec.flight.physics_rate = physics;
+    // Sub-rates must not exceed the physics rate; fold them in.
+    spec.flight.gps_rate = sub_rates.0.min(physics);
+    spec.flight.baro_rate = sub_rates.1.min(physics);
+    spec.flight.compass_rate = sub_rates.2.min(physics);
+    spec.flight.tracking_rate = sub_rates.3.min(physics);
+    spec.flight.imu_redundancy = redundancy;
+    spec.flight.estimator = backend;
+    spec.flight.mitigation.fast_detection = fast_detection;
+    spec.flight.wind.mean_north = wind.0;
+    spec.flight.wind.mean_east = wind.1;
+    spec.flight.wind.gust_std = wind.2;
+    spec.faults.kinds = vec![kind];
+    spec.faults.targets = vec![target];
+    spec.campaign.seed = seed;
+    spec.campaign.missions = missions;
+    spec.campaign.durations = durations;
+    spec
+}
+
+fn any_kind() -> impl Strategy<Value = FaultKind> {
+    prop::sample::select(FaultKind::ALL.to_vec())
+}
+
+fn any_target() -> impl Strategy<Value = FaultTarget> {
+    prop::sample::select(FaultTarget::ALL.to_vec())
+}
+
+fn any_backend() -> impl Strategy<Value = EstimatorBackend> {
+    prop::sample::select(vec![EstimatorBackend::Ekf, EstimatorBackend::Complementary])
+}
+
+fn any_bool() -> impl Strategy<Value = bool> {
+    prop::sample::select(vec![false, true])
+}
+
+proptest! {
+    /// spec → TOML → spec is the identity, for arbitrary valid specs.
+    #[test]
+    fn toml_round_trip(
+        physics in 50.0_f64..1000.0,
+        gps in 1.0_f64..50.0,
+        baro in 1.0_f64..100.0,
+        compass in 1.0_f64..50.0,
+        redundancy in 1_usize..6,
+        seed in 0_u64..u64::MAX,
+        missions in 1_usize..10,
+        d0 in 0.5_f64..60.0,
+        d1 in 0.5_f64..60.0,
+        wn in -15.0_f64..15.0,
+        we in -15.0_f64..15.0,
+        gust in 0.0_f64..5.0,
+        backend in any_backend(),
+        fast in any_bool(),
+        kind in any_kind(),
+        target in any_target(),
+    ) {
+        let spec = build_spec(
+            physics, (gps, baro, compass, 1.0), redundancy, seed, missions,
+            vec![d0, d1], (wn, we, gust), backend, fast, kind, target,
+        );
+        prop_assert!(spec.validate().is_ok());
+        let text = spec.to_toml();
+        let back = ScenarioSpec::from_toml(&text);
+        prop_assert!(back.is_ok(), "reparse failed: {:?}\n{text}", back.err());
+        prop_assert_eq!(back.unwrap(), spec);
+    }
+
+    /// spec → JSON → spec is the identity, for arbitrary valid specs.
+    #[test]
+    fn json_round_trip(
+        physics in 50.0_f64..1000.0,
+        gps in 1.0_f64..50.0,
+        seed in 0_u64..u64::MAX,
+        missions in 1_usize..10,
+        d0 in 0.5_f64..60.0,
+        wn in -15.0_f64..15.0,
+        backend in any_backend(),
+        fast in any_bool(),
+        kind in any_kind(),
+        target in any_target(),
+    ) {
+        let spec = build_spec(
+            physics, (gps, 25.0, 10.0, 1.0), 3, seed, missions,
+            vec![d0], (wn, 0.0, 0.0), backend, fast, kind, target,
+        );
+        let text = spec.to_json();
+        let back = ScenarioSpec::from_json(&text);
+        prop_assert!(back.is_ok(), "reparse failed: {:?}\n{text}", back.err());
+        prop_assert_eq!(back.unwrap(), spec);
+    }
+
+    /// Cross-format: TOML and JSON renderings of the same spec parse back
+    /// to the same value through the auto-sniffing entry point.
+    #[test]
+    fn formats_agree(
+        seed in 0_u64..u64::MAX,
+        missions in 1_usize..10,
+        backend in any_backend(),
+    ) {
+        let mut spec = ScenarioSpec::paper_default();
+        spec.campaign.seed = seed;
+        spec.campaign.missions = missions;
+        spec.flight.estimator = backend;
+        let from_toml = ScenarioSpec::from_str_auto(&spec.to_toml()).unwrap();
+        let from_json = ScenarioSpec::from_str_auto(&spec.to_json()).unwrap();
+        prop_assert_eq!(&from_toml, &from_json);
+        prop_assert_eq!(from_toml, spec);
+    }
+}
+
+#[test]
+fn every_preset_round_trips_in_both_formats() {
+    for name in PRESET_NAMES {
+        let spec = ScenarioSpec::preset(name).unwrap();
+        assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+}

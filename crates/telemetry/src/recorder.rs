@@ -54,6 +54,21 @@ impl FlightRecorder {
         }
     }
 
+    /// Clears the log for a new flight, keeping the point/event buffer
+    /// capacity — campaign workers recycle one recorder across hundreds of
+    /// runs instead of reallocating it per flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive.
+    pub fn reset(&mut self, interval: f64) {
+        assert!(interval > 0.0, "interval must be positive");
+        self.interval = interval;
+        self.next_time = 0.0;
+        self.points.clear();
+        self.events.clear();
+    }
+
     /// Offers a sample; it is stored only when the sampling interval has
     /// elapsed since the previous stored point.
     pub fn offer(&mut self, point: TrackPoint) -> bool {
@@ -177,5 +192,26 @@ mod tests {
         let rec = FlightRecorder::new(1.0);
         assert!(rec.is_empty());
         assert_eq!(rec.to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn reset_behaves_like_a_fresh_recorder() {
+        let mut rec = FlightRecorder::new(1.0);
+        for i in 0..1000 {
+            rec.offer(pt(i as f64 * 0.004));
+        }
+        rec.push_event(FlightEvent::new(
+            1.0,
+            crate::events::FlightEventKind::FaultInjected,
+            "x",
+        ));
+        rec.reset(2.0);
+        assert!(rec.is_empty());
+        assert!(rec.events().is_empty());
+        // The new interval applies: 4 s at 0.5 Hz -> points at t=0 and t=2.
+        for i in 0..1000 {
+            rec.offer(pt(i as f64 * 0.004));
+        }
+        assert_eq!(rec.len(), 2);
     }
 }

@@ -1,0 +1,156 @@
+//! The fast-detection mitigation stage.
+//!
+//! Extracted from the simulator loop: watches the consumed (possibly
+//! corrupted) IMU stream with the `imufit-detect` ensemble and decides when
+//! a persistent alarm should pull the failsafe handle — the "quick
+//! detection and tolerance techniques" the paper's discussion calls for.
+//! Disabled (the paper's configuration) it is a no-op that holds no state.
+
+use imufit_detect::{Detector, EnsembleDetector};
+use imufit_sensors::ImuSample;
+
+/// Detection-and-response stage between estimation and control.
+#[derive(Debug)]
+pub struct MitigationStage {
+    detector: Option<EnsembleDetector>,
+    alarm_since: Option<f64>,
+    persist: f64,
+}
+
+impl MitigationStage {
+    /// Creates the stage; `enabled = false` yields the paper's
+    /// mitigation-free configuration.
+    pub fn new(enabled: bool, persist: f64) -> Self {
+        MitigationStage {
+            detector: enabled.then(EnsembleDetector::flight),
+            alarm_since: None,
+            persist,
+        }
+    }
+
+    /// True when fast detection is active.
+    pub fn enabled(&self) -> bool {
+        self.detector.is_some()
+    }
+
+    /// Rearms the stage for a new flight with (possibly different)
+    /// settings, discarding all detector state.
+    pub fn reconfigure(&mut self, enabled: bool, persist: f64) {
+        self.detector = enabled.then(EnsembleDetector::flight);
+        self.alarm_since = None;
+        self.persist = persist;
+    }
+
+    /// Feeds one consumed IMU sample; returns true when the failsafe should
+    /// latch (the alarm has persisted while airborne).
+    pub fn observe(&mut self, imu: &ImuSample, dt: f64, time: f64, airborne: bool) -> bool {
+        let Some(detector) = self.detector.as_mut() else {
+            return false;
+        };
+        let alarm = detector.observe(imu, dt);
+        if alarm && airborne {
+            let since = *self.alarm_since.get_or_insert(time);
+            time - since >= self.persist
+        } else {
+            self.alarm_since = None;
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imufit_math::rng::Pcg;
+    use imufit_math::Vec3;
+
+    /// Realistic clean IMU data: a perfectly constant stream would trip the
+    /// ensemble's stuck-value member, so quiet samples carry sensor noise.
+    fn quiet(t: f64, rng: &mut Pcg) -> ImuSample {
+        ImuSample {
+            accel: Vec3::new(
+                rng.normal_with(0.0, 0.05),
+                rng.normal_with(0.0, 0.05),
+                -imufit_math::GRAVITY + rng.normal_with(0.0, 0.05),
+            ),
+            gyro: Vec3::new(
+                rng.normal_with(0.0, 0.002),
+                rng.normal_with(0.0, 0.002),
+                rng.normal_with(0.0, 0.002),
+            ),
+            time: t,
+        }
+    }
+
+    fn saturated(t: f64) -> ImuSample {
+        ImuSample {
+            accel: Vec3::splat(16.0 * imufit_math::GRAVITY),
+            gyro: Vec3::splat(34.9),
+            time: t,
+        }
+    }
+
+    #[test]
+    fn disabled_stage_never_triggers() {
+        let mut stage = MitigationStage::new(false, 0.25);
+        assert!(!stage.enabled());
+        for i in 0..1000 {
+            assert!(!stage.observe(&saturated(i as f64 * 0.004), 0.004, i as f64 * 0.004, true));
+        }
+    }
+
+    #[test]
+    fn persistent_alarm_triggers_after_persist_window() {
+        let mut stage = MitigationStage::new(true, 0.25);
+        // Settle the detector on clean data first.
+        let mut rng = Pcg::seed_from(7);
+        let mut t = 0.0;
+        for _ in 0..2500 {
+            assert!(!stage.observe(&quiet(t, &mut rng), 0.004, t, true));
+            t += 0.004;
+        }
+        // Saturated garbage: must trigger, but not before `persist` elapses.
+        let onset = t;
+        let mut triggered_at = None;
+        for _ in 0..2500 {
+            if stage.observe(&saturated(t), 0.004, t, true) {
+                triggered_at = Some(t);
+                break;
+            }
+            t += 0.004;
+        }
+        let at = triggered_at.expect("saturated stream must trip the ensemble");
+        assert!(at - onset >= 0.25, "triggered after {:.3}s", at - onset);
+        assert!(at - onset < 2.0, "took too long: {:.3}s", at - onset);
+    }
+
+    #[test]
+    fn grounded_vehicle_never_triggers() {
+        let mut stage = MitigationStage::new(true, 0.25);
+        let mut t = 0.0;
+        for _ in 0..5000 {
+            assert!(!stage.observe(&saturated(t), 0.004, t, false));
+            t += 0.004;
+        }
+    }
+
+    #[test]
+    fn reconfigure_discards_alarm_state() {
+        let mut stage = MitigationStage::new(true, 0.0);
+        let mut rng = Pcg::seed_from(7);
+        let mut t = 0.0;
+        for _ in 0..2500 {
+            stage.observe(&quiet(t, &mut rng), 0.004, t, true);
+            t += 0.004;
+        }
+        while !stage.observe(&saturated(t), 0.004, t, true) {
+            t += 0.004;
+        }
+        stage.reconfigure(true, 0.0);
+        // Fresh detector: clean data must not trigger.
+        for _ in 0..100 {
+            assert!(!stage.observe(&quiet(t, &mut rng), 0.004, t, true));
+            t += 0.004;
+        }
+    }
+}

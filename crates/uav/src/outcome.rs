@@ -74,6 +74,26 @@ impl FlightOutcome {
     }
 }
 
+/// The scalar metrics of one flight — everything the campaign tables need,
+/// without the recorded track. `Copy`, so campaign workers can pull it out
+/// of a recycled vehicle and keep flying the same allocation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FlightSummary {
+    /// How the flight ended.
+    pub outcome: FlightOutcome,
+    /// Flight duration, seconds: takeoff to disarm, or to the crash.
+    pub duration: f64,
+    /// Distance traveled according to the estimator, meters (the paper's
+    /// distance metric).
+    pub distance_est: f64,
+    /// Ground-truth distance traveled, meters.
+    pub distance_true: f64,
+    /// Bubble violation tallies.
+    pub violations: ViolationCounts,
+    /// Number of estimator kinematic resets during the flight.
+    pub ekf_resets: u32,
+}
+
 /// Everything measured from one flight.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlightResult {
@@ -92,6 +112,35 @@ pub struct FlightResult {
     pub ekf_resets: u32,
     /// The recorded track (1 Hz tracking cadence).
     pub recorder: FlightRecorder,
+}
+
+impl FlightSummary {
+    /// Attaches a recorded track, upgrading the summary to a full
+    /// [`FlightResult`].
+    pub fn with_recorder(self, recorder: FlightRecorder) -> FlightResult {
+        FlightResult {
+            outcome: self.outcome,
+            duration: self.duration,
+            distance_est: self.distance_est,
+            distance_true: self.distance_true,
+            violations: self.violations,
+            ekf_resets: self.ekf_resets,
+            recorder,
+        }
+    }
+}
+
+impl From<&FlightResult> for FlightSummary {
+    fn from(r: &FlightResult) -> Self {
+        FlightSummary {
+            outcome: r.outcome,
+            duration: r.duration,
+            distance_est: r.distance_est,
+            distance_true: r.distance_true,
+            violations: r.violations,
+            ekf_resets: r.ekf_resets,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,16 +1,19 @@
-//! The single-flight simulator.
-
-use serde::{Deserialize, Serialize};
+//! The single-flight simulator: the pipeline that wires the stages together.
+//!
+//! The per-tick pipeline (order is load-bearing for bit-reproducibility):
+//! wind → IMU bank sample → fault injection → consensus vote → estimator
+//! predict/fuse ([`AttitudeEstimator`]) → mitigation stage → controller →
+//! physics → tracking/bubble/telemetry → end conditions.
 
 use imufit_bubble::{BubbleTracker, InnerBubbleSpec, Route};
 use imufit_controller::{ControllerParams, FlightController, RedundancyStatus};
-use imufit_detect::{Detector, EnsembleDetector};
 use imufit_dynamics::{Quadrotor, QuadrotorParams, WindModel};
-use imufit_estimator::{Ekf, EkfParams};
+use imufit_estimator::{AttitudeEstimator, BoxedEstimator, ComplementaryFilter, Ekf, EkfParams};
 use imufit_faults::{FaultInjector, FaultScope, FaultSpec};
 use imufit_math::rng::Pcg;
 use imufit_math::Vec3;
 use imufit_missions::Mission;
+use imufit_scenario::EstimatorBackend;
 use imufit_sensors::{
     yaw_from_mag, Barometer, Gps, ImuSpec, ImuVoter, Magnetometer, RedundantImu, VoterConfig,
 };
@@ -18,74 +21,14 @@ use imufit_telemetry::{
     encode, Broker, FlightEvent, FlightEventKind, FlightRecorder, Message, TrackPoint, Tracker,
 };
 
-use crate::outcome::{FlightOutcome, FlightResult};
+use crate::config::SimConfig;
+use crate::mitigation::MitigationStage;
+use crate::outcome::{FlightOutcome, FlightResult, FlightSummary};
 
 /// Barometer spec re-export kept private; defaults are used.
 use imufit_sensors::baro::BaroSpec;
 use imufit_sensors::gps::GpsSpec;
 use imufit_sensors::mag::MagSpec;
-
-/// Simulation configuration for one flight.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SimConfig {
-    /// Physics and control base rate, Hz.
-    pub physics_rate: f64,
-    /// GNSS fix rate, Hz.
-    pub gps_rate: f64,
-    /// Barometer sample rate, Hz.
-    pub baro_rate: f64,
-    /// Compass (yaw aiding) rate, Hz.
-    pub compass_rate: f64,
-    /// Tracking/bubble cadence, Hz (the paper uses 1 Hz).
-    pub tracking_rate: f64,
-    /// Number of redundant IMU instances (PX4-class autopilots carry 3).
-    pub imu_redundancy: usize,
-    /// Watchdog limit, simulated seconds.
-    pub max_sim_time: f64,
-    /// Wind model.
-    pub wind: WindModel,
-    /// Risk factor `R` for the outer bubble (>= 1; the paper uses 1).
-    pub risk_factor: f64,
-    /// The paper's assumption: injected faults corrupt *all* redundant IMU
-    /// instances (true, the default). Set to `false` to retarget any
-    /// all-scope fault at hardware instance 0 only
-    /// ([`FaultScope::Instance`]) so the consensus voter can exclude it —
-    /// the redundancy ablation of DESIGN.md. Faults that already carry an
-    /// instance scope are used as-is either way.
-    pub faults_affect_all_redundant: bool,
-    /// Fast-detection mitigation (off by default, matching the paper's
-    /// setup): runs the `imufit-detect` ensemble on the consumed IMU stream
-    /// and latches failsafe as soon as an alarm persists for
-    /// [`SimConfig::mitigation_persist`] — the "quick detection and
-    /// tolerance techniques" the paper's discussion calls for.
-    pub fast_detection: bool,
-    /// Continuous alarm time before the mitigation triggers failsafe, s.
-    pub mitigation_persist: f64,
-    /// Master seed for every stochastic model in this flight.
-    pub seed: u64,
-}
-
-impl SimConfig {
-    /// A configuration matched to a mission: the watchdog scales with the
-    /// mission's nominal duration.
-    pub fn default_for(mission: &Mission, seed: u64) -> Self {
-        SimConfig {
-            physics_rate: 250.0,
-            gps_rate: 5.0,
-            baro_rate: 25.0,
-            compass_rate: 10.0,
-            tracking_rate: 1.0,
-            imu_redundancy: 3,
-            max_sim_time: 2.5 * mission.plan().nominal_duration() + 60.0,
-            wind: WindModel::calm(),
-            risk_factor: 1.0,
-            faults_affect_all_redundant: true,
-            fast_detection: false,
-            mitigation_persist: 0.25,
-            seed,
-        }
-    }
-}
 
 /// Crash classification thresholds (ground truth).
 const CRASH_VERTICAL_SPEED: f64 = 2.0; // m/s at contact
@@ -103,7 +46,7 @@ const FLYAWAY_ALTITUDE: f64 = 150.0; // m ceiling bust
 struct SimMetrics {
     /// Whole physics tick, histogram `sim_tick_seconds`.
     tick: imufit_obs::Timer,
-    /// Estimation block (EKF predict + sensor fusion),
+    /// Estimation block (predict + sensor fusion),
     /// histogram `ekf_update_seconds`.
     ekf: imufit_obs::Timer,
     /// Fault-injector bank pass, histogram `fault_injector_seconds`.
@@ -120,8 +63,15 @@ impl SimMetrics {
     }
 }
 
+/// Instantiates the estimator backend a config names.
+fn build_estimator(backend: EstimatorBackend) -> BoxedEstimator {
+    match backend {
+        EstimatorBackend::Ekf => Box::new(Ekf::new(EkfParams::default())),
+        EstimatorBackend::Complementary => Box::new(ComplementaryFilter::default()),
+    }
+}
+
 /// One vehicle flying one mission, end to end.
-#[derive(Debug)]
 pub struct FlightSimulator {
     config: SimConfig,
     dt: f64,
@@ -135,7 +85,7 @@ pub struct FlightSimulator {
     gps: Gps,
     mag: Magnetometer,
     injector: FaultInjector,
-    ekf: Ekf,
+    estimator: BoxedEstimator,
     controller: FlightController,
     wind: WindModel,
 
@@ -163,8 +113,7 @@ pub struct FlightSimulator {
     distance_true: f64,
     last_true_position: Vec3,
     outcome: Option<FlightOutcome>,
-    mitigation: Option<EnsembleDetector>,
-    mitigation_alarm_since: Option<f64>,
+    mitigation: MitigationStage,
     fault_was_active: bool,
     failsafe_was_active: bool,
 }
@@ -172,7 +121,85 @@ pub struct FlightSimulator {
 impl FlightSimulator {
     /// Builds a simulator for a mission with the given scheduled faults
     /// (empty for a gold run).
+    ///
+    /// Construction is implemented as [`FlightSimulator::reset`] on a shell
+    /// vehicle, so a freshly built simulator and a recycled one are the
+    /// same code path by construction.
     pub fn new(mission: &Mission, faults: Vec<FaultSpec>, config: SimConfig) -> Self {
+        // Shell values only: reset() below re-derives every piece of
+        // flight state from the config's seed.
+        let mut shell_rng = Pcg::seed_from(0);
+        let imu_spec = ImuSpec::default();
+        let quad_params = QuadrotorParams::default_airframe();
+        let edge_broker = Broker::new();
+        let core_broker = Broker::new();
+        let bridge = edge_broker.bridge(&core_broker, imufit_telemetry::tracker::POSITION_TOPIC);
+        let tracker = Tracker::attach(&core_broker);
+        let mut sim = FlightSimulator {
+            dt: 1.0 / config.physics_rate,
+            time: 0.0,
+            tick: 0,
+            quad: Quadrotor::with_state(
+                quad_params,
+                imufit_dynamics::RigidBodyState::at_rest(mission.home),
+            ),
+            imu_bank: RedundantImu::new(imu_spec, 1, &mut shell_rng),
+            voter: ImuVoter::new(VoterConfig::default(), 1),
+            baro: Barometer::new(BaroSpec::default(), 16.0),
+            gps: Gps::new(GpsSpec::default()),
+            mag: Magnetometer::new(MagSpec::default(), &mut shell_rng),
+            injector: FaultInjector::new(imu_spec, Vec::new()),
+            estimator: build_estimator(config.estimator),
+            controller: FlightController::new(
+                ControllerParams::for_vehicle(1.0, 1.0),
+                mission.plan(),
+            ),
+            wind: config.wind.clone(),
+            bubble: BubbleTracker::new(
+                Route::new(vec![mission.home, mission.home]),
+                InnerBubbleSpec {
+                    dimension: 1.0,
+                    safety_distance: 1.0,
+                    max_tracking_distance: 1.0,
+                },
+                1.0,
+            ),
+            recorder: FlightRecorder::new(1.0 / config.tracking_rate),
+            edge_broker,
+            core_broker,
+            tracker,
+            bridge,
+            drone_id: mission.drone.id,
+            rng_imu: shell_rng.derive(&[0]),
+            rng_gps: shell_rng.derive(&[0]),
+            rng_baro: shell_rng.derive(&[0]),
+            rng_compass: shell_rng.derive(&[0]),
+            rng_wind: shell_rng.derive(&[0]),
+            rng_fault: shell_rng.derive(&[0]),
+            metrics: SimMetrics::new(),
+            airborne: false,
+            distance_true: 0.0,
+            last_true_position: mission.home,
+            outcome: None,
+            mitigation: MitigationStage::new(false, 0.25),
+            fault_was_active: false,
+            failsafe_was_active: false,
+            config,
+        };
+        let config = sim.config.clone();
+        sim.reset(mission, faults, config);
+        sim
+    }
+
+    /// Re-arms this vehicle for a new flight, recycling the heap-heavy
+    /// parts (flight-log buffers, the estimator backend) instead of
+    /// rebuilding all state from scratch — campaign workers call this once
+    /// per experiment instead of constructing ~850 vehicles.
+    ///
+    /// The resulting state is identical to `FlightSimulator::new(mission,
+    /// faults, config)`: every RNG stream, sensor bank and stage is
+    /// re-derived from `config.seed` exactly as construction does.
+    pub fn reset(&mut self, mission: &Mission, faults: Vec<FaultSpec>, config: SimConfig) {
         let master = Pcg::seed_from(config.seed);
         let mut rng_init = master.derive(&[0]);
 
@@ -196,24 +223,29 @@ impl FlightSimulator {
         let quad_params =
             QuadrotorParams::default_airframe().with_payload(mission.drone.payload_kg);
         let start = imufit_dynamics::RigidBodyState::at_rest(mission.home);
-        let quad = Quadrotor::with_state(quad_params.clone(), start);
+        self.quad = Quadrotor::with_state(quad_params.clone(), start);
 
         let imu_spec = ImuSpec::default();
         let instance_count = config.imu_redundancy.max(1);
-        let imu_bank = RedundantImu::new(imu_spec, instance_count, &mut rng_init);
-        let voter = ImuVoter::new(VoterConfig::default(), instance_count);
-        let baro = Barometer::new(BaroSpec::default(), 16.0);
-        let gps = Gps::new(GpsSpec::default());
-        let mag = Magnetometer::new(MagSpec::default(), &mut rng_init);
-        let injector = FaultInjector::new(imu_spec, faults);
+        self.imu_bank = RedundantImu::new(imu_spec, instance_count, &mut rng_init);
+        self.voter = ImuVoter::new(VoterConfig::default(), instance_count);
+        self.baro = Barometer::new(BaroSpec::default(), 16.0);
+        self.gps = Gps::new(GpsSpec::default());
+        self.mag = Magnetometer::new(MagSpec::default(), &mut rng_init);
+        self.injector = FaultInjector::new(imu_spec, faults);
 
-        let mut ekf = Ekf::new(EkfParams::default());
-        ekf.initialize(mission.home, Vec3::ZERO, 0.0);
+        // Recycle the estimator when the backend matches; a backend change
+        // (possible when recycling across scenarios) rebuilds the box.
+        let backend_matches = self.estimator.label() == config.estimator.label();
+        if !backend_matches {
+            self.estimator = build_estimator(config.estimator);
+        }
+        self.estimator.initialize(mission.home, Vec3::ZERO, 0.0);
 
         let plan = mission.plan();
         let controller_params =
             ControllerParams::for_vehicle(quad_params.mass, 4.0 * quad_params.rotor_max_thrust);
-        let controller = FlightController::new(controller_params, plan);
+        self.controller = FlightController::new(controller_params, plan);
 
         // Assigned route for the bubble: climb at home, cruise legs, descend
         // at the final waypoint.
@@ -229,7 +261,7 @@ impl FlightSimulator {
         if let Some(last) = mission.waypoints.last() {
             route_points.push(Vec3::new(last.x, last.y, 0.0));
         }
-        let bubble = BubbleTracker::new(
+        self.bubble = BubbleTracker::new(
             Route::new(route_points),
             InnerBubbleSpec {
                 dimension: mission.drone.dimension_m,
@@ -241,50 +273,35 @@ impl FlightSimulator {
             config.risk_factor,
         );
 
-        let edge_broker = Broker::new();
-        let core_broker = Broker::new();
-        let bridge = edge_broker.bridge(&core_broker, imufit_telemetry::tracker::POSITION_TOPIC);
-        let tracker = Tracker::attach(&core_broker);
+        self.recorder.reset(1.0 / config.tracking_rate);
+        self.edge_broker = Broker::new();
+        self.core_broker = Broker::new();
+        self.bridge = self
+            .edge_broker
+            .bridge(&self.core_broker, imufit_telemetry::tracker::POSITION_TOPIC);
+        self.tracker = Tracker::attach(&self.core_broker);
+        self.drone_id = mission.drone.id;
 
-        let dt = 1.0 / config.physics_rate;
-        FlightSimulator {
-            dt,
-            time: 0.0,
-            tick: 0,
-            quad,
-            imu_bank,
-            voter,
-            baro,
-            gps,
-            mag,
-            injector,
-            ekf,
-            controller,
-            wind: config.wind.clone(),
-            bubble,
-            recorder: FlightRecorder::new(1.0 / config.tracking_rate),
-            edge_broker,
-            core_broker,
-            bridge,
-            tracker,
-            drone_id: mission.drone.id,
-            rng_imu: master.derive(&[1]),
-            rng_gps: master.derive(&[2]),
-            rng_baro: master.derive(&[3]),
-            rng_compass: master.derive(&[4]),
-            rng_wind: master.derive(&[5]),
-            rng_fault: master.derive(&[6]),
-            metrics: SimMetrics::new(),
-            airborne: false,
-            distance_true: 0.0,
-            last_true_position: mission.home,
-            outcome: None,
-            mitigation: config.fast_detection.then(EnsembleDetector::flight),
-            mitigation_alarm_since: None,
-            fault_was_active: false,
-            failsafe_was_active: false,
-            config,
-        }
+        self.rng_imu = master.derive(&[1]);
+        self.rng_gps = master.derive(&[2]);
+        self.rng_baro = master.derive(&[3]);
+        self.rng_compass = master.derive(&[4]);
+        self.rng_wind = master.derive(&[5]);
+        self.rng_fault = master.derive(&[6]);
+
+        self.dt = 1.0 / config.physics_rate;
+        self.time = 0.0;
+        self.tick = 0;
+        self.wind = config.wind.clone();
+        self.airborne = false;
+        self.distance_true = 0.0;
+        self.last_true_position = mission.home;
+        self.outcome = None;
+        self.mitigation
+            .reconfigure(config.fast_detection, config.mitigation_persist);
+        self.fault_was_active = false;
+        self.failsafe_was_active = false;
+        self.config = config;
     }
 
     /// Current simulated time, seconds.
@@ -292,19 +309,29 @@ impl FlightSimulator {
         self.time
     }
 
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
     /// The flight controller (for inspection in tests).
     pub fn controller(&self) -> &FlightController {
         &self.controller
     }
 
-    /// The estimator (for inspection in tests).
-    pub fn estimator(&self) -> &Ekf {
-        &self.ekf
+    /// The estimator backend flying the vehicle.
+    pub fn estimator(&self) -> &dyn AttitudeEstimator {
+        self.estimator.as_ref()
     }
 
     /// The vehicle ground truth (for inspection in tests).
     pub fn vehicle(&self) -> &Quadrotor {
         &self.quad
+    }
+
+    /// The flight log recorded so far.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
     }
 
     /// The core telemetry broker: subscribe here to observe the vehicle's
@@ -315,20 +342,35 @@ impl FlightSimulator {
 
     /// Runs the flight to completion and returns the result.
     pub fn run(mut self) -> FlightResult {
+        let summary = self.run_summary();
+        FlightResult {
+            outcome: summary.outcome,
+            duration: summary.duration,
+            distance_est: summary.distance_est,
+            distance_true: summary.distance_true,
+            violations: summary.violations,
+            ekf_resets: summary.ekf_resets,
+            recorder: self.recorder,
+        }
+    }
+
+    /// Runs the flight to completion and returns the scalar metrics,
+    /// leaving the vehicle (and its flight log) in place so it can be
+    /// inspected or recycled with [`FlightSimulator::reset`].
+    pub fn run_summary(&mut self) -> FlightSummary {
         let outcome = loop {
             match self.outcome {
                 Some(outcome) => break outcome,
                 None => self.step(),
             }
         };
-        FlightResult {
+        FlightSummary {
             outcome,
             duration: self.time,
-            distance_est: self.ekf.distance_traveled(),
+            distance_est: self.estimator.distance_traveled(),
             distance_true: self.distance_true,
             violations: self.bubble.counts(),
-            ekf_resets: self.ekf.health().reset_count,
-            recorder: self.recorder,
+            ekf_resets: self.estimator.health().reset_count,
         }
     }
 
@@ -406,7 +448,7 @@ impl FlightSimulator {
 
         // --- Estimation ---
         let ekf_span = self.metrics.ekf.enter();
-        self.ekf.predict(&corrupted, dt);
+        self.estimator.predict(&corrupted, dt);
         if self.every(self.config.gps_rate) {
             let fix = self.gps.sample(
                 self.quad.state().position,
@@ -414,7 +456,7 @@ impl FlightSimulator {
                 1.0 / self.config.gps_rate,
                 &mut self.rng_gps,
             );
-            self.ekf.fuse_gps(&fix);
+            self.estimator.fuse_gps(&fix);
         }
         if self.every(self.config.baro_rate) {
             let sample = self.baro.sample(
@@ -422,7 +464,7 @@ impl FlightSimulator {
                 1.0 / self.config.baro_rate,
                 &mut self.rng_baro,
             );
-            self.ekf.fuse_baro(&sample);
+            self.estimator.fuse_baro(&sample);
         }
         if self.every(self.config.compass_rate) {
             // A real magnetometer pipeline: sample the body-frame field from
@@ -432,28 +474,23 @@ impl FlightSimulator {
             let sample = self
                 .mag
                 .sample(self.quad.state().attitude, &mut self.rng_compass);
-            let (est_roll, est_pitch, _) = self.ekf.state().attitude.to_euler();
+            let (est_roll, est_pitch, _) = self.estimator.state().attitude.to_euler();
             let yaw = yaw_from_mag(&sample, est_roll, est_pitch, self.mag.spec().declination);
-            self.ekf.fuse_yaw(yaw);
+            self.estimator.fuse_yaw(yaw);
         }
         drop(ekf_span);
 
         // --- Control ---
-        let rejecting = self.ekf.health().any_rejecting();
-        let nav = *self.ekf.state();
+        let rejecting = self.estimator.health().any_rejecting();
+        let nav = *self.estimator.state();
 
         // Optional fast-detection mitigation: the detect ensemble watches
         // the same corrupted stream and pulls the failsafe handle early.
-        if let Some(detector) = self.mitigation.as_mut() {
-            let alarm = detector.observe(&corrupted, dt);
-            if alarm && self.airborne {
-                let since = *self.mitigation_alarm_since.get_or_insert(self.time);
-                if self.time - since >= self.config.mitigation_persist {
-                    self.controller.trigger_external_failsafe(self.time, &nav);
-                }
-            } else {
-                self.mitigation_alarm_since = None;
-            }
+        if self
+            .mitigation
+            .observe(&corrupted, dt, self.time, self.airborne)
+        {
+            self.controller.trigger_external_failsafe(self.time, &nav);
         }
 
         let out = self
@@ -694,6 +731,77 @@ mod tests {
         let b = FlightSimulator::new(&m, Vec::new(), SimConfig::default_for(&m, 2)).run();
         assert!(a.outcome.is_completed() && b.outcome.is_completed());
         assert_ne!(a.distance_est, b.distance_est);
+    }
+
+    /// The recycling contract: a vehicle reset onto a new (mission, faults,
+    /// config) triple must fly bit-for-bit the same flight a freshly
+    /// constructed one does — including across fault runs, backend kinds,
+    /// and a recorder full of a previous flight's log.
+    #[test]
+    fn reset_vehicle_matches_fresh_construction() {
+        let m = short_mission();
+        let full = &all_missions()[0];
+
+        // One long-lived vehicle, reset across three very different runs.
+        let mut recycled = FlightSimulator::new(&m, Vec::new(), SimConfig::default_for(&m, 5));
+        let _ = recycled.run_summary();
+
+        let cases: Vec<(&Mission, Vec<FaultSpec>, SimConfig)> = vec![
+            (&m, Vec::new(), SimConfig::default_for(&m, 7)),
+            (
+                &m,
+                fault_at(FaultKind::Min, FaultTarget::Gyrometer, 30.0, 10.0),
+                SimConfig::default_for(&m, 11),
+            ),
+            (full, Vec::new(), SimConfig::default_for(full, 23)),
+        ];
+        for (mission, faults, config) in cases {
+            recycled.reset(mission, faults.clone(), config.clone());
+            let fresh = FlightSimulator::new(mission, faults, config).run();
+            let summary = recycled.run_summary();
+            assert_eq!(summary.outcome.label(), fresh.outcome.label());
+            assert_eq!(summary.duration, fresh.duration);
+            assert_eq!(summary.distance_est, fresh.distance_est);
+            assert_eq!(summary.distance_true, fresh.distance_true);
+            assert_eq!(summary.violations, fresh.violations);
+            assert_eq!(summary.ekf_resets, fresh.ekf_resets);
+            assert_eq!(recycled.recorder().len(), fresh.recorder.len());
+            assert_eq!(
+                recycled.recorder().events().len(),
+                fresh.recorder.events().len()
+            );
+        }
+    }
+
+    /// The complementary-filter backend, selected purely via config, flies
+    /// a gold run to completion (the pluggability smoke test).
+    #[test]
+    fn complementary_backend_completes_gold_run() {
+        let m = short_mission();
+        let mut config = SimConfig::default_for(&m, 7);
+        config.estimator = imufit_scenario::EstimatorBackend::Complementary;
+        let sim = FlightSimulator::new(&m, Vec::new(), config);
+        assert_eq!(sim.estimator().label(), "complementary");
+        let r = sim.run();
+        assert!(
+            r.outcome.is_completed(),
+            "complementary gold run failed: {:?} after {:.1}s",
+            r.outcome,
+            r.duration
+        );
+        assert_eq!(r.violations.outer, 0, "outer bubble must stay clean");
+    }
+
+    /// Swapping backends must change the flight (they are genuinely
+    /// different filters), while the EKF path stays the paper's.
+    #[test]
+    fn backends_produce_different_flights() {
+        let m = short_mission();
+        let ekf = FlightSimulator::new(&m, Vec::new(), SimConfig::default_for(&m, 7)).run();
+        let mut config = SimConfig::default_for(&m, 7);
+        config.estimator = imufit_scenario::EstimatorBackend::Complementary;
+        let comp = FlightSimulator::new(&m, Vec::new(), config).run();
+        assert_ne!(ekf.distance_est, comp.distance_est);
     }
 
     #[test]

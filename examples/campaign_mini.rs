@@ -1,7 +1,8 @@
 //! Runs a scaled-down fault-injection campaign (3 missions, 2 durations)
 //! and prints all three of the paper's tables from the measured records.
 //!
-//! The full 850-case campaign is `cargo run --release --bin reproduce`.
+//! The campaign is described by the `quick` scenario preset; the full
+//! 850-case campaign is `cargo run --release --bin reproduce`.
 //!
 //! ```text
 //! cargo run --release --example campaign_mini
@@ -9,9 +10,11 @@
 
 use imufit::core::tables::{Table2, Table3, Table4};
 use imufit::core::{report, Campaign, CampaignConfig};
+use imufit::scenario::ScenarioSpec;
 
 fn main() {
-    let config = CampaignConfig::scaled(3, vec![2.0, 30.0], 2024);
+    let spec = ScenarioSpec::preset("quick").expect("'quick' is a built-in preset");
+    let config = CampaignConfig::from_scenario(&spec);
     let total = config.matrix().len();
     eprintln!("running {total} experiments (3 missions x {{2 s, 30 s}} x 21 faults + gold)...");
 

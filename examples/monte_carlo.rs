@@ -29,10 +29,20 @@ fn main() {
         );
     }
 
+    // One recycled vehicle flies the whole fleet: `build_into` resets the
+    // existing simulator in place instead of reallocating it per flight,
+    // exactly as campaign workers do.
+    let spec = ScenarioSpec::paper_default();
+    let mut vehicle: Option<FlightSimulator> = None;
+
     // Gold runs across the generated fleet.
     let mut gold_done = 0;
     for m in &fleet {
-        let r = FlightSimulator::new(m, Vec::new(), SimConfig::default_for(m, seed ^ 0xABCD)).run();
+        VehicleBuilder::from_scenario(&spec, m, seed ^ 0xABCD)
+            .expect("paper-default is always a valid scenario")
+            .build_into(&mut vehicle)
+            .expect("paper-default realizes to a valid vehicle");
+        let r = vehicle.as_mut().unwrap().run_summary();
         if r.outcome.is_completed() {
             gold_done += 1;
         } else {
@@ -50,8 +60,12 @@ fn main() {
             FaultTarget::Gyrometer,
             InjectionWindow::new(90.0, 10.0),
         );
-        let r =
-            FlightSimulator::new(m, vec![fault], SimConfig::default_for(m, seed ^ 0xBEEF)).run();
+        VehicleBuilder::from_scenario(&spec, m, seed ^ 0xBEEF)
+            .expect("valid scenario")
+            .with_faults(vec![fault])
+            .build_into(&mut vehicle)
+            .expect("valid vehicle");
+        let r = vehicle.as_mut().unwrap().run_summary();
         if r.outcome.is_completed() {
             faulty_done += 1;
         }

@@ -1,6 +1,10 @@
 //! Quickstart: fly one mission clean, then the same mission with a fault,
 //! and compare what happens.
 //!
+//! Vehicles are assembled from the `paper-default` scenario preset — the
+//! single document that describes the paper's whole setup — through
+//! [`VehicleBuilder`].
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
@@ -8,11 +12,16 @@
 use imufit::prelude::*;
 
 fn main() {
+    let spec = ScenarioSpec::paper_default();
     let missions = all_missions();
     let mission = &missions[0]; // 5 km/h courier, straight N-S route
 
     // --- Gold run ---
-    let gold = FlightSimulator::new(mission, Vec::new(), SimConfig::default_for(mission, 42)).run();
+    let gold = VehicleBuilder::from_scenario(&spec, mission, 42)
+        .expect("paper-default is always a valid scenario")
+        .build()
+        .expect("paper-default realizes to a valid vehicle")
+        .run();
     println!(
         "gold run:  {:9} | {:6.1} s | {:.2} km | {} inner / {} outer violations",
         gold.outcome.label(),
@@ -28,8 +37,12 @@ fn main() {
         FaultTarget::Gyrometer,
         InjectionWindow::new(90.0, 10.0),
     );
-    let faulty =
-        FlightSimulator::new(mission, vec![fault], SimConfig::default_for(mission, 42)).run();
+    let faulty = VehicleBuilder::from_scenario(&spec, mission, 42)
+        .expect("valid scenario")
+        .with_faults(vec![fault])
+        .build()
+        .expect("valid vehicle")
+        .run();
     println!(
         "gyro freeze: {:7} | {:6.1} s | {:.2} km | {} inner / {} outer violations",
         faulty.outcome.label(),

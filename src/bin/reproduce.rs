@@ -7,16 +7,21 @@
 //!
 //! ```text
 //! cargo run --release --bin reproduce \
-//!     [-- --seed N --missions M --out DIR --quick --metrics --no-metrics]
+//!     [-- --seed N --missions M --out DIR --quick --metrics --no-metrics \
+//!         --scenario FILE|PRESET --dump-scenario]
 //! ```
 //!
 //! `--quick` runs a scaled campaign (3 missions, durations 2 s and 30 s)
-//! for a fast smoke reproduction. `--metrics` additionally writes the
-//! metric registry as Prometheus text (`campaign_metrics.prom`);
-//! `--no-metrics` suppresses the JSON snapshot. Building with
-//! `--no-default-features` compiles the whole observability layer to
-//! no-ops — the resulting `campaign_results.csv` is byte-identical, which
-//! CI checks.
+//! for a fast smoke reproduction. `--scenario` loads a scenario document
+//! (TOML or JSON) or a named preset (`paper-default`, `quick`,
+//! `redundancy-ablation`, `mitigation-on`) describing the whole run;
+//! `--dump-scenario` prints the active scenario as TOML and exits, so
+//! `reproduce --dump-scenario > s.toml && reproduce --scenario s.toml`
+//! round-trips. `--metrics` additionally writes the metric registry as
+//! Prometheus text (`campaign_metrics.prom`); `--no-metrics` suppresses
+//! the JSON snapshot. Building with `--no-default-features` compiles the
+//! whole observability layer to no-ops — the resulting
+//! `campaign_results.csv` is byte-identical, which CI checks.
 
 use std::io::Write as _;
 
@@ -24,12 +29,36 @@ use imufit_core::{conflicts, figures, redundancy, report, sweep, Campaign, Campa
 use imufit_detect::{evaluate, EnsembleDetector, LabeledStream};
 use imufit_faults::{FaultKind, FaultSpec, FaultTarget, InjectionWindow};
 use imufit_missions::all_missions;
-use imufit_obs::{info, warn};
+use imufit_obs::info;
+use imufit_scenario::{ScenarioSpec, PRESET_NAMES};
 use imufit_uav::{FlightSimulator, SimConfig};
 
+const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--quick]
+                 [--scenario FILE|PRESET] [--dump-scenario]
+                 [--no-extras] [--metrics] [--no-metrics]
+
+  --seed N            campaign master seed (default 2024)
+  --missions M        fly only the first M study missions (default 10)
+  --out DIR           output directory (default .)
+  --quick             scaled smoke campaign: 3 missions, durations 2 s / 30 s
+  --scenario X        scenario document (TOML/JSON path) or preset name:
+                      paper-default, quick, redundancy-ablation, mitigation-on
+  --dump-scenario     print the active scenario as TOML and exit
+  --no-extras         skip the beyond-the-paper sections
+  --metrics           also write Prometheus text exposition
+  --no-metrics        suppress the campaign_metrics.json snapshot";
+
+/// Prints an argument error plus usage to stderr and exits non-zero.
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
 struct Args {
-    seed: u64,
-    missions: usize,
+    /// Explicit `--seed`, overriding the scenario's campaign seed.
+    seed: Option<u64>,
+    /// Explicit `--missions`, overriding the scenario's mission count.
+    missions: Option<usize>,
     out: String,
     quick: bool,
     extras: bool,
@@ -37,40 +66,72 @@ struct Args {
     prometheus: bool,
     /// Write the `campaign_metrics.json` snapshot (on by default).
     metrics_json: bool,
+    /// Scenario document path or preset name.
+    scenario: Option<String>,
+    /// Print the active scenario as TOML and exit.
+    dump_scenario: bool,
+}
+
+/// Parses a flag's value, dying with a usable message on anything
+/// missing or unparsable (`--seed abc` must not silently become 2024).
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        die(&format!("missing value for {flag}"));
+    };
+    v.parse()
+        .unwrap_or_else(|_| die(&format!("cannot parse {flag} value '{v}'")))
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
-        seed: 2024,
-        missions: 10,
+        seed: None,
+        missions: None,
         out: ".".to_string(),
         quick: false,
         extras: true,
         prometheus: false,
         metrics_json: true,
+        scenario: None,
+        dump_scenario: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(args.seed),
-            "--missions" => {
-                args.missions = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(args.missions)
+            "--seed" => args.seed = Some(parse_value("--seed", it.next())),
+            "--missions" => args.missions = Some(parse_value("--missions", it.next())),
+            "--out" => args.out = it.next().unwrap_or_else(|| die("missing value for --out")),
+            "--scenario" => {
+                args.scenario = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("missing value for --scenario")),
+                )
             }
-            "--out" => args.out = it.next().unwrap_or_else(|| ".".to_string()),
+            "--dump-scenario" => args.dump_scenario = true,
             "--quick" => args.quick = true,
             "--no-extras" => args.extras = false,
             "--metrics" => args.prometheus = true,
             "--no-metrics" => args.metrics_json = false,
-            other => {
-                warn!("unknown argument: {other}");
-                std::process::exit(2);
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
             }
+            other => die(&format!("unknown argument: {other}")),
         }
     }
     args
+}
+
+/// Resolves `--scenario`: a preset name first, a document path otherwise.
+fn load_scenario(name_or_path: &str) -> ScenarioSpec {
+    if let Some(spec) = ScenarioSpec::preset(name_or_path) {
+        return spec;
+    }
+    ScenarioSpec::from_file(std::path::Path::new(name_or_path)).unwrap_or_else(|e| {
+        die(&format!(
+            "cannot load scenario '{name_or_path}': {e} (presets: {})",
+            PRESET_NAMES.join(", ")
+        ))
+    })
 }
 
 /// Collects the beyond-the-paper sections (duration sweep, fleet
@@ -169,16 +230,32 @@ fn collect_extras(seed: u64) -> report::ExtraSections {
 fn main() {
     imufit_obs::log::init();
     let args = parse_args();
-    let config = if args.quick {
-        CampaignConfig::scaled(3.min(args.missions), vec![2.0, 30.0], args.seed)
-    } else {
-        let mut c = CampaignConfig {
-            seed: args.seed,
-            ..Default::default()
-        };
-        c.missions.truncate(args.missions);
-        c
+
+    // One scenario document describes the whole run; the remaining CLI
+    // flags are overrides layered on top of it.
+    let mut spec = match &args.scenario {
+        Some(s) => load_scenario(s),
+        None => ScenarioSpec::paper_default(),
     };
+    if let Some(seed) = args.seed {
+        spec.campaign.seed = seed;
+    }
+    if let Some(missions) = args.missions {
+        spec.campaign.missions = missions;
+    }
+    if args.quick {
+        spec.campaign.missions = spec.campaign.missions.min(3);
+        spec.campaign.durations = vec![2.0, 30.0];
+    }
+    if let Err(e) = spec.validate() {
+        die(&format!("invalid scenario: {e}"));
+    }
+    if args.dump_scenario {
+        print!("{}", spec.to_toml());
+        return;
+    }
+    let seed = spec.campaign.seed;
+    let config = CampaignConfig::from_scenario(&spec);
 
     let total = config.matrix().len();
     let workers = if config.threads == 0 {
@@ -192,7 +269,7 @@ fn main() {
         "campaign: {} experiments across {} missions (seed {}, {} workers)",
         total,
         config.missions.len(),
-        args.seed,
+        seed,
         workers
     );
 
@@ -214,10 +291,10 @@ fn main() {
     );
 
     info!("running figure scenarios...");
-    let figure_results = figures::run_all(args.seed);
+    let figure_results = figures::run_all(seed);
 
     let extras = if args.extras && !args.quick {
-        collect_extras(args.seed)
+        collect_extras(seed)
     } else {
         report::ExtraSections::default()
     };

@@ -22,6 +22,7 @@
 //! | [`uav`] | `imufit-uav` | the closed-loop single-flight simulator |
 //! | [`core`] | `imufit-core` | campaign engine, tables, figures, reports |
 //! | [`detect`] | `imufit-detect` | online fault detectors + evaluation harness |
+//! | [`scenario`] | `imufit-scenario` | one-document run descriptions + presets |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use imufit_estimator as estimator;
 pub use imufit_faults as faults;
 pub use imufit_math as math;
 pub use imufit_missions as missions;
+pub use imufit_scenario as scenario;
 pub use imufit_sensors as sensors;
 pub use imufit_telemetry as telemetry;
 pub use imufit_uav as uav;
@@ -60,7 +62,10 @@ pub mod prelude {
     pub use imufit_faults::{FaultInjector, FaultKind, FaultSpec, FaultTarget, InjectionWindow};
     pub use imufit_math::{Quat, Vec3};
     pub use imufit_missions::{all_missions, Mission};
-    pub use imufit_uav::{FlightOutcome, FlightResult, FlightSimulator, SimConfig};
+    pub use imufit_scenario::{EstimatorBackend, ScenarioSpec};
+    pub use imufit_uav::{
+        FlightOutcome, FlightResult, FlightSimulator, FlightSummary, SimConfig, VehicleBuilder,
+    };
 }
 
 #[cfg(test)]
