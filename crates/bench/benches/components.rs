@@ -110,6 +110,89 @@ fn bench_sim_step(c: &mut Criterion) {
     });
 }
 
+fn bench_trace(c: &mut Criterion) {
+    let missions = all_missions();
+    let mission = &missions[0];
+
+    // Tick cost with the collector compiled in but disarmed — the default
+    // campaign path, and the baseline the ring overhead is judged against.
+    let mut off = FlightSimulator::new(mission, Vec::new(), SimConfig::default_for(mission, 1));
+    for _ in 0..5000 {
+        off.step();
+    }
+    c.bench_function("trace/tick_off", |b| {
+        b.iter(|| {
+            off.step();
+            black_box(off.time())
+        })
+    });
+
+    // Ring armed with no triggers: pure full-rate record capture, no
+    // segment freezes — the always-on black-box overhead.
+    let mut config = SimConfig::default_for(mission, 1);
+    config.trace.enabled = true;
+    config.trace.triggers = Vec::new();
+    let mut ring = FlightSimulator::new(mission, Vec::new(), config);
+    for _ in 0..5000 {
+        ring.step();
+    }
+    c.bench_function("trace/tick_ring", |b| {
+        b.iter(|| {
+            ring.step();
+            black_box(ring.time())
+        })
+    });
+
+    // Sealing a trigger's frozen window into `.ifbb` bytes: one 512-record
+    // segment (the default pre+post window) plus its event chain.
+    let record = imufit_trace::TraceRecord {
+        tick: 22_500,
+        time: 90.0,
+        pos_ratio: 0.4,
+        vel_ratio: 0.2,
+        hgt_ratio: 0.1,
+        cascade_stage: 1,
+        flags: imufit_trace::record::FLAG_AIRBORNE | imufit_trace::record::FLAG_FAULT_ACTIVE,
+        primary: 0,
+        excluded_mask: 0,
+        deviation: 1.5,
+        inner_radius: 2.0,
+        outer_radius: 50.0,
+        instances: (0..3)
+            .map(|i| imufit_trace::ImuInstanceTrace {
+                gyro: [0.01 * i as f32, -0.02, 0.003],
+                accel: [0.1, -0.2, -9.8],
+                injected_gyro: [0.0; 3],
+                injected_accel: [0.0; 3],
+            })
+            .collect(),
+    };
+    let bb = imufit_trace::BlackBox {
+        drone_id: 0,
+        metadata: "mission=0 drone=0 target=IMU kind=Freeze duration=30 seed=2024 outcome=crash"
+            .to_string(),
+        segments: vec![imufit_trace::TraceSegment {
+            trigger: imufit_trace::TraceTrigger::DetectorEdge,
+            trigger_event_id: 1,
+            records: vec![record; 512],
+        }],
+        events: (0..6)
+            .map(|i| imufit_trace::TraceEvent {
+                id: i,
+                caused_by: i.checked_sub(1),
+                tick: 22_500 + u64::from(i) * 70,
+                time: 90.0 + f64::from(i) * 0.28,
+                kind: imufit_trace::TraceEventKind::ALL[i as usize % 11],
+                param: 0,
+                detail: "detection ensemble alarm persisted 0.25 s".to_string(),
+            })
+            .collect(),
+    };
+    c.bench_function("trace/dump_trigger", |b| {
+        b.iter(|| black_box(bb.encode()).len())
+    });
+}
+
 fn bench_wire(c: &mut Criterion) {
     let msg = imufit_telemetry::Message::Position {
         drone_id: 7,
@@ -133,6 +216,7 @@ criterion_group!(
     bench_injector,
     bench_controller,
     bench_sim_step,
+    bench_trace,
     bench_wire
 );
 criterion_main!(benches);

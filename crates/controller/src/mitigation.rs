@@ -41,6 +41,15 @@ pub enum MitigationLevel {
 }
 
 impl MitigationLevel {
+    /// Every level, least to most intrusive (wire-code order).
+    pub const ALL: [MitigationLevel; 5] = [
+        MitigationLevel::Nominal,
+        MitigationLevel::PrimarySwitch,
+        MitigationLevel::OutlierExclusion,
+        MitigationLevel::DegradedFallback,
+        MitigationLevel::Failsafe,
+    ];
+
     /// Human-readable label for logs and tables.
     pub fn label(self) -> &'static str {
         match self {
@@ -50,6 +59,20 @@ impl MitigationLevel {
             MitigationLevel::DegradedFallback => "degraded fallback",
             MitigationLevel::Failsafe => "failsafe",
         }
+    }
+
+    /// Stable wire code (the black-box trace stores the cascade stage as
+    /// one byte).
+    pub fn code(self) -> u8 {
+        Self::ALL
+            .iter()
+            .position(|l| *l == self)
+            .expect("level is in ALL") as u8
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
     }
 }
 
@@ -396,6 +419,14 @@ mod tests {
         assert!(MitigationLevel::PrimarySwitch < MitigationLevel::OutlierExclusion);
         assert!(MitigationLevel::OutlierExclusion < MitigationLevel::DegradedFallback);
         assert!(MitigationLevel::DegradedFallback < MitigationLevel::Failsafe);
+    }
+
+    #[test]
+    fn level_codes_round_trip() {
+        for level in MitigationLevel::ALL {
+            assert_eq!(MitigationLevel::from_code(level.code()), Some(level));
+        }
+        assert_eq!(MitigationLevel::from_code(5), None);
     }
 
     #[test]

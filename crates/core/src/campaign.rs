@@ -6,6 +6,7 @@
 //! tearing down the whole 850-run campaign.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -14,6 +15,7 @@ use serde::{Deserialize, Serialize};
 use imufit_faults::InjectionWindow;
 use imufit_missions::{all_missions, Mission};
 use imufit_scenario::{FaultSettings, FlightSettings, ScenarioSpec};
+use imufit_trace::TraceSettings;
 use imufit_uav::{FlightOutcome, FlightSimulator, FlightSummary, SimConfig, VehicleBuilder};
 
 use crate::experiment::{csv_header, experiment_matrix, ExperimentRecord, ExperimentSpec};
@@ -75,6 +77,12 @@ pub struct CampaignConfig {
     /// Fault selection: which kinds/targets of the full matrix to fly, and
     /// whether faults hit all redundant IMU instances.
     pub faults: FaultSettings,
+    /// Black-box tracing per run (disabled by default; tracing never feeds
+    /// back into flight state, so results are identical either way).
+    pub trace: TraceSettings,
+    /// Where sealed `.ifbb` black boxes land, one per run that captured
+    /// anything. `None` discards boxes even when tracing is enabled.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -88,6 +96,8 @@ impl Default for CampaignConfig {
             imu_redundancy: 3,
             flight: FlightSettings::default(),
             faults: FaultSettings::default(),
+            trace: TraceSettings::default(),
+            trace_dir: None,
         }
     }
 }
@@ -121,6 +131,8 @@ impl CampaignConfig {
             imu_redundancy: spec.flight.imu_redundancy,
             flight: spec.flight.clone(),
             faults: spec.faults.clone(),
+            trace: spec.trace.clone(),
+            trace_dir: None,
         }
     }
 
@@ -147,6 +159,7 @@ impl CampaignConfig {
             seed,
         );
         sim.imu_redundancy = self.imu_redundancy.max(1);
+        sim.trace = self.trace.clone();
         sim
     }
 }
@@ -314,10 +327,21 @@ impl Campaign {
         let record = match catch_unwind(AssertUnwindSafe(|| {
             Self::try_run_experiment_into(config, spec, vehicle)
         })) {
-            Ok(Ok(record)) => record,
+            Ok(Ok(record)) => {
+                Self::persist_black_box(config, &spec, vehicle, record.outcome.label(), false);
+                record
+            }
             Ok(Err(_)) => Self::aborted_record(config, spec),
             Err(_) => {
                 imufit_obs::counter("campaign_panics_caught_total").inc();
+                // Salvage the black box before the poisoned vehicle is
+                // dropped — the panic marker freezes the last pre-window of
+                // records, which is exactly what a post-mortem wants. The
+                // salvage itself is unwind-isolated: a second panic must not
+                // escape the worker.
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    Self::persist_black_box(config, &spec, vehicle, "aborted", true);
+                }));
                 *vehicle = None;
                 Self::aborted_record(config, spec)
             }
@@ -327,6 +351,99 @@ impl Campaign {
             imufit_obs::counter("campaign_runs_aborted_total").inc();
         }
         record
+    }
+
+    /// Seals the run's black box (if tracing captured anything) and writes
+    /// it under the campaign's trace directory. Strictly write-only: record
+    /// contents never depend on this, and IO failures only bump a counter.
+    fn persist_black_box(
+        config: &CampaignConfig,
+        spec: &ExperimentSpec,
+        vehicle: &mut Option<FlightSimulator>,
+        outcome_label: &str,
+        panicked: bool,
+    ) {
+        let Some(dir) = config.trace_dir.as_deref() else {
+            return;
+        };
+        let Some(vehicle) = vehicle.as_mut() else {
+            return;
+        };
+        let stats = vehicle.trace_stats();
+        let metadata = Self::trace_metadata(config, spec, outcome_label);
+        let bytes = if panicked {
+            vehicle.panic_black_box(&metadata)
+        } else {
+            vehicle.take_black_box(&metadata)
+        };
+        let Some(bytes) = bytes else {
+            return;
+        };
+        imufit_obs::counter("trace_records_captured_total").add(stats.records_captured);
+        imufit_obs::counter("trace_records_dropped_total").add(stats.records_dropped);
+        let path = dir.join(format!("{}.ifbb", Self::trace_file_stem(spec)));
+        match std::fs::write(&path, &bytes) {
+            Ok(()) => {
+                imufit_obs::counter("trace_blackboxes_written_total").inc();
+                imufit_obs::counter("trace_bytes_written_total").add(bytes.len() as u64);
+            }
+            Err(_) => {
+                imufit_obs::counter("trace_write_errors_total").inc();
+            }
+        }
+    }
+
+    /// The black box metadata line: whitespace-separated `key=value` pairs
+    /// the triage tool parses back into campaign cells.
+    fn trace_metadata(
+        config: &CampaignConfig,
+        spec: &ExperimentSpec,
+        outcome_label: &str,
+    ) -> String {
+        let drone_id = config
+            .missions
+            .get(spec.mission_index)
+            .map(|m| m.drone.id)
+            .unwrap_or(u32::MAX);
+        match &spec.fault {
+            None => format!(
+                "mission={} drone={} kind=gold seed={} outcome={}",
+                spec.mission_index, drone_id, config.seed, outcome_label
+            ),
+            Some(f) => format!(
+                "mission={} drone={} target={} kind={} duration={} seed={} outcome={}",
+                spec.mission_index,
+                drone_id,
+                f.target.label(),
+                f.kind.label(),
+                f.window.duration,
+                config.seed,
+                outcome_label
+            ),
+        }
+    }
+
+    /// A filesystem-safe, matrix-unique stem for one experiment's box.
+    fn trace_file_stem(spec: &ExperimentSpec) -> String {
+        let raw = match &spec.fault {
+            None => format!("m{}_gold", spec.mission_index),
+            Some(f) => format!(
+                "m{}_{}_{}_{}s",
+                spec.mission_index,
+                f.target.label(),
+                f.kind.label(),
+                f.window.duration
+            ),
+        };
+        raw.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect()
     }
 
     /// The record used for experiments that failed to execute.
@@ -386,6 +503,22 @@ impl Campaign {
         imufit_obs::counter("campaign_panics_caught_total");
         imufit_obs::counter("voter_exclusions_total");
         imufit_obs::counter("voter_reinstatements_total");
+        if self.config.trace_dir.is_some() {
+            imufit_obs::counter("trace_records_captured_total");
+            imufit_obs::counter("trace_records_dropped_total");
+            imufit_obs::counter("trace_blackboxes_written_total");
+            imufit_obs::counter("trace_bytes_written_total");
+            imufit_obs::counter("trace_write_errors_total");
+        }
+
+        // A missing trace directory costs black boxes, not the campaign:
+        // per-file write errors are already non-fatal, so a failed mkdir
+        // degrades the same way (counted, flights unaffected).
+        if let Some(dir) = self.config.trace_dir.as_deref() {
+            if std::fs::create_dir_all(dir).is_err() {
+                imufit_obs::counter("trace_write_errors_total").inc();
+            }
+        }
 
         // The only cross-worker progress state: one work-stealing cursor and
         // one done-counter, both advanced by a single `fetch_add`. The
@@ -534,6 +667,45 @@ mod tests {
             .all(|f| f.kind == FaultKind::Zeros && f.target == FaultTarget::Gyrometer));
         // 10 missions x 4 durations x 1 kind x 1 target + 10 gold runs.
         assert_eq!(narrow.len(), 10 * 4 + 10);
+    }
+
+    /// Tracing a campaign changes nothing about its results, and (with the
+    /// `trace` feature compiled in) leaves decodable `.ifbb` black boxes in
+    /// the trace directory for runs that tripped a trigger.
+    #[test]
+    fn traced_campaign_is_inert_and_writes_black_boxes() {
+        use imufit_faults::{FaultKind, FaultTarget};
+
+        let narrow = |seed| {
+            let mut config = CampaignConfig::scaled(1, vec![30.0], seed);
+            config.faults.kinds = vec![FaultKind::Freeze];
+            config.faults.targets = vec![FaultTarget::Imu];
+            config
+        };
+        let plain = Campaign::new(narrow(77)).run();
+
+        let dir = std::env::temp_dir().join(format!("imufit-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = narrow(77);
+        config.trace.enabled = true;
+        config.trace_dir = Some(dir.clone());
+        let traced = Campaign::new(config).run();
+
+        // Byte-identical results with the collector armed.
+        assert_eq!(plain.to_csv(), traced.to_csv());
+
+        if cfg!(feature = "trace") {
+            let bytes = std::fs::read(dir.join("m0_imu_freeze_30s.ifbb"))
+                .expect("faulty run must leave a black box");
+            let bb = imufit_trace::BlackBox::decode(&bytes).expect("box must decode");
+            assert!(bb.metadata.contains("kind=Freeze"));
+            assert!(!bb.events.is_empty());
+        } else {
+            // Stub collector: the directory exists but captures nothing.
+            let count = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+            assert_eq!(count, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Recycling one vehicle slot across experiments must match the

@@ -17,6 +17,7 @@
 use std::fmt;
 
 use imufit_faults::{FaultKind, FaultTarget};
+use imufit_trace::{TraceSettings, TraceTrigger};
 
 use crate::doc::{self, DocError, Value};
 
@@ -231,6 +232,8 @@ pub struct ScenarioSpec {
     pub faults: FaultSettings,
     /// Campaign axes.
     pub campaign: CampaignSettings,
+    /// Black-box tracing (off by default; results are identical either way).
+    pub trace: TraceSettings,
 }
 
 /// Why a scenario cannot be used to build vehicles or campaigns.
@@ -252,6 +255,8 @@ pub enum ScenarioError {
         /// Dotted field path of the sub-rate.
         field: &'static str,
     },
+    /// The `[trace]` section violates a collector invariant.
+    Trace(String),
     /// The document parsed but does not describe a scenario.
     Document(DocError),
 }
@@ -271,6 +276,7 @@ impl fmt::Display for ScenarioError {
             ScenarioError::RateAbovePhysics { field } => {
                 write!(f, "{field} cannot exceed sim.physics_rate")
             }
+            ScenarioError::Trace(msg) => write!(f, "{msg}"),
             ScenarioError::Document(e) => write!(f, "scenario document: {e}"),
         }
     }
@@ -300,6 +306,7 @@ impl ScenarioSpec {
             flight: FlightSettings::default(),
             faults: FaultSettings::default(),
             campaign: CampaignSettings::default(),
+            trace: TraceSettings::default(),
         }
     }
 
@@ -389,6 +396,7 @@ impl ScenarioSpec {
                 });
             }
         }
+        self.trace.validate().map_err(ScenarioError::Trace)?;
         Ok(())
     }
 
@@ -475,6 +483,22 @@ impl ScenarioSpec {
         );
         campaign.set("threads", Value::Int(self.campaign.threads as u64));
 
+        let mut trace = Value::table();
+        trace.set("enabled", Value::Bool(self.trace.enabled));
+        trace.set(
+            "triggers",
+            Value::Arr(
+                self.trace
+                    .triggers
+                    .iter()
+                    .map(|t| Value::Str(t.label().into()))
+                    .collect(),
+            ),
+        );
+        trace.set("pre_window", Value::Int(self.trace.pre_window as u64));
+        trace.set("post_window", Value::Int(self.trace.post_window as u64));
+        trace.set("ring_capacity", Value::Int(self.trace.ring_capacity as u64));
+
         let mut root = Value::table();
         root.set("name", Value::Str(self.name.clone()));
         root.set("sim", sim);
@@ -483,6 +507,7 @@ impl ScenarioSpec {
         root.set("wind", wind);
         root.set("faults", faults);
         root.set("campaign", campaign);
+        root.set("trace", trace);
         root
     }
 
@@ -500,6 +525,7 @@ impl ScenarioSpec {
             "wind",
             "faults",
             "campaign",
+            "trace",
         ];
         for (key, _) in root.entries() {
             if key != "name" && !known_sections.contains(&key.as_str()) {
@@ -624,6 +650,33 @@ impl ScenarioSpec {
         spec.campaign.durations = get_f64s(campaign, "campaign", "durations")?;
         spec.campaign.injection_start = get_f64(campaign, "campaign", "injection_start")?;
         spec.campaign.threads = get_usize(campaign, "campaign", "threads")?;
+
+        let trace = section(root, "trace")?;
+        expect_keys(
+            trace,
+            "trace",
+            &[
+                "enabled",
+                "triggers",
+                "pre_window",
+                "post_window",
+                "ring_capacity",
+            ],
+        )?;
+        spec.trace.enabled = get_bool(trace, "trace", "enabled")?;
+        spec.trace.triggers = get_strings(trace, "trace", "triggers")?
+            .iter()
+            .map(|label| {
+                TraceTrigger::parse(label).ok_or_else(|| {
+                    ScenarioError::Document(DocError::new(format!(
+                        "trace.triggers: unknown trigger '{label}'"
+                    )))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        spec.trace.pre_window = get_usize(trace, "trace", "pre_window")?;
+        spec.trace.post_window = get_usize(trace, "trace", "post_window")?;
+        spec.trace.ring_capacity = get_usize(trace, "trace", "ring_capacity")?;
 
         Ok(spec)
     }
@@ -901,6 +954,32 @@ mod tests {
         let text = spec.to_toml();
         let back = ScenarioSpec::from_toml(&text).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn trace_section_round_trips() {
+        let mut spec = ScenarioSpec::paper_default();
+        spec.trace.enabled = true;
+        spec.trace.triggers = vec![TraceTrigger::DetectorEdge, TraceTrigger::Failsafe];
+        spec.trace.pre_window = 100;
+        spec.trace.post_window = 50;
+        spec.trace.ring_capacity = 512;
+        assert!(spec.validate().is_ok());
+        assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+    }
+
+    #[test]
+    fn trace_validation_and_unknown_triggers_are_rejected() {
+        let mut spec = ScenarioSpec::paper_default();
+        spec.trace.ring_capacity = 0;
+        assert!(matches!(spec.validate(), Err(ScenarioError::Trace(_))));
+
+        let text = ScenarioSpec::paper_default()
+            .to_toml()
+            .replace("detector-edge", "detector-hedge");
+        let err = ScenarioSpec::from_toml(&text).unwrap_err();
+        assert!(err.to_string().contains("detector-hedge"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! The full-rate per-tick snapshot.
+//!
+//! Scalar channels are stored as `f32`: the trace exists for post-mortem
+//! diagnosis, not for closing the loop, and half-width floats halve the
+//! ring's memory and the black box on disk.
+
+/// `TraceRecord::flags` bit: a fault window is active this tick.
+pub const FLAG_FAULT_ACTIVE: u8 = 1;
+/// `TraceRecord::flags` bit: failsafe is latched.
+pub const FLAG_FAILSAFE: u8 = 1 << 1;
+/// `TraceRecord::flags` bit: the vehicle is airborne.
+pub const FLAG_AIRBORNE: u8 = 1 << 2;
+/// `TraceRecord::flags` bit: the configured primary IMU is voter-excluded.
+pub const FLAG_PRIMARY_EXCLUDED: u8 = 1 << 3;
+
+/// Sentinel for the bubble channels before the first tracking observation.
+pub const NO_BUBBLE: f32 = -1.0;
+
+/// One redundant IMU instance as the flight stack saw it this tick: the
+/// post-injection reading plus the delta the fault injector added (zero on
+/// healthy instances), so a post-mortem can separate sensor truth from
+/// corruption without re-running the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ImuInstanceTrace {
+    /// Body-frame angular rate as consumed, rad/s.
+    pub gyro: [f32; 3],
+    /// Body-frame specific force as consumed, m/s^2.
+    pub accel: [f32; 3],
+    /// Injected gyro delta (consumed minus clean), rad/s.
+    pub injected_gyro: [f32; 3],
+    /// Injected accel delta (consumed minus clean), m/s^2.
+    pub injected_accel: [f32; 3],
+}
+
+/// One full-rate snapshot of the flight stack's internal state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceRecord {
+    /// Physics tick index.
+    pub tick: u64,
+    /// Simulated time, s.
+    pub time: f64,
+    /// Estimator GPS horizontal-position innovation test ratio.
+    pub pos_ratio: f32,
+    /// Estimator GPS velocity innovation test ratio.
+    pub vel_ratio: f32,
+    /// Estimator barometer height innovation test ratio.
+    pub hgt_ratio: f32,
+    /// Recovery-cascade stage (`MitigationLevel` wire code).
+    pub cascade_stage: u8,
+    /// `FLAG_*` bits.
+    pub flags: u8,
+    /// The IMU instance currently selected as primary.
+    pub primary: u8,
+    /// Bit `i` set when instance `i` is voter-excluded (first 8 instances).
+    pub excluded_mask: u8,
+    /// Route deviation at the last tracking instant, m ([`NO_BUBBLE`]
+    /// before the first).
+    pub deviation: f32,
+    /// Inner bubble radius at the last tracking instant, m.
+    pub inner_radius: f32,
+    /// Outer bubble radius at the last tracking instant, m.
+    pub outer_radius: f32,
+    /// Per-instance IMU state (at most 8 instances are traced).
+    pub instances: Vec<ImuInstanceTrace>,
+}
+
+impl TraceRecord {
+    /// True when a fault window was active this tick.
+    pub fn fault_active(&self) -> bool {
+        self.flags & FLAG_FAULT_ACTIVE != 0
+    }
+
+    /// True when failsafe was latched this tick.
+    pub fn failsafe(&self) -> bool {
+        self.flags & FLAG_FAILSAFE != 0
+    }
+
+    /// True when the vehicle was airborne this tick.
+    pub fn airborne(&self) -> bool {
+        self.flags & FLAG_AIRBORNE != 0
+    }
+
+    /// True when the configured primary instance was voter-excluded.
+    pub fn primary_excluded(&self) -> bool {
+        self.flags & FLAG_PRIMARY_EXCLUDED != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_helpers_read_their_bits() {
+        let rec = TraceRecord {
+            flags: FLAG_FAULT_ACTIVE | FLAG_AIRBORNE,
+            ..Default::default()
+        };
+        assert!(rec.fault_active());
+        assert!(rec.airborne());
+        assert!(!rec.failsafe());
+        assert!(!rec.primary_excluded());
+    }
+}

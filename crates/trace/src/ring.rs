@@ -1,0 +1,108 @@
+//! The fixed-capacity full-rate ring.
+//!
+//! The ring runs for the whole flight; records that fall off the back
+//! without being frozen into a capture segment are counted, not kept.
+
+use std::collections::VecDeque;
+
+use crate::record::TraceRecord;
+
+/// A bounded FIFO of the most recent [`TraceRecord`]s.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: VecDeque<TraceRecord>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full. The evicted record
+    /// is handed back so steady-state callers can recycle its heap
+    /// allocations instead of paying an allocation per tick.
+    pub fn push(&mut self, record: TraceRecord) -> Option<TraceRecord> {
+        let mut evicted = None;
+        if self.buf.len() == self.capacity {
+            evicted = self.buf.pop_front();
+            self.evicted += 1;
+        }
+        self.buf.push_back(record);
+        evicted
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been pushed (or everything cleared).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The bound this ring was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records evicted off the back over the ring's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Clones out the most recent `n` records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<TraceRecord> {
+        let skip = self.buf.len().saturating_sub(n);
+        self.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Drops all held records; the eviction count is preserved.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tick: u64) -> TraceRecord {
+        TraceRecord {
+            tick,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut ring = TraceRing::new(3);
+        assert!(ring.push(rec(0)).is_none());
+        assert!(ring.push(rec(1)).is_none());
+        assert!(ring.push(rec(2)).is_none());
+        assert_eq!(ring.push(rec(3)).map(|r| r.tick), Some(0));
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.evicted(), 1);
+        let ticks: Vec<u64> = ring.tail(3).iter().map(|r| r.tick).collect();
+        assert_eq!(ticks, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tail_handles_short_rings_and_zero_capacity() {
+        let mut ring = TraceRing::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(rec(7));
+        assert_eq!(ring.tail(10).len(), 1);
+        assert_eq!(ring.tail(0).len(), 0);
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+}

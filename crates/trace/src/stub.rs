@@ -1,0 +1,90 @@
+//! The disabled-build collector: a zero-sized struct whose every method is
+//! an inlined no-op, so traced call sites compile away entirely and a
+//! campaign built without the `enabled` feature is provably byte-identical.
+
+use crate::event::TraceEventKind;
+use crate::record::TraceRecord;
+use crate::settings::TraceSettings;
+use crate::TraceStats;
+
+/// No-op stand-in for the live collector (see `collector.rs`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceCollector;
+
+impl TraceCollector {
+    /// No-op constructor.
+    #[inline]
+    pub fn new(_settings: &TraceSettings) -> Self {
+        TraceCollector
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn reset(&mut self, _settings: &TraceSettings) {}
+
+    /// Always `false`: call sites skip record/detail construction.
+    #[inline]
+    pub fn is_armed(&self) -> bool {
+        false
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn record(&mut self, record: TraceRecord) -> Option<TraceRecord> {
+        Some(record)
+    }
+
+    /// No-op; returns a dummy id.
+    #[inline]
+    pub fn event(
+        &mut self,
+        _kind: TraceEventKind,
+        _tick: u64,
+        _time: f64,
+        _param: u32,
+        _detail: String,
+    ) -> u32 {
+        0
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn finalize(&mut self, _outcome_label: &str, _tick: u64, _time: f64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn note_panic(&mut self, _tick: u64, _time: f64) {}
+
+    /// Always the zero stats.
+    #[inline]
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::default()
+    }
+
+    /// Always `None`: no black box is ever produced.
+    #[inline]
+    pub fn take_black_box(&mut self, _drone_id: u32, _metadata: &str) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stub_is_inert() {
+        let mut c = TraceCollector::new(&TraceSettings::default());
+        assert!(!c.is_armed());
+        c.record(TraceRecord::default());
+        assert_eq!(
+            c.event(TraceEventKind::FaultActivated, 0, 0.0, 0, String::new()),
+            0
+        );
+        c.finalize("completed", 0, 0.0);
+        c.note_panic(0, 0.0);
+        assert_eq!(c.stats(), TraceStats::default());
+        assert!(c.take_black_box(0, "").is_none());
+        assert_eq!(std::mem::size_of::<TraceCollector>(), 0);
+    }
+}

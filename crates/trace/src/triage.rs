@@ -1,0 +1,431 @@
+//! Post-mortem analysis over decoded black boxes.
+//!
+//! Everything here is pure string-in/string-out so the `triage` binary
+//! stays a thin argument parser and the analysis is unit-testable without
+//! touching the filesystem.
+
+use std::collections::BTreeMap;
+
+use crate::event::{TraceEvent, TraceEventKind};
+use crate::wire::BlackBox;
+
+/// Parsed `k=v` run metadata (the campaign writes `mission=0 drone=3
+/// target=imu kind=freeze duration=2s seed=99 outcome=crash`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMeta {
+    fields: BTreeMap<String, String>,
+}
+
+impl RunMeta {
+    /// Parses whitespace-separated `k=v` pairs; tokens without `=` are
+    /// ignored.
+    pub fn parse(metadata: &str) -> Self {
+        let mut fields = BTreeMap::new();
+        for token in metadata.split_whitespace() {
+            if let Some((k, v)) = token.split_once('=') {
+                fields.insert(k.to_string(), v.to_string());
+            }
+        }
+        RunMeta { fields }
+    }
+
+    /// Looks up one metadata field.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// The campaign cell this run belongs to: `"gold"` for gold runs,
+    /// otherwise `"{target} {kind} {duration}"`.
+    pub fn cell(&self) -> String {
+        let kind = self.get("kind").unwrap_or("?");
+        if kind == "gold" {
+            return "gold".to_string();
+        }
+        format!(
+            "{} {} {}",
+            self.get("target").unwrap_or("?"),
+            kind,
+            self.get("duration").unwrap_or("?")
+        )
+    }
+
+    /// True for the fault-free reference run of a mission.
+    pub fn is_gold(&self) -> bool {
+        self.get("kind") == Some("gold")
+    }
+}
+
+/// One loaded black box plus where it came from.
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// Display label (usually the file name).
+    pub label: String,
+    /// Parsed metadata.
+    pub meta: RunMeta,
+    /// The decoded black box.
+    pub bb: BlackBox,
+}
+
+impl RunTrace {
+    /// Wraps a decoded black box, parsing its metadata.
+    pub fn new(label: impl Into<String>, bb: BlackBox) -> Self {
+        let meta = RunMeta::parse(&bb.metadata);
+        RunTrace {
+            label: label.into(),
+            meta,
+            bb,
+        }
+    }
+}
+
+/// The key instants of one run's causal chain, pulled from its events.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Latencies {
+    /// First fault activation, s.
+    pub fault_time: Option<f64>,
+    /// First detection edge (detector or voter exclusion) at or after the
+    /// fault, s.
+    pub detection_time: Option<f64>,
+    /// First mitigation action (cascade transition, primary switch, or
+    /// failsafe) at or after detection, s.
+    pub mitigation_time: Option<f64>,
+    /// Run outcome instant, s.
+    pub outcome_time: Option<f64>,
+}
+
+impl Latencies {
+    /// Extracts the chain instants from an event stream.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut l = Latencies::default();
+        for ev in events {
+            match ev.kind {
+                TraceEventKind::FaultActivated if l.fault_time.is_none() => {
+                    l.fault_time = Some(ev.time);
+                }
+                TraceEventKind::DetectorEdge | TraceEventKind::VoterExclusion
+                    if l.detection_time.is_none()
+                        && l.fault_time.map(|f| ev.time >= f).unwrap_or(false) =>
+                {
+                    l.detection_time = Some(ev.time);
+                }
+                TraceEventKind::CascadeTransition
+                | TraceEventKind::PrimarySwitch
+                | TraceEventKind::FailsafeActivated
+                    if l.mitigation_time.is_none()
+                        && l.detection_time.map(|d| ev.time >= d).unwrap_or(false) =>
+                {
+                    l.mitigation_time = Some(ev.time);
+                }
+                TraceEventKind::RunOutcome => l.outcome_time = Some(ev.time),
+                _ => {}
+            }
+        }
+        l
+    }
+
+    /// Fault-to-detection latency, s.
+    pub fn fault_to_detection(&self) -> Option<f64> {
+        Some(self.detection_time? - self.fault_time?)
+    }
+
+    /// Detection-to-mitigation latency, s.
+    pub fn detection_to_mitigation(&self) -> Option<f64> {
+        Some(self.mitigation_time? - self.detection_time?)
+    }
+}
+
+fn fmt_latency(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}s"),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders one run's causal timeline.
+pub fn render_timeline(run: &RunTrace) -> String {
+    let outcome = run
+        .bb
+        .events
+        .iter()
+        .rev()
+        .find(|e| e.kind == TraceEventKind::RunOutcome)
+        .map(|e| e.detail.clone())
+        .unwrap_or_else(|| "unknown".to_string());
+    let mut out = String::new();
+    out.push_str(&format!(
+        "=== {} · cell {} · drone {} · outcome {}\n",
+        run.label,
+        run.meta.cell(),
+        run.bb.drone_id,
+        outcome
+    ));
+    if run.bb.events.is_empty() {
+        out.push_str("  (no events recorded)\n");
+    }
+    for ev in &run.bb.events {
+        let cause = match ev.caused_by {
+            Some(c) => format!("  (caused by #{c})"),
+            None => String::new(),
+        };
+        let detail = if ev.detail.is_empty() {
+            String::new()
+        } else {
+            format!(": {}", ev.detail)
+        };
+        out.push_str(&format!(
+            "  t={:9.3}s  #{:<3} {}{}{}\n",
+            ev.time,
+            ev.id,
+            ev.kind.label(),
+            detail,
+            cause
+        ));
+    }
+    for seg in &run.bb.segments {
+        let span = match (seg.records.first(), seg.records.last()) {
+            (Some(a), Some(b)) => format!("t={:.3}s..{:.3}s", a.time, b.time),
+            _ => "empty".to_string(),
+        };
+        out.push_str(&format!(
+            "  segment [{}] {} records, {}, trigger event #{}\n",
+            seg.trigger,
+            seg.records.len(),
+            span,
+            seg.trigger_event_id
+        ));
+    }
+    let lat = Latencies::from_events(&run.bb.events);
+    out.push_str(&format!(
+        "  latency: fault->detection {}  detection->mitigation {}\n",
+        fmt_latency(lat.fault_to_detection()),
+        fmt_latency(lat.detection_to_mitigation())
+    ));
+    out
+}
+
+/// Renders the per-cell latency table over many runs.
+pub fn render_latency_table(runs: &[RunTrace]) -> String {
+    struct CellAgg {
+        runs: usize,
+        detect: Vec<f64>,
+        mitigate: Vec<f64>,
+    }
+    let mut cells: BTreeMap<String, CellAgg> = BTreeMap::new();
+    for run in runs {
+        let lat = Latencies::from_events(&run.bb.events);
+        let agg = cells.entry(run.meta.cell()).or_insert(CellAgg {
+            runs: 0,
+            detect: Vec::new(),
+            mitigate: Vec::new(),
+        });
+        agg.runs += 1;
+        if let Some(d) = lat.fault_to_detection() {
+            agg.detect.push(d);
+        }
+        if let Some(m) = lat.detection_to_mitigation() {
+            agg.mitigate.push(m);
+        }
+    }
+    let mean = |v: &[f64]| -> String {
+        if v.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.3}s", v.iter().sum::<f64>() / v.len() as f64)
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<30} {:>5} {:>10} {:>16} {:>20}\n",
+        "cell", "runs", "detected", "fault->detect", "detect->mitigate"
+    ));
+    for (cell, agg) in &cells {
+        out.push_str(&format!(
+            "{:<30} {:>5} {:>10} {:>16} {:>20}\n",
+            cell,
+            agg.runs,
+            agg.detect.len(),
+            mean(&agg.detect),
+            mean(&agg.mitigate)
+        ));
+    }
+    out
+}
+
+/// Finds the gold run matching `run`'s mission (and drone, when present).
+pub fn match_gold<'a>(run: &RunTrace, runs: &'a [RunTrace]) -> Option<&'a RunTrace> {
+    runs.iter().find(|g| {
+        g.meta.is_gold()
+            && g.meta.get("mission") == run.meta.get("mission")
+            && g.meta.get("drone") == run.meta.get("drone")
+    })
+}
+
+/// Renders a faulty-vs-gold comparison: outcome, chain instants, and
+/// per-kind event counts side by side.
+pub fn render_diff(faulty: &RunTrace, gold: &RunTrace) -> String {
+    let outcome_of = |r: &RunTrace| {
+        r.bb.events
+            .iter()
+            .rev()
+            .find(|e| e.kind == TraceEventKind::RunOutcome)
+            .map(|e| e.detail.clone())
+            .unwrap_or_else(|| "unknown".to_string())
+    };
+    let counts = |r: &RunTrace| -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for ev in &r.bb.events {
+            *m.entry(ev.kind.label()).or_insert(0) += 1;
+        }
+        m
+    };
+    let fl = Latencies::from_events(&faulty.bb.events);
+    let gl = Latencies::from_events(&gold.bb.events);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "--- diff: {} (cell {}) vs gold {}\n",
+        faulty.label,
+        faulty.meta.cell(),
+        gold.label
+    ));
+    out.push_str(&format!(
+        "  outcome:  {}  vs  {}\n",
+        outcome_of(faulty),
+        outcome_of(gold)
+    ));
+    out.push_str(&format!(
+        "  duration: {}  vs  {}\n",
+        fmt_latency(fl.outcome_time),
+        fmt_latency(gl.outcome_time)
+    ));
+    let fc = counts(faulty);
+    let gc = counts(gold);
+    let mut kinds: Vec<&'static str> = fc.keys().chain(gc.keys()).copied().collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+    for kind in kinds {
+        let f = fc.get(kind).copied().unwrap_or(0);
+        let g = gc.get(kind).copied().unwrap_or(0);
+        if f != g {
+            out.push_str(&format!("  {kind:<22} {f:>4}  vs  {g:>4}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{BlackBox, TraceSegment};
+    use crate::TraceTrigger;
+
+    fn ev(id: u32, caused_by: Option<u32>, time: f64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            id,
+            caused_by,
+            tick: (time * 250.0) as u64,
+            time,
+            kind,
+            param: 0,
+            detail: match kind {
+                TraceEventKind::RunOutcome => "failsafe".to_string(),
+                _ => String::new(),
+            },
+        }
+    }
+
+    fn faulty_run() -> RunTrace {
+        let bb = BlackBox {
+            drone_id: 3,
+            metadata: "mission=0 drone=3 target=imu kind=freeze duration=2s seed=9 \
+                       outcome=failsafe"
+                .to_string(),
+            segments: vec![TraceSegment {
+                trigger: TraceTrigger::DetectorEdge,
+                trigger_event_id: 1,
+                records: Vec::new(),
+            }],
+            events: vec![
+                ev(0, None, 10.0, TraceEventKind::FaultActivated),
+                ev(1, Some(0), 10.4, TraceEventKind::DetectorEdge),
+                ev(2, Some(1), 10.9, TraceEventKind::CascadeTransition),
+                ev(3, Some(2), 11.0, TraceEventKind::RunOutcome),
+            ],
+        };
+        RunTrace::new("run.ifbb", bb)
+    }
+
+    fn gold_run() -> RunTrace {
+        let bb = BlackBox {
+            drone_id: 3,
+            metadata: "mission=0 drone=3 target=- kind=gold duration=- seed=9 outcome=completed"
+                .to_string(),
+            segments: Vec::new(),
+            events: vec![TraceEvent {
+                detail: "completed".to_string(),
+                ..ev(0, None, 60.0, TraceEventKind::RunOutcome)
+            }],
+        };
+        RunTrace::new("gold.ifbb", bb)
+    }
+
+    #[test]
+    fn meta_parses_and_builds_cells() {
+        let run = faulty_run();
+        assert_eq!(run.meta.get("mission"), Some("0"));
+        assert_eq!(run.meta.cell(), "imu freeze 2s");
+        assert!(!run.meta.is_gold());
+        assert_eq!(gold_run().meta.cell(), "gold");
+    }
+
+    #[test]
+    fn latencies_follow_the_chain() {
+        let lat = Latencies::from_events(&faulty_run().bb.events);
+        assert!((lat.fault_to_detection().unwrap() - 0.4).abs() < 1e-9);
+        assert!((lat.detection_to_mitigation().unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(lat.outcome_time, Some(11.0));
+    }
+
+    #[test]
+    fn pre_fault_detections_do_not_count() {
+        let events = vec![
+            ev(0, None, 5.0, TraceEventKind::VoterExclusion),
+            ev(1, None, 10.0, TraceEventKind::FaultActivated),
+        ];
+        let lat = Latencies::from_events(&events);
+        assert_eq!(lat.detection_time, None);
+        assert_eq!(lat.fault_to_detection(), None);
+    }
+
+    #[test]
+    fn timeline_renders_in_event_order() {
+        let text = render_timeline(&faulty_run());
+        let fault = text.find("fault activated").unwrap();
+        let detect = text.find("detector rising edge").unwrap();
+        let cascade = text.find("cascade transition").unwrap();
+        let outcome = text.find("run outcome").unwrap();
+        assert!(fault < detect && detect < cascade && cascade < outcome);
+        assert!(text.contains("caused by #0"));
+        assert!(text.contains("segment [detector-edge]"));
+    }
+
+    #[test]
+    fn latency_table_groups_by_cell() {
+        let runs = vec![faulty_run(), faulty_run(), gold_run()];
+        let table = render_latency_table(&runs);
+        assert!(table.contains("imu freeze 2s"));
+        assert!(table.contains("gold"));
+        assert!(table.contains("0.400s"));
+    }
+
+    #[test]
+    fn diff_finds_gold_and_reports_differences() {
+        let runs = vec![gold_run(), faulty_run()];
+        let faulty = faulty_run();
+        let gold = match_gold(&faulty, &runs).expect("gold run matches");
+        assert_eq!(gold.label, "gold.ifbb");
+        let diff = render_diff(&faulty, gold);
+        assert!(diff.contains("failsafe"));
+        assert!(diff.contains("completed"));
+        assert!(diff.contains("fault activated"));
+    }
+}

@@ -1,0 +1,588 @@
+//! The `.ifbb` ("IMU-fault black box") wire format.
+//!
+//! The format follows the `telemetry::wire` conventions — little-endian,
+//! length-prefixed frames, CCITT-16 checksums — but versions the container
+//! so future record layouts can coexist on disk.
+//!
+//! Container layout:
+//!
+//! ```text
+//! [b"IFBB"][version: u8][drone_id: u32][meta_len: u16][metadata: utf8]
+//! [seg_count: u32]
+//!   per segment: [trigger: u8][trigger_event_id: u32][rec_count: u32][record frames...]
+//! [event_count: u32][event frames...]
+//! ```
+//!
+//! Every record and event is framed `[len: u16][payload][crc: u16]` with the
+//! CRC accumulated over `len` and the payload. Decoding never panics: each
+//! read is bounds-checked and corruption surfaces as a typed [`TraceError`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::event::{TraceEvent, TraceEventKind};
+use crate::record::{ImuInstanceTrace, TraceRecord};
+use crate::settings::TraceTrigger;
+
+/// File magic: the first four bytes of every `.ifbb` file.
+pub const IFBB_MAGIC: [u8; 4] = *b"IFBB";
+
+/// Current container version.
+pub const IFBB_VERSION: u8 = 1;
+
+/// `caused_by` sentinel on the wire: no causing event.
+const NO_CAUSE: u32 = u32::MAX;
+
+/// Longest event `detail` string preserved on the wire, bytes.
+const MAX_DETAIL: usize = 250;
+
+/// Errors produced when decoding a black box.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The buffer ends before the structure it promises.
+    Truncated,
+    /// The file does not start with [`IFBB_MAGIC`].
+    BadMagic,
+    /// The container version is newer than this decoder.
+    UnknownVersion(u8),
+    /// A frame checksum does not match its contents.
+    BadChecksum,
+    /// An event frame carries an unknown kind code.
+    UnknownEventKind(u8),
+    /// A segment header carries an unknown trigger code.
+    UnknownTrigger(u8),
+    /// A structurally invalid frame (bad UTF-8, trailing bytes, ...).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Truncated => write!(f, "truncated black box"),
+            TraceError::BadMagic => write!(f, "bad black-box magic"),
+            TraceError::UnknownVersion(v) => write!(f, "unknown black-box version {v}"),
+            TraceError::BadChecksum => write!(f, "frame checksum mismatch"),
+            TraceError::UnknownEventKind(k) => write!(f, "unknown event kind {k}"),
+            TraceError::UnknownTrigger(t) => write!(f, "unknown trigger code {t}"),
+            TraceError::Malformed(what) => write!(f, "malformed black box: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// One frozen capture window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSegment {
+    /// The anomaly that froze this window.
+    pub trigger: TraceTrigger,
+    /// The id of the [`TraceEvent`] that fired the trigger.
+    pub trigger_event_id: u32,
+    /// The pre/post window, oldest record first.
+    pub records: Vec<TraceRecord>,
+}
+
+/// One run's complete black box: capture segments plus the full event
+/// stream (events are cheap and always kept, even outside windows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlackBox {
+    /// Vehicle identifier (the campaign's drone id).
+    pub drone_id: u32,
+    /// Free-text run metadata (`k=v` pairs; see the campaign writer).
+    pub metadata: String,
+    /// Frozen capture windows, in trigger order.
+    pub segments: Vec<TraceSegment>,
+    /// The run's whole causal event stream, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// CCITT-16 (polynomial 0x1021, init 0xFFFF) — the same checksum
+/// `telemetry::wire` uses; its implementation is private to that module.
+fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Bounds-checked reads over a [`Bytes`] cursor; the vendored `Buf` panics
+/// on underrun, so every read goes through `need` first.
+struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    fn new(buf: Bytes) -> Self {
+        Reader { buf }
+    }
+
+    fn need(&self, n: usize) -> Result<(), TraceError> {
+        if self.buf.remaining() < n {
+            Err(TraceError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn f32(&mut self) -> Result<f32, TraceError> {
+        self.need(4)?;
+        Ok(self.buf.get_f32_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, TraceError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    fn take(&mut self, n: usize) -> Result<Bytes, TraceError> {
+        self.need(n)?;
+        Ok(self.buf.split_to(n))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+fn put_f32x3(buf: &mut BytesMut, v: [f32; 3]) {
+    for x in v {
+        buf.put_f32_le(x);
+    }
+}
+
+fn get_f32x3(r: &mut Reader) -> Result<[f32; 3], TraceError> {
+    Ok([r.f32()?, r.f32()?, r.f32()?])
+}
+
+/// Appends `payload` to `out` framed as `[len: u16][payload][crc: u16]`.
+fn put_frame(out: &mut BytesMut, payload: &BytesMut) {
+    debug_assert!(payload.len() <= u16::MAX as usize);
+    let mut region = BytesMut::with_capacity(payload.len() + 2);
+    region.put_u16_le(payload.len() as u16);
+    region.extend_from_slice(payload);
+    let crc = crc16(&region);
+    out.extend_from_slice(&region);
+    out.put_u16_le(crc);
+}
+
+/// Reads one `[len][payload][crc]` frame, verifying the checksum.
+fn take_frame(r: &mut Reader) -> Result<Reader, TraceError> {
+    let len = r.u16()? as usize;
+    let payload = r.take(len)?;
+    let expect = r.u16()?;
+    let mut region = BytesMut::with_capacity(len + 2);
+    region.put_u16_le(len as u16);
+    region.extend_from_slice(&payload);
+    if crc16(&region) != expect {
+        return Err(TraceError::BadChecksum);
+    }
+    Ok(Reader::new(payload))
+}
+
+/// Encodes one record as a framed payload appended to `out`.
+pub fn encode_record(out: &mut BytesMut, rec: &TraceRecord) {
+    let count = rec.instances.len().min(u8::MAX as usize);
+    let mut p = BytesMut::with_capacity(48 + count * 48);
+    p.put_u64_le(rec.tick);
+    p.put_f64_le(rec.time);
+    p.put_f32_le(rec.pos_ratio);
+    p.put_f32_le(rec.vel_ratio);
+    p.put_f32_le(rec.hgt_ratio);
+    p.put_u8(rec.cascade_stage);
+    p.put_u8(rec.flags);
+    p.put_u8(rec.primary);
+    p.put_u8(rec.excluded_mask);
+    p.put_f32_le(rec.deviation);
+    p.put_f32_le(rec.inner_radius);
+    p.put_f32_le(rec.outer_radius);
+    p.put_u8(count as u8);
+    for inst in rec.instances.iter().take(count) {
+        put_f32x3(&mut p, inst.gyro);
+        put_f32x3(&mut p, inst.accel);
+        put_f32x3(&mut p, inst.injected_gyro);
+        put_f32x3(&mut p, inst.injected_accel);
+    }
+    put_frame(out, &p);
+}
+
+/// Decodes one framed record, advancing `buf` past it.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] for truncated or corrupted frames.
+pub fn decode_record(buf: &mut Bytes) -> Result<TraceRecord, TraceError> {
+    let mut r = Reader::new(std::mem::take(buf));
+    let rec = decode_record_inner(&mut r);
+    *buf = r.buf;
+    rec
+}
+
+fn decode_record_inner(r: &mut Reader) -> Result<TraceRecord, TraceError> {
+    let mut p = take_frame(r)?;
+    let tick = p.u64()?;
+    let time = p.f64()?;
+    let pos_ratio = p.f32()?;
+    let vel_ratio = p.f32()?;
+    let hgt_ratio = p.f32()?;
+    let cascade_stage = p.u8()?;
+    let flags = p.u8()?;
+    let primary = p.u8()?;
+    let excluded_mask = p.u8()?;
+    let deviation = p.f32()?;
+    let inner_radius = p.f32()?;
+    let outer_radius = p.f32()?;
+    let count = p.u8()? as usize;
+    let mut instances = Vec::with_capacity(count);
+    for _ in 0..count {
+        instances.push(ImuInstanceTrace {
+            gyro: get_f32x3(&mut p)?,
+            accel: get_f32x3(&mut p)?,
+            injected_gyro: get_f32x3(&mut p)?,
+            injected_accel: get_f32x3(&mut p)?,
+        });
+    }
+    if p.remaining() != 0 {
+        return Err(TraceError::Malformed("trailing bytes in record frame"));
+    }
+    Ok(TraceRecord {
+        tick,
+        time,
+        pos_ratio,
+        vel_ratio,
+        hgt_ratio,
+        cascade_stage,
+        flags,
+        primary,
+        excluded_mask,
+        deviation,
+        inner_radius,
+        outer_radius,
+        instances,
+    })
+}
+
+/// Encodes one event as a framed payload appended to `out`. The detail
+/// string is truncated to [`MAX_DETAIL`] bytes (on a char boundary).
+pub fn encode_event(out: &mut BytesMut, ev: &TraceEvent) {
+    let mut detail = ev.detail.as_str();
+    if detail.len() > MAX_DETAIL {
+        let mut cut = MAX_DETAIL;
+        while !detail.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        detail = &detail[..cut];
+    }
+    let mut p = BytesMut::with_capacity(32 + detail.len());
+    p.put_u32_le(ev.id);
+    p.put_u32_le(ev.caused_by.unwrap_or(NO_CAUSE));
+    p.put_u64_le(ev.tick);
+    p.put_f64_le(ev.time);
+    p.put_u8(ev.kind.code());
+    p.put_u32_le(ev.param);
+    p.put_u16_le(detail.len() as u16);
+    p.put_slice(detail.as_bytes());
+    put_frame(out, &p);
+}
+
+/// Decodes one framed event, advancing `buf` past it.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] for truncated, corrupted, or unknown frames.
+pub fn decode_event(buf: &mut Bytes) -> Result<TraceEvent, TraceError> {
+    let mut r = Reader::new(std::mem::take(buf));
+    let ev = decode_event_inner(&mut r);
+    *buf = r.buf;
+    ev
+}
+
+fn decode_event_inner(r: &mut Reader) -> Result<TraceEvent, TraceError> {
+    let mut p = take_frame(r)?;
+    let id = p.u32()?;
+    let caused_by = match p.u32()? {
+        NO_CAUSE => None,
+        c => Some(c),
+    };
+    let tick = p.u64()?;
+    let time = p.f64()?;
+    let kind_code = p.u8()?;
+    let kind =
+        TraceEventKind::from_code(kind_code).ok_or(TraceError::UnknownEventKind(kind_code))?;
+    let param = p.u32()?;
+    let detail_len = p.u16()? as usize;
+    let detail_bytes = p.take(detail_len)?;
+    let detail = std::str::from_utf8(&detail_bytes)
+        .map_err(|_| TraceError::Malformed("event detail is not UTF-8"))?
+        .to_string();
+    if p.remaining() != 0 {
+        return Err(TraceError::Malformed("trailing bytes in event frame"));
+    }
+    Ok(TraceEvent {
+        id,
+        caused_by,
+        tick,
+        time,
+        kind,
+        param,
+        detail,
+    })
+}
+
+impl BlackBox {
+    /// Serializes the black box into a standalone `.ifbb` byte buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = BytesMut::with_capacity(256);
+        out.put_slice(&IFBB_MAGIC);
+        out.put_u8(IFBB_VERSION);
+        out.put_u32_le(self.drone_id);
+        let meta = &self.metadata.as_bytes()[..self.metadata.len().min(u16::MAX as usize)];
+        out.put_u16_le(meta.len() as u16);
+        out.put_slice(meta);
+        out.put_u32_le(self.segments.len() as u32);
+        for seg in &self.segments {
+            out.put_u8(seg.trigger.code());
+            out.put_u32_le(seg.trigger_event_id);
+            out.put_u32_le(seg.records.len() as u32);
+            for rec in &seg.records {
+                encode_record(&mut out, rec);
+            }
+        }
+        out.put_u32_le(self.events.len() as u32);
+        for ev in &self.events {
+            encode_event(&mut out, ev);
+        }
+        out.freeze().to_vec()
+    }
+
+    /// Parses a `.ifbb` byte buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] describing the first structural problem;
+    /// decoding never panics, whatever the input.
+    pub fn decode(data: &[u8]) -> Result<Self, TraceError> {
+        let mut r = Reader::new(Bytes::from(data.to_vec()));
+        let magic = r.take(4)?;
+        if magic[..] != IFBB_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != IFBB_VERSION {
+            return Err(TraceError::UnknownVersion(version));
+        }
+        let drone_id = r.u32()?;
+        let meta_len = r.u16()? as usize;
+        let meta_bytes = r.take(meta_len)?;
+        let metadata = std::str::from_utf8(&meta_bytes)
+            .map_err(|_| TraceError::Malformed("metadata is not UTF-8"))?
+            .to_string();
+        let seg_count = r.u32()? as usize;
+        let mut segments = Vec::with_capacity(seg_count.min(1024));
+        for _ in 0..seg_count {
+            let trigger_code = r.u8()?;
+            let trigger = TraceTrigger::from_code(trigger_code)
+                .ok_or(TraceError::UnknownTrigger(trigger_code))?;
+            let trigger_event_id = r.u32()?;
+            let rec_count = r.u32()? as usize;
+            let mut records = Vec::with_capacity(rec_count.min(4096));
+            for _ in 0..rec_count {
+                records.push(decode_record_inner(&mut r)?);
+            }
+            segments.push(TraceSegment {
+                trigger,
+                trigger_event_id,
+                records,
+            });
+        }
+        let event_count = r.u32()? as usize;
+        let mut events = Vec::with_capacity(event_count.min(4096));
+        for _ in 0..event_count {
+            events.push(decode_event_inner(&mut r)?);
+        }
+        if r.remaining() != 0 {
+            return Err(TraceError::Malformed("trailing bytes after black box"));
+        }
+        Ok(BlackBox {
+            drone_id,
+            metadata,
+            segments,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> TraceRecord {
+        TraceRecord {
+            tick: 12345,
+            time: 49.38,
+            pos_ratio: 0.42,
+            vel_ratio: 1.7,
+            hgt_ratio: 0.05,
+            cascade_stage: 2,
+            flags: 0b0101,
+            primary: 1,
+            excluded_mask: 0b0001,
+            deviation: 3.5,
+            inner_radius: 25.0,
+            outer_radius: 50.0,
+            instances: vec![
+                ImuInstanceTrace {
+                    gyro: [0.01, -0.02, 0.03],
+                    accel: [0.1, 0.2, -9.8],
+                    injected_gyro: [0.5, 0.0, 0.0],
+                    injected_accel: [0.0; 3],
+                },
+                ImuInstanceTrace::default(),
+            ],
+        }
+    }
+
+    fn sample_event() -> TraceEvent {
+        TraceEvent {
+            id: 3,
+            caused_by: Some(1),
+            tick: 12345,
+            time: 49.38,
+            kind: TraceEventKind::CascadeTransition,
+            param: 4,
+            detail: "OutlierExclusion -> Failsafe".to_string(),
+        }
+    }
+
+    fn sample_box() -> BlackBox {
+        BlackBox {
+            drone_id: 7,
+            metadata: "mission=0 kind=freeze seed=2024".to_string(),
+            segments: vec![TraceSegment {
+                trigger: TraceTrigger::DetectorEdge,
+                trigger_event_id: 2,
+                records: vec![sample_record(), TraceRecord::default()],
+            }],
+            events: vec![sample_event()],
+        }
+    }
+
+    #[test]
+    fn record_frame_round_trips() {
+        let rec = sample_record();
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, &rec);
+        let mut cursor = buf.freeze();
+        assert_eq!(decode_record(&mut cursor).unwrap(), rec);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn event_frame_round_trips() {
+        let ev = sample_event();
+        let mut buf = BytesMut::new();
+        encode_event(&mut buf, &ev);
+        let mut cursor = buf.freeze();
+        assert_eq!(decode_event(&mut cursor).unwrap(), ev);
+    }
+
+    #[test]
+    fn long_event_details_are_truncated_not_lost() {
+        let ev = TraceEvent {
+            detail: "x".repeat(1000),
+            ..sample_event()
+        };
+        let mut buf = BytesMut::new();
+        encode_event(&mut buf, &ev);
+        let back = decode_event(&mut buf.freeze()).unwrap();
+        assert_eq!(back.detail.len(), MAX_DETAIL);
+    }
+
+    #[test]
+    fn black_box_round_trips() {
+        let bb = sample_box();
+        assert_eq!(BlackBox::decode(&bb.encode()).unwrap(), bb);
+    }
+
+    #[test]
+    fn empty_black_box_round_trips() {
+        let bb = BlackBox {
+            drone_id: 0,
+            metadata: String::new(),
+            segments: Vec::new(),
+            events: Vec::new(),
+        };
+        assert_eq!(BlackBox::decode(&bb.encode()).unwrap(), bb);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample_box().encode();
+        for cut in 0..bytes.len() {
+            let err = BlackBox::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, TraceError::Truncated | TraceError::BadChecksum),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_detected() {
+        let mut v = sample_box().encode();
+        v[0] = b'X';
+        assert_eq!(BlackBox::decode(&v), Err(TraceError::BadMagic));
+        let mut v = sample_box().encode();
+        v[4] = 99;
+        assert_eq!(BlackBox::decode(&v), Err(TraceError::UnknownVersion(99)));
+    }
+
+    #[test]
+    fn frame_corruption_caught_by_crc() {
+        let bytes = sample_box().encode();
+        // Flip a byte inside the first record frame's payload. The header
+        // is 4 magic + 1 version + 4 id + 2 meta_len + meta + 4 seg_count
+        // + 1 trigger + 4 ev_id + 4 rec_count, then [len u16][payload...].
+        let meta_len = u16::from_le_bytes([bytes[9], bytes[10]]) as usize;
+        let frame_start = 11 + meta_len + 4 + 9;
+        let mut v = bytes.clone();
+        v[frame_start + 4] ^= 0xFF;
+        assert_eq!(BlackBox::decode(&v), Err(TraceError::BadChecksum));
+    }
+
+    #[test]
+    fn trace_error_displays() {
+        assert_eq!(TraceError::Truncated.to_string(), "truncated black box");
+        assert_eq!(
+            TraceError::UnknownVersion(3).to_string(),
+            "unknown black-box version 3"
+        );
+        assert!(TraceError::Malformed("x").to_string().contains("x"));
+    }
+}

@@ -1,0 +1,228 @@
+//! Property tests for the `.ifbb` wire format: arbitrary records, events,
+//! and whole black boxes survive encode→decode bit-for-bit, and the decoder
+//! answers corruption — truncation, flipped bytes, unknown versions — with
+//! typed errors, never a panic.
+
+use proptest::prelude::*;
+
+use bytes::BytesMut;
+use imufit_trace::wire::{decode_event, decode_record, encode_event, encode_record};
+use imufit_trace::{
+    BlackBox, ImuInstanceTrace, TraceError, TraceEvent, TraceEventKind, TraceRecord, TraceSegment,
+    TraceTrigger,
+};
+
+fn any_kind() -> impl Strategy<Value = TraceEventKind> {
+    prop::sample::select(TraceEventKind::ALL.to_vec())
+}
+
+fn any_trigger() -> impl Strategy<Value = TraceTrigger> {
+    prop::sample::select(TraceTrigger::ALL.to_vec())
+}
+
+/// A record with every channel derived (deterministically) from a handful
+/// of generated scalars, so the full payload surface is exercised.
+fn build_record(tick: u64, time: f64, ratio: f64, flags: u8, instances: usize) -> TraceRecord {
+    let r = ratio as f32;
+    TraceRecord {
+        tick,
+        time,
+        pos_ratio: r,
+        vel_ratio: r * 2.0,
+        hgt_ratio: r * 0.5,
+        cascade_stage: flags % 5,
+        flags: flags & 0x0F,
+        primary: flags % 3,
+        excluded_mask: flags.rotate_left(3),
+        deviation: r * 10.0 - 1.0,
+        inner_radius: 25.0 + r,
+        outer_radius: 50.0 + r,
+        instances: (0..instances)
+            .map(|i| {
+                let b = i as f32 + r;
+                ImuInstanceTrace {
+                    gyro: [b, -b, b * 0.5],
+                    accel: [b * 2.0, b * 3.0, -9.8 + b],
+                    injected_gyro: [b * 0.1, 0.0, 0.0],
+                    injected_accel: [0.0, b * 0.2, 0.0],
+                }
+            })
+            .collect(),
+    }
+}
+
+fn build_event(id: u32, caused_by: Option<u32>, time: f64, kind: TraceEventKind) -> TraceEvent {
+    TraceEvent {
+        id,
+        caused_by,
+        tick: (time.abs() * 250.0) as u64,
+        time,
+        kind,
+        param: id.wrapping_mul(31),
+        detail: format!("detail for event {id} ({})", kind.label()),
+    }
+}
+
+proptest! {
+    /// record → frame → record is the identity for arbitrary channels.
+    #[test]
+    fn record_round_trip(
+        tick in 0_u64..u64::MAX,
+        time in -1.0_f64..10_000.0,
+        ratio in 0.0_f64..100.0,
+        flags in 0_u8..u8::MAX,
+        instances in 0_usize..6,
+    ) {
+        let rec = build_record(tick, time, ratio, flags, instances);
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, &rec);
+        let mut cursor = buf.freeze();
+        prop_assert_eq!(decode_record(&mut cursor).unwrap(), rec);
+        prop_assert_eq!(cursor.len(), 0);
+    }
+
+    /// event → frame → event is the identity for arbitrary values.
+    #[test]
+    fn event_round_trip(
+        id in 0_u32..u32::MAX,
+        cause in 0_u32..u32::MAX,
+        has_cause in prop::sample::select(vec![false, true]),
+        time in 0.0_f64..10_000.0,
+        kind in any_kind(),
+    ) {
+        // u32::MAX is the wire sentinel for "no cause", so keep generated
+        // causes below it.
+        let caused_by = has_cause.then_some(cause.min(u32::MAX - 1));
+        let ev = build_event(id, caused_by, time, kind);
+        let mut buf = BytesMut::new();
+        encode_event(&mut buf, &ev);
+        prop_assert_eq!(decode_event(&mut buf.freeze()).unwrap(), ev);
+    }
+
+    /// Whole black boxes round-trip, segments and all.
+    #[test]
+    fn black_box_round_trip(
+        drone_id in 0_u32..u32::MAX,
+        seed in 0_u64..1_000_000,
+        segments in 0_usize..4,
+        records in 0_usize..8,
+        events in 0_usize..8,
+        trigger in any_trigger(),
+        kind in any_kind(),
+    ) {
+        let bb = BlackBox {
+            drone_id,
+            metadata: format!("mission=0 drone={drone_id} seed={seed} kind=freeze"),
+            segments: (0..segments)
+                .map(|s| TraceSegment {
+                    trigger,
+                    trigger_event_id: s as u32,
+                    records: (0..records)
+                        .map(|r| build_record(
+                            (s * 100 + r) as u64,
+                            r as f64 * 0.004,
+                            seed as f64 % 7.0,
+                            (seed % 256) as u8,
+                            r % 4,
+                        ))
+                        .collect(),
+                })
+                .collect(),
+            events: (0..events)
+                .map(|e| build_event(
+                    e as u32,
+                    (e > 0).then(|| e as u32 - 1),
+                    e as f64,
+                    kind,
+                ))
+                .collect(),
+        };
+        prop_assert_eq!(BlackBox::decode(&bb.encode()).unwrap(), bb);
+    }
+
+    /// Every possible truncation point decodes to a typed error — never a
+    /// panic, never a bogus success.
+    #[test]
+    fn truncation_never_panics(
+        drone_id in 0_u32..1000,
+        records in 1_usize..4,
+        cut_frac in 0.0_f64..1.0,
+    ) {
+        let bb = BlackBox {
+            drone_id,
+            metadata: "mission=1 kind=gold".to_string(),
+            segments: vec![TraceSegment {
+                trigger: TraceTrigger::Failsafe,
+                trigger_event_id: 0,
+                records: (0..records)
+                    .map(|r| build_record(r as u64, r as f64, 1.0, 3, 2))
+                    .collect(),
+            }],
+            events: vec![build_event(0, None, 1.0, TraceEventKind::RunOutcome)],
+        };
+        let bytes = bb.encode();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let err = BlackBox::decode(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, TraceError::Truncated | TraceError::BadChecksum),
+            "cut at {}: {:?}", cut, err
+        );
+    }
+
+    /// Flipping any single byte is either caught (typed error) or lands in
+    /// a value field (decode succeeds but differs) — never a panic.
+    #[test]
+    fn bit_flips_never_panic(
+        flip in 0.0_f64..1.0,
+        xor in 1_u8..u8::MAX,
+    ) {
+        let bb = BlackBox {
+            drone_id: 42,
+            metadata: "mission=2 kind=bias".to_string(),
+            segments: vec![TraceSegment {
+                trigger: TraceTrigger::BubbleViolation,
+                trigger_event_id: 1,
+                records: vec![build_record(9, 0.036, 2.5, 7, 3)],
+            }],
+            events: vec![
+                build_event(0, None, 0.03, TraceEventKind::FaultActivated),
+                build_event(1, Some(0), 0.036, TraceEventKind::BubbleViolation),
+            ],
+        };
+        let mut bytes = bb.encode();
+        let at = ((bytes.len() - 1) as f64 * flip) as usize;
+        bytes[at] ^= xor;
+        // Must return, not panic; both Ok and Err are acceptable outcomes.
+        let _ = BlackBox::decode(&bytes);
+    }
+}
+
+#[test]
+fn unknown_version_is_rejected() {
+    let bb = BlackBox {
+        drone_id: 1,
+        metadata: String::new(),
+        segments: Vec::new(),
+        events: Vec::new(),
+    };
+    let mut bytes = bb.encode();
+    bytes[4] = 200;
+    assert_eq!(
+        BlackBox::decode(&bytes),
+        Err(TraceError::UnknownVersion(200))
+    );
+}
+
+#[test]
+fn garbage_input_is_rejected_not_panicked_on() {
+    assert_eq!(BlackBox::decode(&[]), Err(TraceError::Truncated));
+    assert_eq!(
+        BlackBox::decode(b"not a black box"),
+        Err(TraceError::BadMagic)
+    );
+    let mut junk = Vec::new();
+    junk.extend_from_slice(b"IFBB");
+    junk.push(1);
+    junk.extend_from_slice(&[0xFF; 64]);
+    assert!(BlackBox::decode(&junk).is_err());
+}

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use imufit_dynamics::WindModel;
 use imufit_missions::Mission;
 use imufit_scenario::{EstimatorBackend, FlightSettings, ScenarioSpec};
+use imufit_trace::TraceSettings;
 
 /// Simulation configuration for one flight.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,6 +46,9 @@ pub struct SimConfig {
     /// Which navigation filter flies the vehicle (EKF for the paper's
     /// reproduction; the complementary filter is the gating-free baseline).
     pub estimator: EstimatorBackend,
+    /// Black-box tracing (disarmed by default; the collector never feeds
+    /// back into simulation state, so results are identical either way).
+    pub trace: TraceSettings,
     /// Master seed for every stochastic model in this flight.
     pub seed: u64,
 }
@@ -67,21 +71,24 @@ impl SimConfig {
             fast_detection: false,
             mitigation_persist: 0.25,
             estimator: EstimatorBackend::Ekf,
+            trace: TraceSettings::default(),
             seed,
         }
     }
 
     /// A configuration realized from a scenario document: the flight
-    /// settings, mitigation, wind and estimator backend all come from the
-    /// spec; the mission scales the watchdog and the seed stays external
-    /// (it is a campaign axis, derived per experiment).
+    /// settings, mitigation, wind, estimator backend and trace settings all
+    /// come from the spec; the mission scales the watchdog and the seed
+    /// stays external (it is a campaign axis, derived per experiment).
     pub fn from_scenario(spec: &ScenarioSpec, mission: &Mission, seed: u64) -> Self {
-        Self::from_flight(
+        let mut config = Self::from_flight(
             &spec.flight,
             spec.faults.affect_all_redundant,
             mission,
             seed,
-        )
+        );
+        config.trace = spec.trace.clone();
+        config
     }
 
     /// A configuration realized from flight settings alone, for callers
@@ -112,6 +119,7 @@ impl SimConfig {
             fast_detection: f.mitigation.fast_detection,
             mitigation_persist: f.mitigation.persist_s,
             estimator: f.estimator,
+            trace: TraceSettings::default(),
             seed,
         }
     }

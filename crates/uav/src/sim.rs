@@ -7,6 +7,7 @@
 
 use imufit_bubble::{BubbleTracker, InnerBubbleSpec, Route};
 use imufit_controller::{ControllerParams, FlightController, RedundancyStatus};
+use imufit_detect::{Detector, EnsembleDetector};
 use imufit_dynamics::{Quadrotor, QuadrotorParams, WindModel};
 use imufit_estimator::{AttitudeEstimator, BoxedEstimator, ComplementaryFilter, Ekf, EkfParams};
 use imufit_faults::{FaultInjector, FaultScope, FaultSpec};
@@ -15,10 +16,17 @@ use imufit_math::Vec3;
 use imufit_missions::Mission;
 use imufit_scenario::EstimatorBackend;
 use imufit_sensors::{
-    yaw_from_mag, Barometer, Gps, ImuSpec, ImuVoter, Magnetometer, RedundantImu, VoterConfig,
+    yaw_from_mag, Barometer, Gps, ImuSample, ImuSpec, ImuVoter, Magnetometer, RedundantImu,
+    VoterConfig,
 };
 use imufit_telemetry::{
     encode, Broker, FlightEvent, FlightEventKind, FlightRecorder, Message, TrackPoint, Tracker,
+};
+use imufit_trace::record::{
+    FLAG_AIRBORNE, FLAG_FAILSAFE, FLAG_FAULT_ACTIVE, FLAG_PRIMARY_EXCLUDED, NO_BUBBLE,
+};
+use imufit_trace::{
+    ImuInstanceTrace, TraceCollector, TraceEventKind, TraceRecord, TraceStats, TraceTrigger,
 };
 
 use crate::config::SimConfig;
@@ -36,6 +44,11 @@ const CRASH_HORIZONTAL_SPEED: f64 = 2.5; // m/s at contact
 const CRASH_TILT: f64 = 0.8; // rad (~45 deg) at contact
 const FLYAWAY_RANGE: f64 = 4_500.0; // m beyond which range safety gives up
 const FLYAWAY_ALTITUDE: f64 = 150.0; // m ceiling bust
+
+/// Narrows a vector to the black box's f32 channel triple.
+fn vec3_f32(v: Vec3) -> [f32; 3] {
+    [v.x as f32, v.y as f32, v.z as f32]
+}
 
 /// Cached observability handles for the per-tick hot path: registered once
 /// per flight so each span costs two clock reads and three atomic adds
@@ -116,6 +129,26 @@ pub struct FlightSimulator {
     mitigation: MitigationStage,
     fault_was_active: bool,
     failsafe_was_active: bool,
+
+    // Black-box tracing. The collector is strictly write-only (no RNG, no
+    // feedback into flight state); with the `trace` feature off it is a
+    // zero-sized no-op and every `if tracing` block below is dead code.
+    tracer: TraceCollector,
+    /// Shadow detection ensemble: runs the `imufit-detect` ensemble on the
+    /// consumed stream purely to timestamp detector rising edges in the
+    /// trace, independent of whether fast-detection mitigation is enabled.
+    shadow: Option<EnsembleDetector>,
+    shadow_was: bool,
+    shadow_since: Option<f64>,
+    trace_fault_was: bool,
+    last_bubble: (f64, f64, f64),
+    bubble_inner_was: bool,
+    bubble_outer_was: bool,
+    /// Scratch buffers recycled across ticks so steady-state tracing does
+    /// not allocate: the pristine pre-injection samples and the instance
+    /// vector reclaimed from whatever record the ring last evicted.
+    trace_clean: Vec<ImuSample>,
+    trace_pool: Vec<ImuInstanceTrace>,
 }
 
 impl FlightSimulator {
@@ -184,6 +217,16 @@ impl FlightSimulator {
             mitigation: MitigationStage::new(false, 0.25),
             fault_was_active: false,
             failsafe_was_active: false,
+            tracer: TraceCollector::new(&config.trace),
+            shadow: None,
+            shadow_was: false,
+            shadow_since: None,
+            trace_fault_was: false,
+            last_bubble: (NO_BUBBLE as f64, NO_BUBBLE as f64, NO_BUBBLE as f64),
+            bubble_inner_was: false,
+            bubble_outer_was: false,
+            trace_clean: Vec::new(),
+            trace_pool: Vec::new(),
             config,
         };
         let config = sim.config.clone();
@@ -301,6 +344,21 @@ impl FlightSimulator {
             .reconfigure(config.fast_detection, config.mitigation_persist);
         self.fault_was_active = false;
         self.failsafe_was_active = false;
+        self.tracer.reset(&config.trace);
+        // The shadow ensemble only earns its per-tick cost when detection
+        // edges are wanted: without the detector-edge trigger the ring runs
+        // alone and armed tracing stays within its overhead budget.
+        self.shadow = (self.tracer.is_armed()
+            && config.trace.triggers_on(TraceTrigger::DetectorEdge))
+        .then(EnsembleDetector::flight);
+        self.shadow_was = false;
+        self.shadow_since = None;
+        self.trace_fault_was = false;
+        self.last_bubble = (NO_BUBBLE as f64, NO_BUBBLE as f64, NO_BUBBLE as f64);
+        self.bubble_inner_was = false;
+        self.bubble_outer_was = false;
+        self.trace_clean.clear();
+        self.trace_pool.clear();
         self.config = config;
     }
 
@@ -340,6 +398,26 @@ impl FlightSimulator {
         &self.core_broker
     }
 
+    /// Black-box collector counters (all zero when tracing is disabled).
+    pub fn trace_stats(&self) -> TraceStats {
+        self.tracer.stats()
+    }
+
+    /// Seals and serializes the flight's black box, if tracing captured
+    /// anything. Disarms the collector; a subsequent [`FlightSimulator::reset`]
+    /// re-arms it from the new configuration.
+    pub fn take_black_box(&mut self, metadata: &str) -> Option<Vec<u8>> {
+        self.tracer.take_black_box(self.drone_id, metadata)
+    }
+
+    /// Black-box extraction for a flight that panicked mid-step: stamps a
+    /// panic event (which freezes the pre-window) before sealing, so the
+    /// last full-rate records before the abort survive.
+    pub fn panic_black_box(&mut self, metadata: &str) -> Option<Vec<u8>> {
+        self.tracer.note_panic(self.tick, self.time);
+        self.tracer.take_black_box(self.drone_id, metadata)
+    }
+
     /// Runs the flight to completion and returns the result.
     pub fn run(mut self) -> FlightResult {
         let summary = self.run_summary();
@@ -364,6 +442,7 @@ impl FlightSimulator {
                 None => self.step(),
             }
         };
+        self.tracer.finalize(outcome.label(), self.tick, self.time);
         FlightSummary {
             outcome,
             duration: self.time,
@@ -383,6 +462,9 @@ impl FlightSimulator {
         let dt = self.dt;
         self.tick += 1;
         self.time += dt;
+        // With the `trace` feature off (or tracing disabled) this is a
+        // compile-time `false` and every trace block below is dead code.
+        let tracing = self.tracer.is_armed();
 
         // --- Environment ---
         let wind = self.wind.step(dt, &mut self.rng_wind);
@@ -399,9 +481,31 @@ impl FlightSimulator {
         let mut samples = self
             .imu_bank
             .sample_all(true_force, true_rate, dt, &mut self.rng_imu);
+        // The pristine bank is kept only while tracing so the black box can
+        // carry the per-instance injected deltas alongside the readings.
+        if tracing {
+            self.trace_clean.clear();
+            self.trace_clean.extend_from_slice(&samples);
+        }
         {
             let _inject_span = self.metrics.inject.enter();
             self.injector.apply_bank(&mut samples, &mut self.rng_fault);
+        }
+        if tracing {
+            // Fault window edges go to the trace here, right after
+            // injection, so within a tick the activation precedes any
+            // detection or mitigation event it causes.
+            let active_now = self.injector.any_active(self.time);
+            if active_now != self.trace_fault_was {
+                let kind = if active_now {
+                    TraceEventKind::FaultActivated
+                } else {
+                    TraceEventKind::FaultCleared
+                };
+                self.tracer
+                    .event(kind, self.tick, self.time, 0, self.fault_labels(active_now));
+                self.trace_fault_was = active_now;
+            }
         }
         let primary = self.imu_bank.primary();
         let report = self.voter.vote(&samples, primary);
@@ -419,6 +523,18 @@ impl FlightSimulator {
                     report.health[i].gyro_deviation, report.health[i].accel_deviation
                 ),
             ));
+            if tracing {
+                self.tracer.event(
+                    TraceEventKind::VoterExclusion,
+                    self.tick,
+                    self.time,
+                    i as u32,
+                    format!(
+                        "imu{i}: consensus deviation gyro {:.2} rad/s, accel {:.2} m/s^2",
+                        report.health[i].gyro_deviation, report.health[i].accel_deviation
+                    ),
+                );
+            }
         }
         for &i in &report.newly_reinstated {
             self.recorder.push_event(FlightEvent::instance(
@@ -427,6 +543,15 @@ impl FlightSimulator {
                 i,
                 "rejoined consensus",
             ));
+            if tracing {
+                self.tracer.event(
+                    TraceEventKind::VoterReinstatement,
+                    self.tick,
+                    self.time,
+                    i as u32,
+                    format!("imu{i} rejoined consensus"),
+                );
+            }
         }
         let mut switched = false;
         if report.primary_excluded && report.selected != primary {
@@ -438,6 +563,18 @@ impl FlightSimulator {
                 report.selected,
                 format!("voter: primary imu{primary} excluded"),
             ));
+            if tracing {
+                self.tracer.event(
+                    TraceEventKind::PrimarySwitch,
+                    self.tick,
+                    self.time,
+                    report.selected as u32,
+                    format!(
+                        "voter: primary imu{primary} excluded, imu{} selected",
+                        report.selected
+                    ),
+                );
+            }
         }
         let redundancy = RedundancyStatus {
             instances: self.imu_bank.count(),
@@ -493,6 +630,36 @@ impl FlightSimulator {
             self.controller.trigger_external_failsafe(self.time, &nav);
         }
 
+        // The shadow detection ensemble timestamps detector rising edges for
+        // the black box. It watches the same consumed stream as the
+        // fast-detection stage but never feeds back into the flight stack,
+        // so the trace carries detection latency even on paper-default runs
+        // where mitigation is off. Only exists while the tracer is armed.
+        // The same persistence filter the mitigation stage applies keeps
+        // takeoff transients from registering as rising edges.
+        if let Some(shadow) = self.shadow.as_mut() {
+            let alarm = shadow.observe(&corrupted, dt) && self.airborne;
+            if alarm {
+                let since = *self.shadow_since.get_or_insert(self.time);
+                if !self.shadow_was && self.time - since >= self.config.mitigation_persist {
+                    self.tracer.event(
+                        TraceEventKind::DetectorEdge,
+                        self.tick,
+                        self.time,
+                        0,
+                        format!(
+                            "detection ensemble alarm persisted {:.2} s",
+                            self.time - since
+                        ),
+                    );
+                    self.shadow_was = true;
+                }
+            } else {
+                self.shadow_since = None;
+                self.shadow_was = false;
+            }
+        }
+
         let out = self
             .controller
             .update_with_redundancy(self.time, dt, &nav, &corrupted, rejecting, redundancy);
@@ -504,6 +671,15 @@ impl FlightSimulator {
                 self.imu_bank.primary(),
                 "failsafe isolation rotation",
             ));
+            if tracing {
+                self.tracer.event(
+                    TraceEventKind::PrimarySwitch,
+                    self.tick,
+                    self.time,
+                    self.imu_bank.primary() as u32,
+                    "failsafe isolation rotation".to_string(),
+                );
+            }
         }
         for tr in self.controller.take_cascade_transitions() {
             let kind = if tr.to > tr.from {
@@ -516,6 +692,15 @@ impl FlightSimulator {
                 kind,
                 format!("{} -> {}: {}", tr.from.label(), tr.to.label(), tr.detail),
             ));
+            if tracing {
+                self.tracer.event(
+                    TraceEventKind::CascadeTransition,
+                    self.tick,
+                    tr.time,
+                    tr.to.code() as u32,
+                    format!("{} -> {}: {}", tr.from.label(), tr.to.label(), tr.detail),
+                );
+            }
         }
 
         // Edge-detect the fault windows and the failsafe latch so the log
@@ -527,21 +712,11 @@ impl FlightSimulator {
             } else {
                 FlightEventKind::FaultCleared
             };
-            let labels: Vec<String> = self
-                .injector
-                .specs()
-                .iter()
-                .filter(|f| {
-                    if fault_active {
-                        f.window.contains(self.time)
-                    } else {
-                        f.window.is_past(self.time)
-                    }
-                })
-                .map(|f| f.label())
-                .collect();
-            self.recorder
-                .push_event(FlightEvent::new(self.time, kind, labels.join(", ")));
+            self.recorder.push_event(FlightEvent::new(
+                self.time,
+                kind,
+                self.fault_labels(fault_active),
+            ));
             self.fault_was_active = fault_active;
         }
         let failsafe_active = self.controller.failsafe_active();
@@ -551,6 +726,15 @@ impl FlightSimulator {
                 FlightEventKind::FailsafeActivated,
                 "descend-and-land latched",
             ));
+            if tracing {
+                self.tracer.event(
+                    TraceEventKind::FailsafeActivated,
+                    self.tick,
+                    self.time,
+                    0,
+                    "descend-and-land latched".to_string(),
+                );
+            }
             self.failsafe_was_active = true;
         }
 
@@ -566,7 +750,36 @@ impl FlightSimulator {
 
         // --- Tracking, bubble, telemetry ---
         if self.every(self.config.tracking_rate) && self.airborne {
-            self.bubble.observe(s.position, s.velocity.norm());
+            let obs = self.bubble.observe(s.position, s.velocity.norm());
+            self.last_bubble = (obs.deviation, obs.inner_radius, obs.outer_radius);
+            if tracing {
+                if obs.inner_violated && !self.bubble_inner_was {
+                    self.tracer.event(
+                        TraceEventKind::BubbleViolation,
+                        self.tick,
+                        self.time,
+                        0,
+                        format!(
+                            "inner bubble: deviation {:.1} m > radius {:.1} m",
+                            obs.deviation, obs.inner_radius
+                        ),
+                    );
+                }
+                if obs.outer_violated && !self.bubble_outer_was {
+                    self.tracer.event(
+                        TraceEventKind::BubbleViolation,
+                        self.tick,
+                        self.time,
+                        1,
+                        format!(
+                            "outer bubble: deviation {:.1} m > radius {:.1} m",
+                            obs.deviation, obs.outer_radius
+                        ),
+                    );
+                }
+            }
+            self.bubble_inner_was = obs.inner_violated;
+            self.bubble_outer_was = obs.outer_violated;
             self.recorder.offer(TrackPoint {
                 time: self.time,
                 true_position: s.position,
@@ -588,7 +801,84 @@ impl FlightSimulator {
             self.tracker.pump();
         }
 
+        // --- Full-rate black-box record ---
+        if tracing {
+            let health = self.estimator.health();
+            let mut flags = 0u8;
+            if fault_active {
+                flags |= FLAG_FAULT_ACTIVE;
+            }
+            if failsafe_active {
+                flags |= FLAG_FAILSAFE;
+            }
+            if self.airborne {
+                flags |= FLAG_AIRBORNE;
+            }
+            if report.primary_excluded {
+                flags |= FLAG_PRIMARY_EXCLUDED;
+            }
+            let mut excluded_mask = 0u8;
+            for (i, h) in report.health.iter().take(8).enumerate() {
+                if h.excluded {
+                    excluded_mask |= 1 << i;
+                }
+            }
+            let mut instances = std::mem::take(&mut self.trace_pool);
+            instances.clear();
+            let clean = &self.trace_clean;
+            instances.extend(samples.iter().take(u8::MAX as usize).enumerate().map(
+                |(i, sample)| {
+                    let (dg, da) = match clean.get(i) {
+                        Some(clean) => (sample.gyro - clean.gyro, sample.accel - clean.accel),
+                        None => (Vec3::ZERO, Vec3::ZERO),
+                    };
+                    ImuInstanceTrace {
+                        gyro: vec3_f32(sample.gyro),
+                        accel: vec3_f32(sample.accel),
+                        injected_gyro: vec3_f32(dg),
+                        injected_accel: vec3_f32(da),
+                    }
+                },
+            ));
+            let evicted = self.tracer.record(TraceRecord {
+                tick: self.tick,
+                time: self.time,
+                pos_ratio: health.pos_test_ratio as f32,
+                vel_ratio: health.vel_test_ratio as f32,
+                hgt_ratio: health.hgt_test_ratio as f32,
+                cascade_stage: self.controller.mitigation_level().code(),
+                flags,
+                primary: self.imu_bank.primary() as u8,
+                excluded_mask,
+                deviation: self.last_bubble.0 as f32,
+                inner_radius: self.last_bubble.1 as f32,
+                outer_radius: self.last_bubble.2 as f32,
+                instances,
+            });
+            if let Some(old) = evicted {
+                self.trace_pool = old.instances;
+            }
+        }
+
         self.evaluate_end_conditions(&s);
+    }
+
+    /// Labels of the faults currently inside (`active`) or already past
+    /// their injection windows, joined for event details.
+    fn fault_labels(&self, active: bool) -> String {
+        self.injector
+            .specs()
+            .iter()
+            .filter(|f| {
+                if active {
+                    f.window.contains(self.time)
+                } else {
+                    f.window.is_past(self.time)
+                }
+            })
+            .map(|f| f.label())
+            .collect::<Vec<_>>()
+            .join(", ")
     }
 
     /// Ticks a sub-rate scheduler: true when an event at `rate` Hz is due.
@@ -1013,5 +1303,62 @@ mod tests {
             r.duration
         );
         assert_eq!(r.violations.inner, 0);
+    }
+
+    /// Tracing never feeds back into flight state: the same seeded fault
+    /// run produces identical scalar results with the black box on or off.
+    #[test]
+    fn tracing_does_not_change_the_flight() {
+        let m = short_mission();
+        let faults = fault_at(FaultKind::Freeze, FaultTarget::Imu, 30.0, 30.0);
+        let plain = FlightSimulator::new(&m, faults.clone(), SimConfig::default_for(&m, 17)).run();
+
+        let mut config = SimConfig::default_for(&m, 17);
+        config.trace.enabled = true;
+        let mut traced = FlightSimulator::new(&m, faults, config);
+        let summary = traced.run_summary();
+
+        assert_eq!(plain.outcome, summary.outcome);
+        assert_eq!(plain.duration, summary.duration);
+        assert_eq!(plain.distance_est, summary.distance_est);
+        assert_eq!(plain.distance_true, summary.distance_true);
+        assert_eq!(plain.violations, summary.violations);
+        assert_eq!(plain.ekf_resets, summary.ekf_resets);
+    }
+
+    /// With the `trace` feature on, a traced fault run seals a decodable
+    /// black box whose causal chain starts at the fault activation; with it
+    /// off, the stub collector stays silent and costs nothing.
+    #[test]
+    fn traced_fault_run_yields_a_black_box() {
+        let m = short_mission();
+        let faults = fault_at(FaultKind::Freeze, FaultTarget::Imu, 30.0, 30.0);
+        let mut config = SimConfig::default_for(&m, 17);
+        config.trace.enabled = true;
+        let mut sim = FlightSimulator::new(&m, faults, config);
+        let _ = sim.run_summary();
+
+        if cfg!(feature = "trace") {
+            let stats = sim.trace_stats();
+            assert!(stats.records_captured > 0, "stats {stats:?}");
+            assert!(stats.events >= 2, "stats {stats:?}");
+            let bytes = sim
+                .take_black_box("mission=99 kind=freeze")
+                .expect("armed fault run must capture a black box");
+            let bb = imufit_trace::BlackBox::decode(&bytes).expect("sealed box must decode");
+            assert_eq!(bb.metadata, "mission=99 kind=freeze");
+            assert!(!bb.segments.is_empty(), "trigger should freeze a segment");
+            assert!(bb.segments.iter().all(|s| !s.records.is_empty()));
+            assert_eq!(
+                bb.events[0].kind,
+                imufit_trace::TraceEventKind::FaultActivated
+            );
+            let outcome = bb.events.last().unwrap();
+            assert_eq!(outcome.kind, imufit_trace::TraceEventKind::RunOutcome);
+            assert!(outcome.caused_by.is_some(), "outcome must chain to a cause");
+        } else {
+            assert_eq!(sim.trace_stats(), imufit_trace::TraceStats::default());
+            assert!(sim.take_black_box("m").is_none());
+        }
     }
 }

@@ -35,6 +35,8 @@ use imufit_uav::{FlightSimulator, SimConfig};
 
 const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--quick]
                  [--scenario FILE|PRESET] [--dump-scenario]
+                 [--trace-dir DIR] [--trace-window PRE:POST]
+                 [--trace-triggers A,B,...]
                  [--no-extras] [--metrics] [--no-metrics]
 
   --seed N            campaign master seed (default 2024)
@@ -44,6 +46,13 @@ const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--q
   --scenario X        scenario document (TOML/JSON path) or preset name:
                       paper-default, quick, redundancy-ablation, mitigation-on
   --dump-scenario     print the active scenario as TOML and exit
+  --trace-dir DIR     enable black-box tracing; write one .ifbb per run that
+                      trips a trigger into DIR (read them with `triage`)
+  --trace-window P:Q  capture P records before and Q after each trigger
+                      (default 256:256)
+  --trace-triggers L  comma-separated trigger list: detector-edge,
+                      voter-exclusion, bubble-violation, failsafe, panic
+                      (default: all)
   --no-extras         skip the beyond-the-paper sections
   --metrics           also write Prometheus text exposition
   --no-metrics        suppress the campaign_metrics.json snapshot";
@@ -70,6 +79,49 @@ struct Args {
     scenario: Option<String>,
     /// Print the active scenario as TOML and exit.
     dump_scenario: bool,
+    /// Black-box output directory; enables tracing.
+    trace_dir: Option<String>,
+    /// Pre/post trigger capture windows, records.
+    trace_window: Option<(usize, usize)>,
+    /// Trigger selection.
+    trace_triggers: Option<Vec<imufit_trace::TraceTrigger>>,
+}
+
+/// Parses `--trace-window PRE:POST`, dying on anything malformed.
+fn parse_trace_window(value: Option<String>) -> (usize, usize) {
+    let Some(v) = value else {
+        die("missing value for --trace-window");
+    };
+    let Some((pre, post)) = v.split_once(':') else {
+        die(&format!(
+            "cannot parse --trace-window value '{v}' (expected PRE:POST)"
+        ));
+    };
+    match (pre.parse(), post.parse()) {
+        (Ok(pre), Ok(post)) => (pre, post),
+        _ => die(&format!(
+            "cannot parse --trace-window value '{v}' (expected PRE:POST)"
+        )),
+    }
+}
+
+/// Parses `--trace-triggers a,b,c`, dying on unknown trigger names.
+fn parse_trace_triggers(value: Option<String>) -> Vec<imufit_trace::TraceTrigger> {
+    let Some(v) = value else {
+        die("missing value for --trace-triggers");
+    };
+    v.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            imufit_trace::TraceTrigger::parse(t).unwrap_or_else(|| {
+                die(&format!(
+                    "unknown trigger '{t}' (valid: detector-edge, voter-exclusion, \
+                     bubble-violation, failsafe, panic)"
+                ))
+            })
+        })
+        .collect()
 }
 
 /// Parses a flag's value, dying with a usable message on anything
@@ -93,10 +145,21 @@ fn parse_args() -> Args {
         metrics_json: true,
         scenario: None,
         dump_scenario: false,
+        trace_dir: None,
+        trace_window: None,
+        trace_triggers: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--trace-dir" => {
+                args.trace_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("missing value for --trace-dir")),
+                )
+            }
+            "--trace-window" => args.trace_window = Some(parse_trace_window(it.next())),
+            "--trace-triggers" => args.trace_triggers = Some(parse_trace_triggers(it.next())),
             "--seed" => args.seed = Some(parse_value("--seed", it.next())),
             "--missions" => args.missions = Some(parse_value("--missions", it.next())),
             "--out" => args.out = it.next().unwrap_or_else(|| die("missing value for --out")),
@@ -247,6 +310,19 @@ fn main() {
         spec.campaign.missions = spec.campaign.missions.min(3);
         spec.campaign.durations = vec![2.0, 30.0];
     }
+    // Trace overrides: `--trace-dir` arms the collector, the window and
+    // trigger flags tune it; a window deeper than the ring grows the ring.
+    if args.trace_dir.is_some() {
+        spec.trace.enabled = true;
+    }
+    if let Some((pre, post)) = args.trace_window {
+        spec.trace.pre_window = pre;
+        spec.trace.post_window = post;
+        spec.trace.ring_capacity = spec.trace.ring_capacity.max(pre.max(1));
+    }
+    if let Some(triggers) = &args.trace_triggers {
+        spec.trace.triggers = triggers.clone();
+    }
     if let Err(e) = spec.validate() {
         die(&format!("invalid scenario: {e}"));
     }
@@ -255,7 +331,18 @@ fn main() {
         return;
     }
     let seed = spec.campaign.seed;
-    let config = CampaignConfig::from_scenario(&spec);
+    let mut config = CampaignConfig::from_scenario(&spec);
+    if spec.trace.enabled {
+        // An armed scenario without an explicit directory still writes its
+        // boxes, under the output directory, so `[trace] enabled = true` in
+        // a document is enough to get traces.
+        config.trace_dir = Some(
+            args.trace_dir
+                .as_deref()
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| std::path::Path::new(&args.out).join("traces")),
+        );
+    }
 
     let total = config.matrix().len();
     let workers = if config.threads == 0 {

@@ -1,0 +1,136 @@
+//! Post-mortem triage over imufit black-box flight traces.
+//!
+//! Reads `.ifbb` files (or directories of them) produced by a campaign run
+//! with tracing enabled (`reproduce --trace-dir DIR`) and prints, per run,
+//! the causal event timeline — fault activation, detector rising edge,
+//! voter exclusions, cascade transitions, outcome, each chained to the
+//! event that caused it — followed by a fault-to-detection /
+//! detection-to-mitigation latency table grouped by campaign cell.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin triage -- [--diff] PATH [PATH ...]
+//! ```
+//!
+//! Exit status: 0 when every input decoded, 1 when any file was unreadable
+//! or corrupt (the survivors are still analyzed), 2 on usage errors.
+
+use std::path::PathBuf;
+
+use imufit_trace::triage::{
+    match_gold, render_diff, render_latency_table, render_timeline, RunTrace,
+};
+use imufit_trace::BlackBox;
+
+const USAGE: &str = "usage: triage [--diff] PATH [PATH ...]
+
+Reads imufit black-box flight traces (.ifbb files, or directories scanned
+for them) and prints per-run causal timelines plus per-cell
+fault-to-detection / detection-to-mitigation latency tables.
+
+  --diff      also diff each faulty run against its mission's gold run
+  --help, -h  this text";
+
+/// Prints an argument error plus usage to stderr and exits 2.
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Expands arguments into a sorted list of `.ifbb` files.
+fn collect_files(paths: &[PathBuf]) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            let mut found: Vec<PathBuf> = std::fs::read_dir(path)
+                .map(|entries| {
+                    entries
+                        .filter_map(Result::ok)
+                        .map(|e| e.path())
+                        .filter(|p| p.extension().is_some_and(|ext| ext == "ifbb"))
+                        .collect()
+                })
+                .unwrap_or_default();
+            found.sort();
+            files.extend(found);
+        } else {
+            files.push(path.clone());
+        }
+    }
+    files
+}
+
+fn main() {
+    let mut diff = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--diff" => diff = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => die(&format!("unknown argument: {other}")),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        die("no input paths");
+    }
+
+    let files = collect_files(&paths);
+    if files.is_empty() {
+        eprintln!("triage: no .ifbb files under the given paths");
+        std::process::exit(1);
+    }
+
+    let mut runs: Vec<RunTrace> = Vec::new();
+    let mut failures = 0usize;
+    for file in &files {
+        let label = file
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.display().to_string());
+        let bytes = match std::fs::read(file) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("triage: cannot read {}: {e}", file.display());
+                failures += 1;
+                continue;
+            }
+        };
+        match BlackBox::decode(&bytes) {
+            Ok(bb) => runs.push(RunTrace::new(label, bb)),
+            Err(e) => {
+                eprintln!("triage: {}: {e}", file.display());
+                failures += 1;
+            }
+        }
+    }
+    if runs.is_empty() {
+        eprintln!("triage: no decodable black boxes");
+        std::process::exit(1);
+    }
+
+    for run in &runs {
+        println!("{}", render_timeline(run));
+    }
+    println!("{}", render_latency_table(&runs));
+
+    if diff {
+        for run in &runs {
+            if run.meta.is_gold() {
+                continue;
+            }
+            match match_gold(run, &runs) {
+                Some(gold) => println!("{}", render_diff(run, gold)),
+                None => println!("--- diff: {}: no matching gold run loaded\n", run.label),
+            }
+        }
+    }
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

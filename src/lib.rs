@@ -23,6 +23,7 @@
 //! | [`core`] | `imufit-core` | campaign engine, tables, figures, reports |
 //! | [`detect`] | `imufit-detect` | online fault detectors + evaluation harness |
 //! | [`scenario`] | `imufit-scenario` | one-document run descriptions + presets |
+//! | [`trace`] | `imufit-trace` | black-box flight tracing + `.ifbb` post-mortems |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use imufit_missions as missions;
 pub use imufit_scenario as scenario;
 pub use imufit_sensors as sensors;
 pub use imufit_telemetry as telemetry;
+pub use imufit_trace as trace;
 pub use imufit_uav as uav;
 
 /// The most common imports in one place.
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use imufit_math::{Quat, Vec3};
     pub use imufit_missions::{all_missions, Mission};
     pub use imufit_scenario::{EstimatorBackend, ScenarioSpec};
+    pub use imufit_trace::{BlackBox, TraceSettings, TraceTrigger};
     pub use imufit_uav::{
         FlightOutcome, FlightResult, FlightSimulator, FlightSummary, SimConfig, VehicleBuilder,
     };

@@ -1,0 +1,94 @@
+//! End-to-end acceptance of the black-box path: a small campaign with an
+//! IMU Freeze fault and fast detection, traced to disk, must yield a triage
+//! timeline whose causal chain reads — in order — fault activation,
+//! detector rising edge, cascade transition, run outcome, with a finite
+//! fault-to-detection latency for the campaign cell.
+
+#![cfg(feature = "trace")]
+
+use imufit::core::{Campaign, CampaignConfig};
+use imufit::faults::{FaultKind, FaultTarget};
+use imufit::trace::triage::{
+    match_gold, render_diff, render_latency_table, render_timeline, Latencies, RunTrace,
+};
+use imufit::trace::BlackBox;
+
+fn load_runs(dir: &std::path::Path) -> Vec<RunTrace> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("trace dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "ifbb"))
+        .collect();
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let label = p.file_name().unwrap().to_string_lossy().into_owned();
+            let bb = BlackBox::decode(&std::fs::read(&p).unwrap())
+                .unwrap_or_else(|e| panic!("{} does not decode: {e}", p.display()));
+            RunTrace::new(label, bb)
+        })
+        .collect()
+}
+
+#[test]
+fn freeze_fault_timeline_reads_in_causal_order() {
+    let dir = std::env::temp_dir().join(format!("imufit-triage-timeline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // One mission, one duration, IMU Freeze only, at paper defaults: the
+    // shadow ensemble timestamps the detection and the cascade escalates on
+    // estimator rejection, so the whole chain lands in the trace without
+    // the fast-detection mitigation.
+    let mut config = CampaignConfig::scaled(1, vec![30.0], 2024);
+    config.faults.kinds = vec![FaultKind::Freeze];
+    config.faults.targets = vec![FaultTarget::Imu];
+    config.trace.enabled = true;
+    config.trace_dir = Some(dir.clone());
+    Campaign::new(config).run();
+
+    let runs = load_runs(&dir);
+    let faulty = runs
+        .iter()
+        .find(|r| !r.meta.is_gold())
+        .expect("the freeze run left a black box");
+
+    // The acceptance chain, in print order within the rendered timeline.
+    // Each link is searched for *after* the previous one, so pre-fault
+    // noise (the detector's takeoff transient) cannot satisfy the chain.
+    let text = render_timeline(faulty);
+    let after = |start: usize, needle: &str| -> usize {
+        start
+            + text[start..]
+                .find(needle)
+                .unwrap_or_else(|| panic!("no '{needle}' after byte {start} in:\n{text}"))
+    };
+    let fault = after(0, "fault activated");
+    let detect = after(fault, "detector rising edge");
+    let cascade = after(detect, "cascade transition");
+    after(cascade, "run outcome");
+    assert!(text.contains("caused by #"), "events must chain:\n{text}");
+    assert!(
+        text.contains("segment ["),
+        "a trigger must freeze records:\n{text}"
+    );
+
+    // Finite fault-to-detection latency, and a latency table row for the
+    // campaign cell.
+    let lat = Latencies::from_events(&faulty.bb.events);
+    let f2d = lat.fault_to_detection().expect("detection after the fault");
+    assert!((0.0..30.0).contains(&f2d), "implausible latency {f2d}");
+    let table = render_latency_table(&runs);
+    assert!(
+        table.contains("IMU Freeze 30"),
+        "latency table missing the cell:\n{table}"
+    );
+
+    // The gold run's box exists (outcome event only) and diffs cleanly.
+    let gold = match_gold(faulty, &runs).expect("gold black box for the mission");
+    let diff = render_diff(faulty, gold);
+    assert!(diff.contains("outcome:"), "diff renders outcomes:\n{diff}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

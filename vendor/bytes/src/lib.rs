@@ -51,6 +51,11 @@ pub trait Buf {
         u64::from_le_bytes(b)
     }
 
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
     /// Reads a little-endian `f64`.
     fn get_f64_le(&mut self) -> f64 {
         f64::from_bits(self.get_u64_le())
@@ -80,6 +85,11 @@ pub trait BufMut {
     /// Appends a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64) {
         self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
     }
 
     /// Appends a little-endian `f64`.
@@ -299,13 +309,15 @@ mod tests {
         b.put_u8(0xAB);
         b.put_u16_le(0x1234);
         b.put_u32_le(0xDEADBEEF);
+        b.put_f32_le(0.25);
         b.put_f64_le(-1.5);
         b.put_slice(b"xyz");
         let mut r = b.freeze();
-        assert_eq!(r.len(), 1 + 2 + 4 + 8 + 3);
+        assert_eq!(r.len(), 1 + 2 + 4 + 4 + 8 + 3);
         assert_eq!(r.get_u8(), 0xAB);
         assert_eq!(r.get_u16_le(), 0x1234);
         assert_eq!(r.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(r.get_f32_le(), 0.25);
         assert_eq!(r.get_f64_le(), -1.5);
         assert_eq!(&r[..], b"xyz");
     }

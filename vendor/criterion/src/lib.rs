@@ -86,7 +86,9 @@ impl Bencher {
         let batch_iters = if once.is_zero() {
             100
         } else {
-            (per_batch / once.as_secs_f64()).clamp(1.0, 100.0) as u64
+            // Fill the batch budget so sub-microsecond routines average over
+            // thousands of iterations; slow routines still run at least once.
+            (per_batch / once.as_secs_f64()).clamp(1.0, 10_000.0) as u64
         };
         self.samples.clear();
         for _ in 0..BATCHES {
