@@ -193,6 +193,56 @@ fn bench_trace(c: &mut Criterion) {
     });
 }
 
+fn bench_fleet(c: &mut Criterion) {
+    use imufit_core::{ExperimentRecord, ExperimentSpec};
+    use imufit_fleet::{checkpoint, decode_msg, encode_msg, FleetMsg};
+    use imufit_uav::FlightOutcome;
+
+    let spec = ExperimentSpec {
+        mission_index: 3,
+        fault: Some(FaultSpec::new(
+            FaultKind::Freeze,
+            FaultTarget::Gyrometer,
+            InjectionWindow::new(90.0, 10.0),
+        )),
+    };
+    // The coordinator's per-unit send path: frame an Assign, then decode
+    // it as the worker would.
+    c.bench_function("fleet/dispatch_unit", |b| {
+        b.iter(|| {
+            let frame = encode_msg(&FleetMsg::Assign { unit: 42, spec });
+            black_box(decode_msg(black_box(&frame)).unwrap())
+        })
+    });
+
+    // The coordinator's per-result receive path: decode a Result frame,
+    // journal the entry, and merge the record into its matrix slot.
+    let record = ExperimentRecord {
+        spec,
+        drone_id: 4,
+        outcome: FlightOutcome::Completed,
+        flight_duration: 180.25,
+        distance_est: 1234.5,
+        distance_true: 1230.0,
+        inner_violations: 2,
+        outer_violations: 0,
+        ekf_resets: 1,
+    };
+    let frame = encode_msg(&FleetMsg::Result { unit: 42, record });
+    let mut slots: Vec<Option<ExperimentRecord>> = vec![None; 64];
+    c.bench_function("fleet/merge_row", |b| {
+        b.iter(|| {
+            let msg = decode_msg(black_box(&frame)).unwrap();
+            if let FleetMsg::Result { unit, record } = msg {
+                let entry = checkpoint::CheckpointEntry { unit, record };
+                black_box(checkpoint::encode_entry(&entry).len());
+                slots[unit as usize] = Some(entry.record);
+            }
+            black_box(slots[42].is_some())
+        })
+    });
+}
+
 fn bench_wire(c: &mut Criterion) {
     let msg = imufit_telemetry::Message::Position {
         drone_id: 7,
@@ -217,6 +267,7 @@ criterion_group!(
     bench_controller,
     bench_sim_step,
     bench_trace,
+    bench_fleet,
     bench_wire
 );
 criterion_main!(benches);

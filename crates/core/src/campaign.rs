@@ -136,6 +136,21 @@ impl CampaignConfig {
         }
     }
 
+    /// The worker count this configuration actually spawns for `runs`
+    /// experiments: an explicit `threads` is honored as given; `threads ==
+    /// 0` ("one per available core") is clamped to the run count so tiny
+    /// campaigns stop spawning idle workers. Never zero.
+    pub fn effective_workers(&self, runs: usize) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, runs.max(1))
+        } else {
+            self.threads.max(1)
+        }
+    }
+
     /// The experiment matrix for this configuration: the full grid, narrowed
     /// by the fault selection (empty selection = everything; gold runs are
     /// always kept).
@@ -466,6 +481,13 @@ impl Campaign {
         }
     }
 
+    /// The record an experiment that could not execute collapses to —
+    /// public so distributed front-ends (the fleet coordinator) stamp
+    /// retry-capped units exactly like an in-process panic.
+    pub fn aborted_record_for(config: &CampaignConfig, spec: ExperimentSpec) -> ExperimentRecord {
+        Self::aborted_record(config, spec)
+    }
+
     /// Runs the whole matrix and returns the records in matrix order.
     /// `progress` (if given) is called after each finished experiment with
     /// `(done, total)`.
@@ -485,15 +507,9 @@ impl Campaign {
         progress: Option<&(dyn Fn(usize, usize) + Sync)>,
     ) -> CampaignResults {
         let total = specs.len();
-        let workers = if self.config.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.config.threads
-        };
+        let workers = self.config.effective_workers(total);
 
-        imufit_obs::gauge("campaign_workers").set(workers.max(1) as f64);
+        imufit_obs::gauge("campaign_workers").set(workers as f64);
         imufit_obs::gauge("campaign_experiments_total").set(total as f64);
         // Pre-register the campaign's headline counters so the exported
         // snapshot always carries them, even when a run produces no aborts,
@@ -530,7 +546,7 @@ impl Campaign {
         let records: Mutex<Vec<Option<ExperimentRecord>>> = Mutex::new(vec![None; total]);
 
         std::thread::scope(|scope| {
-            for _ in 0..workers.max(1) {
+            for _ in 0..workers {
                 scope.spawn(|| {
                     // One vehicle per worker, recycled across every
                     // experiment this worker steals: reset() re-derives all
@@ -604,6 +620,25 @@ mod tests {
             assert_eq!(a.flight_duration, b.flight_duration);
             assert_eq!(a.inner_violations, b.inner_violations);
         }
+    }
+
+    #[test]
+    fn auto_workers_clamp_to_run_count() {
+        let mut config = CampaignConfig::scaled(1, vec![], 1);
+        config.threads = 0;
+        // 1-run campaign: however many cores the host has, one worker.
+        assert_eq!(config.effective_workers(1), 1);
+        // Zero runs still yields a (single) worker, never zero.
+        assert_eq!(config.effective_workers(0), 1);
+        // An explicit thread count is honored even when it exceeds runs.
+        config.threads = 7;
+        assert_eq!(config.effective_workers(1), 7);
+        // The auto path never exceeds available cores.
+        config.threads = 0;
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(config.effective_workers(10_000), cores.min(10_000));
     }
 
     #[test]

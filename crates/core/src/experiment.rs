@@ -68,7 +68,7 @@ impl ExperimentSpec {
 
 /// Everything recorded about one executed experiment — one row of raw data
 /// behind the paper's tables.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentRecord {
     /// The experiment that was run.
     pub spec: ExperimentSpec,

@@ -1,0 +1,472 @@
+//! The coordinator's append-only checkpoint journal (`fleet.ckpt`).
+//!
+//! Layout (little-endian, CRC-framed like `.ifbb`):
+//!
+//! ```text
+//! [b"IFCK"][version: u8][header frame][entry frame]*
+//! ```
+//!
+//! where every frame is `[len: u32][payload][crc: u16]` with the CCITT-16
+//! CRC accumulated over `len` and the payload. The header payload pins the
+//! campaign the journal belongs to (scenario fingerprint, master seed, unit
+//! count); each entry payload is `[unit: u32][record]` in the `Result`
+//! frame's bit-exact record encoding.
+//!
+//! A coordinator killed mid-write leaves at most one torn frame at the
+//! tail. [`Checkpoint::load_for_resume`] therefore stops at the first
+//! undecodable tail frame and reports how many clean entries precede it,
+//! while [`Checkpoint::decode`] is the strict reader: any structural
+//! problem is a typed [`FleetError`], never a panic.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use imufit_core::ExperimentRecord;
+use imufit_scenario::ScenarioSpec;
+
+use crate::protocol::{crc16, get_record, put_record, FleetError, Reader, MAX_PAYLOAD};
+
+/// File magic: the first four bytes of every checkpoint journal.
+pub const CKPT_MAGIC: [u8; 4] = *b"IFCK";
+
+/// Current journal version.
+pub const CKPT_VERSION: u8 = 1;
+
+/// Identifies the campaign a journal belongs to. Derived from the exact
+/// scenario document plus the sharded unit count, so a resume against a
+/// different scenario (or a different matrix) is rejected instead of
+/// silently merging foreign rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignFingerprint {
+    /// FNV-1a 64 over the scenario document's TOML bytes.
+    pub spec_hash: u64,
+    /// The campaign master seed (redundant with the hash, kept for
+    /// human-readable mismatch errors).
+    pub seed: u64,
+    /// Total work units in the sharded matrix.
+    pub units: u32,
+}
+
+impl CampaignFingerprint {
+    /// Fingerprints a scenario and its sharded unit count.
+    pub fn of(spec: &ScenarioSpec, units: usize) -> Self {
+        CampaignFingerprint {
+            spec_hash: fnv1a(spec.to_toml().as_bytes()),
+            seed: spec.campaign.seed,
+            units: units as u32,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "seed {} / {} units / spec {:016x}",
+            self.seed, self.units, self.spec_hash
+        )
+    }
+}
+
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// One journal entry: a completed (or coordinator-aborted) unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointEntry {
+    /// Matrix index of the unit.
+    pub unit: u32,
+    /// Its finished record.
+    pub record: ExperimentRecord,
+}
+
+/// A decoded journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The campaign the journal belongs to.
+    pub fingerprint: CampaignFingerprint,
+    /// Completed units, in completion (append) order.
+    pub entries: Vec<CheckpointEntry>,
+}
+
+fn put_frame(out: &mut Vec<u8>, payload: &BytesMut) {
+    let mut region = BytesMut::with_capacity(payload.len() + 4);
+    region.put_u32_le(payload.len() as u32);
+    region.extend_from_slice(payload);
+    let crc = crc16(&region);
+    out.extend_from_slice(&region);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+fn take_frame(r: &mut Reader) -> Result<Reader, FleetError> {
+    let len = r.u32()? as usize;
+    if len > MAX_PAYLOAD {
+        return Err(FleetError::Malformed("oversized journal frame"));
+    }
+    let payload = r.take(len)?;
+    let expect = r.u16()?;
+    let mut region = BytesMut::with_capacity(len + 4);
+    region.put_u32_le(len as u32);
+    region.extend_from_slice(&payload);
+    if crc16(&region) != expect {
+        return Err(FleetError::BadChecksum);
+    }
+    Ok(Reader::new(payload))
+}
+
+fn header_bytes(fp: &CampaignFingerprint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&CKPT_MAGIC);
+    out.push(CKPT_VERSION);
+    let mut payload = BytesMut::with_capacity(20);
+    payload.put_u64_le(fp.spec_hash);
+    payload.put_u64_le(fp.seed);
+    payload.put_u32_le(fp.units);
+    put_frame(&mut out, &payload);
+    out
+}
+
+/// Encodes one entry frame (exposed for benches).
+pub fn encode_entry(entry: &CheckpointEntry) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(96);
+    payload.put_u32_le(entry.unit);
+    put_record(&mut payload, &entry.record);
+    let mut out = Vec::with_capacity(payload.len() + 6);
+    put_frame(&mut out, &payload);
+    out
+}
+
+fn decode_header(r: &mut Reader) -> Result<CampaignFingerprint, FleetError> {
+    let magic = r.take(4)?;
+    if magic[..] != CKPT_MAGIC {
+        return Err(FleetError::BadMagic);
+    }
+    let version = r.u8()?;
+    if version != CKPT_VERSION {
+        return Err(FleetError::UnknownVersion(version));
+    }
+    let mut p = take_frame(r)?;
+    let fp = CampaignFingerprint {
+        spec_hash: p.u64()?,
+        seed: p.u64()?,
+        units: p.u32()?,
+    };
+    if p.remaining() != 0 {
+        return Err(FleetError::Malformed("trailing bytes in journal header"));
+    }
+    Ok(fp)
+}
+
+fn decode_entry(r: &mut Reader) -> Result<CheckpointEntry, FleetError> {
+    let mut p = take_frame(r)?;
+    let unit = p.u32()?;
+    let record = get_record(&mut p)?;
+    if p.remaining() != 0 {
+        return Err(FleetError::Malformed("trailing bytes in journal entry"));
+    }
+    Ok(CheckpointEntry { unit, record })
+}
+
+impl Checkpoint {
+    /// Strictly decodes a whole journal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`FleetError`] for any truncation or corruption —
+    /// including a torn tail frame. Resume paths that must tolerate a
+    /// mid-write kill use [`Checkpoint::load_for_resume`] instead.
+    pub fn decode(data: &[u8]) -> Result<Self, FleetError> {
+        let mut r = Reader::new(Bytes::from(data.to_vec()));
+        let fingerprint = decode_header(&mut r)?;
+        let mut entries = Vec::new();
+        while r.remaining() != 0 {
+            entries.push(decode_entry(&mut r)?);
+        }
+        Ok(Checkpoint {
+            fingerprint,
+            entries,
+        })
+    }
+
+    /// Loads a journal for `--resume`: decodes the header strictly, then
+    /// reads entries until the data runs out or a torn tail frame appears
+    /// (the expected state after a SIGKILL mid-append). Returns the clean
+    /// prefix plus whether a torn tail was dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`FleetError`] when the header itself is unreadable
+    /// or the journal belongs to a different campaign than `expected`.
+    pub fn load_for_resume(
+        data: &[u8],
+        expected: &CampaignFingerprint,
+    ) -> Result<(Self, bool), FleetError> {
+        let mut r = Reader::new(Bytes::from(data.to_vec()));
+        let fingerprint = decode_header(&mut r)?;
+        if fingerprint != *expected {
+            return Err(FleetError::CheckpointMismatch {
+                expected: fingerprint.describe(),
+                found: expected.describe(),
+            });
+        }
+        let mut entries = Vec::new();
+        let mut torn = false;
+        while r.remaining() != 0 {
+            match decode_entry(&mut r) {
+                Ok(entry) => entries.push(entry),
+                Err(_) => {
+                    // A torn or corrupt tail ends the clean prefix; the
+                    // units it covered simply rerun.
+                    torn = true;
+                    break;
+                }
+            }
+        }
+        Ok((
+            Checkpoint {
+                fingerprint,
+                entries,
+            },
+            torn,
+        ))
+    }
+}
+
+/// Append-only journal writer. Every entry is flushed and fsync'd before
+/// the coordinator acknowledges the unit as durable, so a kill at any
+/// instant loses at most the entry being written.
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    file: std::fs::File,
+    path: PathBuf,
+}
+
+impl CheckpointWriter {
+    /// Creates a fresh journal at `path` (truncating any previous one) and
+    /// writes the header.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Io`] on filesystem failure.
+    pub fn create(path: &Path, fp: &CampaignFingerprint) -> Result<Self, FleetError> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&header_bytes(fp))?;
+        file.sync_data()?;
+        Ok(CheckpointWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens an existing journal for appending (the resume path). The
+    /// caller must have validated the header via
+    /// [`Checkpoint::load_for_resume`]; `clean_len` is the byte length of
+    /// the validated clean prefix — anything after it (a torn tail frame)
+    /// is truncated away before appending resumes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Io`] on filesystem failure.
+    pub fn append(path: &Path, clean_len: u64) -> Result<Self, FleetError> {
+        let file = std::fs::OpenOptions::new().write(true).open(path)?;
+        file.set_len(clean_len)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(CheckpointWriter {
+            file,
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Appends one completed unit, durably.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Io`] on filesystem failure.
+    pub fn record(&mut self, entry: &CheckpointEntry) -> Result<(), FleetError> {
+        self.file.write_all(&encode_entry(entry))?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The byte length of a journal's header plus `entries` clean entries —
+/// used to truncate a torn tail before appending resumes.
+pub fn clean_prefix_len(fp: &CampaignFingerprint, entries: &[CheckpointEntry]) -> u64 {
+    let mut len = header_bytes(fp).len() as u64;
+    for e in entries {
+        len += encode_entry(e).len() as u64;
+    }
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imufit_core::ExperimentSpec;
+    use imufit_uav::FlightOutcome;
+
+    fn fp() -> CampaignFingerprint {
+        CampaignFingerprint {
+            spec_hash: 0xDEAD_BEEF_CAFE_F00D,
+            seed: 2024,
+            units: 22,
+        }
+    }
+
+    fn entry(unit: u32) -> CheckpointEntry {
+        CheckpointEntry {
+            unit,
+            record: ExperimentRecord {
+                spec: ExperimentSpec::gold(unit as usize),
+                drone_id: unit,
+                outcome: FlightOutcome::Completed,
+                flight_duration: 100.5 + unit as f64,
+                distance_est: 1000.0,
+                distance_true: 999.0,
+                inner_violations: 0,
+                outer_violations: 0,
+                ekf_resets: 1,
+            },
+        }
+    }
+
+    fn journal_bytes(entries: &[CheckpointEntry]) -> Vec<u8> {
+        let mut bytes = header_bytes(&fp());
+        for e in entries {
+            bytes.extend_from_slice(&encode_entry(e));
+        }
+        bytes
+    }
+
+    #[test]
+    fn journal_round_trips() {
+        let entries = vec![entry(0), entry(5), entry(21)];
+        let ck = Checkpoint::decode(&journal_bytes(&entries)).unwrap();
+        assert_eq!(ck.fingerprint, fp());
+        assert_eq!(ck.entries, entries);
+    }
+
+    #[test]
+    fn empty_journal_round_trips() {
+        let ck = Checkpoint::decode(&journal_bytes(&[])).unwrap();
+        assert!(ck.entries.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let entries = [entry(0), entry(1)];
+        let bytes = journal_bytes(&entries);
+        // Cuts landing exactly on a frame boundary are indistinguishable
+        // from a legitimately shorter append-only journal and decode fine.
+        let header_len = header_bytes(&fp()).len();
+        let boundaries = [
+            header_len,
+            header_len + encode_entry(&entries[0]).len(),
+            bytes.len(),
+        ];
+        for cut in 0..bytes.len() {
+            if boundaries.contains(&cut) {
+                assert!(Checkpoint::decode(&bytes[..cut]).is_ok(), "boundary {cut}");
+                continue;
+            }
+            let err = Checkpoint::decode(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, FleetError::Truncated | FleetError::BadChecksum),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_detected() {
+        let mut v = journal_bytes(&[]);
+        v[0] = b'X';
+        assert_eq!(Checkpoint::decode(&v), Err(FleetError::BadMagic));
+        let mut v = journal_bytes(&[]);
+        v[4] = 99;
+        assert_eq!(Checkpoint::decode(&v), Err(FleetError::UnknownVersion(99)));
+    }
+
+    #[test]
+    fn resume_salvages_the_clean_prefix_of_a_torn_journal() {
+        let entries = vec![entry(0), entry(1), entry(2)];
+        let bytes = journal_bytes(&entries);
+        // Tear the final entry in half, as a SIGKILL mid-append would.
+        let torn_at = bytes.len() - encode_entry(&entry(2)).len() / 2;
+        let (ck, torn) = Checkpoint::load_for_resume(&bytes[..torn_at], &fp()).unwrap();
+        assert!(torn);
+        assert_eq!(ck.entries, entries[..2]);
+        assert_eq!(
+            clean_prefix_len(&fp(), &ck.entries),
+            journal_bytes(&entries[..2]).len() as u64
+        );
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_journal() {
+        let bytes = journal_bytes(&[entry(0)]);
+        let mut other = fp();
+        other.seed = 1;
+        assert!(matches!(
+            Checkpoint::load_for_resume(&bytes, &other),
+            Err(FleetError::CheckpointMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn writer_appends_durable_entries() {
+        let dir = std::env::temp_dir().join(format!("imufit-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fleet.ckpt");
+
+        let mut w = CheckpointWriter::create(&path, &fp()).unwrap();
+        w.record(&entry(3)).unwrap();
+        w.record(&entry(9)).unwrap();
+        drop(w);
+
+        let bytes = std::fs::read(&path).unwrap();
+        let ck = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(ck.entries.len(), 2);
+        assert_eq!(ck.entries[1], entry(9));
+
+        // Simulate a torn tail on disk, then the resume append path.
+        let torn = [&bytes[..], &[0x07, 0x00]].concat();
+        std::fs::write(&path, &torn).unwrap();
+        let (ck, was_torn) = Checkpoint::load_for_resume(&torn, &fp()).unwrap();
+        assert!(was_torn);
+        let clean = clean_prefix_len(&fp(), &ck.entries);
+        let mut w = CheckpointWriter::append(&path, clean).unwrap();
+        w.record(&entry(12)).unwrap();
+        drop(w);
+        let ck = Checkpoint::decode(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(ck.entries.len(), 3);
+        assert_eq!(ck.entries[2], entry(12));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_tracks_the_scenario() {
+        let a = CampaignFingerprint::of(&ScenarioSpec::paper_default(), 850);
+        let b = CampaignFingerprint::of(&ScenarioSpec::paper_default(), 850);
+        assert_eq!(a, b);
+        let mut spec = ScenarioSpec::paper_default();
+        spec.campaign.seed = 1;
+        let c = CampaignFingerprint::of(&spec, 850);
+        assert_ne!(a, c);
+        let d = CampaignFingerprint::of(&ScenarioSpec::paper_default(), 22);
+        assert_ne!(a, d);
+    }
+}

@@ -1,0 +1,567 @@
+//! The fleet coordinator: shards a campaign into run-level work units,
+//! serves them to worker processes over localhost TCP, supervises leases,
+//! journals completed units, and merges results back into matrix order.
+//!
+//! The merge invariant is the whole point: the coordinator's
+//! [`CampaignResults`] — and therefore `campaign_results.csv` — is
+//! byte-identical to the single-process campaign's, whatever the worker
+//! count, scheduling order, worker deaths, or resume history.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use imufit_core::{Campaign, CampaignConfig, CampaignResults, ExperimentRecord, ExperimentSpec};
+use imufit_scenario::ScenarioSpec;
+
+use crate::checkpoint::{
+    clean_prefix_len, CampaignFingerprint, Checkpoint, CheckpointEntry, CheckpointWriter,
+};
+use crate::protocol::{read_msg, write_msg, FleetError, FleetMsg};
+
+/// Everything a coordinator needs to run one distributed campaign.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// The scenario the workers realize (already carrying any CLI
+    /// overrides); its `[fleet]` section supplies lease/retry defaults.
+    pub spec: ScenarioSpec,
+    /// Black-box output directory forwarded to workers, if tracing is on.
+    pub trace_dir: Option<PathBuf>,
+    /// Checkpoint journal path (`fleet.ckpt`).
+    pub checkpoint: PathBuf,
+    /// Replay completed units from an existing journal instead of starting
+    /// fresh.
+    pub resume: bool,
+}
+
+impl CoordinatorConfig {
+    /// A coordinator for `spec`, journaling into `out_dir/fleet.ckpt`.
+    pub fn new(spec: ScenarioSpec, out_dir: &Path) -> Self {
+        CoordinatorConfig {
+            spec,
+            trace_dir: None,
+            checkpoint: out_dir.join("fleet.ckpt"),
+            resume: false,
+        }
+    }
+}
+
+/// One dispatched unit's lease.
+#[derive(Debug)]
+struct Lease {
+    worker_id: u32,
+    deadline: Instant,
+}
+
+/// Cross-connection scheduler state.
+struct Sched {
+    specs: Vec<ExperimentSpec>,
+    pending: VecDeque<u32>,
+    leases: HashMap<u32, Lease>,
+    /// Re-dispatch count per unit (only units that lost a lease appear).
+    retries: HashMap<u32, u32>,
+    results: Vec<Option<ExperimentRecord>>,
+    done: usize,
+    journal: CheckpointWriter,
+    /// Wall-clock busy time accumulated per worker, for utilisation.
+    busy: HashMap<u32, Duration>,
+    assigned_at: HashMap<u32, Instant>,
+}
+
+impl Sched {
+    fn finished(&self) -> bool {
+        self.done >= self.results.len()
+    }
+
+    /// Stores a unit's record (idempotently — a re-dispatched unit can
+    /// legitimately complete twice; the first result wins so the journal
+    /// and CSV never disagree) and journals first-time completions.
+    fn complete(&mut self, unit: u32, record: ExperimentRecord) {
+        let slot = &mut self.results[unit as usize];
+        if slot.is_some() {
+            return;
+        }
+        // Journal before acknowledging: a kill after this line reruns
+        // nothing, a kill before it reruns the unit. Journal IO failure
+        // degrades to a non-resumable campaign, not a lost record.
+        if self
+            .journal
+            .record(&CheckpointEntry {
+                unit,
+                record: record.clone(),
+            })
+            .is_err()
+        {
+            imufit_obs::counter("fleet_checkpoint_write_errors_total").inc();
+        }
+        *slot = Some(record);
+        self.done += 1;
+        imufit_obs::counter("fleet_units_completed_total").inc();
+    }
+
+    /// Returns a unit to the queue after a lost lease (worker death or
+    /// timeout); units past the retry cap are stamped aborted like the
+    /// panic path.
+    fn requeue(&mut self, unit: u32, retry_cap: usize, config: &CampaignConfig) {
+        if self.results[unit as usize].is_some() {
+            return;
+        }
+        let tries = self.retries.entry(unit).or_insert(0);
+        *tries += 1;
+        imufit_obs::counter("fleet_unit_retries_total").inc();
+        if *tries as usize > retry_cap {
+            imufit_obs::counter("fleet_units_aborted_total").inc();
+            let record = Campaign::aborted_record_for(config, self.specs[unit as usize]);
+            self.complete(unit, record);
+        } else {
+            self.pending.push_back(unit);
+            imufit_obs::counter("fleet_units_requeued_total").inc();
+        }
+    }
+
+    /// Drops every lease held by `worker_id`, requeueing the units.
+    fn release_worker(&mut self, worker_id: u32, retry_cap: usize, config: &CampaignConfig) {
+        let units: Vec<u32> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.worker_id == worker_id)
+            .map(|(&u, _)| u)
+            .collect();
+        for unit in units {
+            self.leases.remove(&unit);
+            self.assigned_at.remove(&unit);
+            self.requeue(unit, retry_cap, config);
+        }
+    }
+}
+
+/// The campaign coordinator. Binds an ephemeral localhost port, serves
+/// units until the matrix is complete, and returns merged results.
+pub struct Coordinator {
+    listener: TcpListener,
+    addr: SocketAddr,
+    config: CoordinatorConfig,
+    campaign_config: CampaignConfig,
+    sched: Arc<Mutex<Sched>>,
+    done_flag: Arc<AtomicBool>,
+    lease_timeout: Duration,
+    retry_cap: usize,
+    total: usize,
+    resumed: usize,
+}
+
+impl Coordinator {
+    /// Creates a coordinator: shards the campaign, loads (or creates) the
+    /// checkpoint journal, and binds a listener on `127.0.0.1:0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`FleetError`] for an unreadable or foreign journal
+    /// on `--resume`, or an IO failure binding/creating files.
+    pub fn bind(config: CoordinatorConfig) -> Result<Self, FleetError> {
+        let mut campaign_config = CampaignConfig::from_scenario(&config.spec);
+        campaign_config.trace_dir = config.trace_dir.clone();
+        let specs = campaign_config.matrix();
+        let total = specs.len();
+        let fingerprint = CampaignFingerprint::of(&config.spec, total);
+
+        let mut results: Vec<Option<ExperimentRecord>> = vec![None; total];
+        let mut done = 0;
+        let journal = if config.resume {
+            let bytes = std::fs::read(&config.checkpoint)?;
+            let (ck, torn) = Checkpoint::load_for_resume(&bytes, &fingerprint)?;
+            if torn {
+                imufit_obs::counter("fleet_checkpoint_torn_tails_total").inc();
+            }
+            for entry in &ck.entries {
+                let unit = entry.unit as usize;
+                if unit < total && results[unit].is_none() {
+                    results[unit] = Some(entry.record.clone());
+                    done += 1;
+                }
+            }
+            let clean = clean_prefix_len(&fingerprint, &ck.entries);
+            CheckpointWriter::append(&config.checkpoint, clean)?
+        } else {
+            if let Some(dir) = config.checkpoint.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            CheckpointWriter::create(&config.checkpoint, &fingerprint)?
+        };
+
+        let pending: VecDeque<u32> = (0..total as u32)
+            .filter(|&u| results[u as usize].is_none())
+            .collect();
+
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let lease_timeout = Duration::from_secs_f64(config.spec.fleet.lease_timeout_s.max(0.001));
+        let retry_cap = config.spec.fleet.retry_cap;
+
+        imufit_obs::gauge("fleet_units_total").set(total as f64);
+        imufit_obs::gauge("fleet_units_resumed").set(done as f64);
+        // Pre-register the fleet counters so exports always carry them.
+        imufit_obs::counter("fleet_units_dispatched_total");
+        imufit_obs::counter("fleet_units_completed_total");
+        imufit_obs::counter("fleet_units_requeued_total");
+        imufit_obs::counter("fleet_units_aborted_total");
+        imufit_obs::counter("fleet_unit_retries_total");
+        imufit_obs::counter("fleet_lease_expiries_total");
+        imufit_obs::counter("fleet_bytes_sent_total");
+        imufit_obs::counter("fleet_bytes_received_total");
+        imufit_obs::counter("fleet_worker_disconnects_total");
+
+        Ok(Coordinator {
+            listener,
+            addr,
+            config,
+            campaign_config,
+            sched: Arc::new(Mutex::new(Sched {
+                specs,
+                pending,
+                leases: HashMap::new(),
+                retries: HashMap::new(),
+                results,
+                done,
+                journal,
+                busy: HashMap::new(),
+                assigned_at: HashMap::new(),
+            })),
+            done_flag: Arc::new(AtomicBool::new(false)),
+            lease_timeout,
+            retry_cap,
+            total,
+            resumed: done,
+        })
+    }
+
+    /// The address workers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Total work units in the sharded matrix.
+    pub fn total_units(&self) -> usize {
+        self.total
+    }
+
+    /// Units replayed from the journal on `--resume`.
+    pub fn resumed_units(&self) -> usize {
+        self.resumed
+    }
+
+    /// Serves units until the whole matrix is complete, then returns the
+    /// merged results in matrix order. `progress` (if given) is called
+    /// after each finished unit with `(done, total)` — including once per
+    /// journal-replayed unit at startup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Io`] only for listener-level failures;
+    /// per-connection errors requeue that worker's leases and keep the
+    /// campaign alive.
+    pub fn serve(
+        self,
+        progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    ) -> Result<CampaignResults, FleetError> {
+        let total = self.total;
+        if let Some(cb) = progress {
+            for d in 0..self.resumed {
+                cb(d + 1, total);
+            }
+        }
+        self.listener.set_nonblocking(true)?;
+
+        let welcome = FleetMsg::Welcome {
+            spec_toml: self.config.spec.to_toml(),
+            trace_dir: self
+                .config
+                .trace_dir
+                .as_ref()
+                .map(|p| p.display().to_string()),
+            lease_timeout_s: self.config.spec.fleet.lease_timeout_s,
+        };
+
+        let mut last_sweep = Instant::now();
+        let sweep_every = (self.lease_timeout / 4).max(Duration::from_millis(25));
+        let this = &self;
+        std::thread::scope(|scope| -> Result<(), FleetError> {
+            loop {
+                {
+                    let sched = this.sched.lock().unwrap_or_else(|e| e.into_inner());
+                    if sched.finished() {
+                        this.done_flag.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+                // Reap expired leases.
+                if last_sweep.elapsed() >= sweep_every {
+                    last_sweep = Instant::now();
+                    this.sweep_leases();
+                }
+                match this.listener.accept() {
+                    Ok((stream, _)) => {
+                        let welcome = welcome.clone();
+                        scope.spawn(move || {
+                            this.handle_connection(stream, welcome, progress);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            Ok(())
+        })?;
+
+        let sched = Arc::try_unwrap(self.sched)
+            .map_err(|_| FleetError::Io("scheduler still shared at shutdown".into()))?
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        for (worker, busy) in &sched.busy {
+            imufit_obs::counter_labeled("fleet_worker_busy_ms", "worker", &worker.to_string())
+                .add(busy.as_millis() as u64);
+        }
+        let records = sched
+            .results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    Campaign::aborted_record_for(&self.campaign_config, sched.specs[i])
+                })
+            })
+            .collect();
+        Ok(CampaignResults::from_records(records))
+    }
+
+    fn sweep_leases(&self) {
+        let now = Instant::now();
+        let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        let expired: Vec<u32> = sched
+            .leases
+            .iter()
+            .filter(|(_, l)| l.deadline <= now)
+            .map(|(&u, _)| u)
+            .collect();
+        for unit in expired {
+            sched.leases.remove(&unit);
+            sched.assigned_at.remove(&unit);
+            imufit_obs::counter("fleet_lease_expiries_total").inc();
+            sched.requeue(unit, self.retry_cap, &self.campaign_config);
+        }
+    }
+
+    /// One worker connection: handshake, then a request/assign/result loop
+    /// until the campaign finishes or the worker goes away. Any protocol
+    /// or transport error drops the connection and requeues its leases.
+    fn handle_connection(
+        &self,
+        mut stream: TcpStream,
+        welcome: FleetMsg,
+        progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+    ) {
+        let _ = stream.set_nodelay(true);
+        // A worker that stalls without closing must not pin its leases
+        // forever: reads time out at the lease interval, which also bounds
+        // how long shutdown waits on an idle connection.
+        let _ = stream.set_read_timeout(Some(self.lease_timeout));
+        let mut worker_id = u32::MAX;
+        let disconnect = loop {
+            let msg = match read_msg(&mut stream) {
+                Ok((msg, n)) => {
+                    imufit_obs::counter("fleet_bytes_received_total").add(n as u64);
+                    msg
+                }
+                Err(_) => break true,
+            };
+            let reply = match msg {
+                FleetMsg::Hello { worker_id: id } => {
+                    worker_id = id;
+                    Some(welcome.clone())
+                }
+                FleetMsg::Heartbeat => {
+                    let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+                    let deadline = Instant::now() + self.lease_timeout;
+                    for lease in sched.leases.values_mut() {
+                        if lease.worker_id == worker_id {
+                            lease.deadline = deadline;
+                        }
+                    }
+                    None
+                }
+                FleetMsg::Request => {
+                    let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+                    if sched.finished() || self.done_flag.load(Ordering::SeqCst) {
+                        let _ = write_msg(&mut stream, &FleetMsg::Done);
+                        break false;
+                    }
+                    match sched.pending.pop_front() {
+                        Some(unit) => {
+                            sched.leases.insert(
+                                unit,
+                                Lease {
+                                    worker_id,
+                                    deadline: Instant::now() + self.lease_timeout,
+                                },
+                            );
+                            sched.assigned_at.insert(unit, Instant::now());
+                            imufit_obs::counter("fleet_units_dispatched_total").inc();
+                            imufit_obs::counter_labeled(
+                                "fleet_worker_units_dispatched",
+                                "worker",
+                                &worker_id.to_string(),
+                            )
+                            .inc();
+                            let spec = sched.specs[unit as usize];
+                            Some(FleetMsg::Assign { unit, spec })
+                        }
+                        None => Some(FleetMsg::NoWork),
+                    }
+                }
+                FleetMsg::Result { unit, record } => {
+                    let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+                    if (unit as usize) < sched.results.len() {
+                        sched.leases.remove(&unit);
+                        if let Some(at) = sched.assigned_at.remove(&unit) {
+                            *sched.busy.entry(worker_id).or_default() += at.elapsed();
+                        }
+                        let was_done = sched.done;
+                        sched.complete(unit, record);
+                        if sched.done > was_done {
+                            if let Some(cb) = progress {
+                                cb(sched.done, self.total);
+                            }
+                        }
+                    }
+                    None
+                }
+                // Coordinator-bound connections never receive these.
+                FleetMsg::Welcome { .. }
+                | FleetMsg::Assign { .. }
+                | FleetMsg::NoWork
+                | FleetMsg::Done => break true,
+            };
+            if let Some(reply) = reply {
+                match write_msg(&mut stream, &reply) {
+                    Ok(n) => imufit_obs::counter("fleet_bytes_sent_total").add(n as u64),
+                    Err(_) => break true,
+                }
+            }
+        };
+        if disconnect {
+            imufit_obs::counter("fleet_worker_disconnects_total").inc();
+        }
+        let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+        sched.release_worker(worker_id, self.retry_cap, &self.campaign_config);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imufit_uav::FlightOutcome;
+
+    fn test_sched(tag: &str) -> (Sched, CampaignConfig, std::path::PathBuf) {
+        let config = CampaignConfig::scaled(1, vec![2.0], 2024);
+        let specs = config.matrix();
+        let total = specs.len();
+        let spec = ScenarioSpec::paper_default();
+        let fp = CampaignFingerprint::of(&spec, total);
+        let path = std::env::temp_dir().join(format!(
+            "imufit-fleet-sched-{tag}-{}.ckpt",
+            std::process::id()
+        ));
+        let journal = CheckpointWriter::create(&path, &fp).unwrap();
+        let sched = Sched {
+            pending: (0..total as u32).collect(),
+            leases: HashMap::new(),
+            retries: HashMap::new(),
+            results: vec![None; total],
+            done: 0,
+            specs,
+            journal,
+            busy: HashMap::new(),
+            assigned_at: HashMap::new(),
+        };
+        (sched, config, path)
+    }
+
+    /// An expired lease re-queues its unit until the retry cap, after
+    /// which the unit is stamped aborted — the campaign always finishes.
+    #[test]
+    fn requeue_honors_retry_cap_then_aborts() {
+        let (mut sched, config, path) = test_sched("cap");
+        let cap = 2;
+        let unit = 0_u32;
+        let before = sched.pending.len();
+
+        // The same unit loses its lease `cap` times: re-queued each time.
+        for round in 1..=cap {
+            sched.pending.retain(|&u| u != unit);
+            sched.requeue(unit, cap, &config);
+            assert_eq!(sched.pending.len(), before, "round {round} should requeue");
+            assert!(sched.results[unit as usize].is_none());
+        }
+        // One more lost lease crosses the cap: aborted, not requeued.
+        sched.pending.retain(|&u| u != unit);
+        sched.requeue(unit, cap, &config);
+        assert_eq!(sched.pending.len(), before - 1);
+        let record = sched.results[unit as usize].as_ref().expect("stamped");
+        assert_eq!(record.outcome, FlightOutcome::Aborted);
+        assert_eq!(sched.done, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// A worker's death releases every lease it held in one sweep.
+    #[test]
+    fn release_worker_requeues_all_of_its_leases() {
+        let (mut sched, config, path) = test_sched("release");
+        let deadline = Instant::now() + Duration::from_secs(60);
+        for unit in [0_u32, 1, 2] {
+            sched.pending.retain(|&u| u != unit);
+            sched.leases.insert(
+                unit,
+                Lease {
+                    worker_id: 7,
+                    deadline,
+                },
+            );
+        }
+        sched.leases.insert(
+            3,
+            Lease {
+                worker_id: 8,
+                deadline,
+            },
+        );
+        sched.pending.retain(|&u| u != 3);
+
+        sched.release_worker(7, 3, &config);
+        assert!(sched.leases.keys().all(|&u| u == 3), "worker 8 keeps lease");
+        for unit in [0_u32, 1, 2] {
+            assert!(sched.pending.contains(&unit), "unit {unit} requeued");
+        }
+        assert!(!sched.pending.contains(&3));
+        let _ = std::fs::remove_file(path);
+    }
+
+    /// A re-dispatched unit that completes twice keeps the first record:
+    /// the journal and the merged CSV can never disagree.
+    #[test]
+    fn duplicate_completion_is_idempotent() {
+        let (mut sched, config, path) = test_sched("dup");
+        let first = Campaign::aborted_record_for(&config, sched.specs[0]);
+        let mut second = first.clone();
+        second.flight_duration = 99.0;
+        sched.complete(0, first.clone());
+        sched.complete(0, second);
+        assert_eq!(sched.done, 1);
+        assert_eq!(sched.results[0].as_ref().unwrap(), &first);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,713 @@
+//! The fleet wire protocol: length-prefixed, CRC-framed, versioned
+//! messages between the campaign coordinator and its worker processes.
+//!
+//! Frame layout (little-endian), following the `telemetry::wire` and
+//! `trace::wire` conventions:
+//!
+//! ```text
+//! [0xF1][version: u8][msg_id: u8][len: u32][payload: len bytes][crc: u16]
+//! ```
+//!
+//! The CRC is CCITT-16 over everything from `version` through the payload,
+//! so a corrupted header or payload is caught before the message is
+//! interpreted. Decoding never panics: truncation, bad magic, unknown
+//! versions/ids, and checksum mismatches all surface as typed
+//! [`FleetError`]s.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use imufit_controller::FailsafeReason;
+use imufit_core::{ExperimentRecord, ExperimentSpec};
+use imufit_faults::{FaultKind, FaultSpec, FaultTarget, InjectionWindow};
+use imufit_uav::FlightOutcome;
+
+/// Frame start marker (distinct from telemetry's `0xFD` and trace's
+/// `IFBB` so a stray cross-protocol byte stream is rejected immediately).
+pub const MAGIC: u8 = 0xF1;
+
+/// Current protocol version. A coordinator and worker must agree exactly;
+/// version skew is a typed error, not silent misinterpretation.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload. The largest legitimate message is a
+/// `Welcome` carrying a scenario document (a few KiB); anything claiming
+/// more than this is corruption, not data.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Errors produced by the fleet codec and transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The buffer or stream ends before a complete frame.
+    Truncated,
+    /// The first byte is not [`MAGIC`].
+    BadMagic,
+    /// The frame's protocol version is not [`PROTOCOL_VERSION`].
+    UnknownVersion(u8),
+    /// The checksum does not match the frame contents.
+    BadChecksum,
+    /// Unknown message id.
+    UnknownMessage(u8),
+    /// A structurally invalid payload (bad UTF-8, unknown enum code,
+    /// trailing bytes, oversized length, ...).
+    Malformed(&'static str),
+    /// A transport-level IO failure (connect, read, write).
+    Io(String),
+    /// A checkpoint journal does not belong to the campaign being resumed.
+    CheckpointMismatch {
+        /// What the journal was recorded for.
+        expected: String,
+        /// What the resuming campaign looks like.
+        found: String,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Truncated => write!(f, "truncated fleet frame"),
+            FleetError::BadMagic => write!(f, "bad fleet frame magic"),
+            FleetError::UnknownVersion(v) => write!(f, "unknown fleet protocol version {v}"),
+            FleetError::BadChecksum => write!(f, "fleet frame checksum mismatch"),
+            FleetError::UnknownMessage(id) => write!(f, "unknown fleet message id {id}"),
+            FleetError::Malformed(what) => write!(f, "malformed fleet frame: {what}"),
+            FleetError::Io(e) => write!(f, "fleet transport: {e}"),
+            FleetError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different campaign (journal: {expected}; resuming: {found})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<std::io::Error> for FleetError {
+    fn from(e: std::io::Error) -> Self {
+        FleetError::Io(e.to_string())
+    }
+}
+
+/// Messages exchanged between the coordinator and its workers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetMsg {
+    /// Worker → coordinator: first message on a fresh connection.
+    Hello {
+        /// The worker's self-assigned id (stable across reconnects).
+        worker_id: u32,
+    },
+    /// Coordinator → worker: handshake reply carrying the campaign.
+    Welcome {
+        /// The full scenario document (TOML) the worker must realize —
+        /// the same unknown-/missing-key-rejecting codec as `--scenario`.
+        spec_toml: String,
+        /// Black-box output directory, if tracing is armed.
+        trace_dir: Option<String>,
+        /// Lease timeout the coordinator enforces, seconds (workers pace
+        /// their heartbeats off it).
+        lease_timeout_s: f64,
+    },
+    /// Worker → coordinator: give me a unit.
+    Request,
+    /// Coordinator → worker: fly this unit.
+    Assign {
+        /// Matrix index of the unit (the merge key).
+        unit: u32,
+        /// The experiment to run.
+        spec: ExperimentSpec,
+    },
+    /// Coordinator → worker: nothing to hand out right now, but the
+    /// campaign is still in flight (leased units may yet be re-queued) —
+    /// re-request after a short delay.
+    NoWork,
+    /// Coordinator → worker: the campaign is complete; disconnect.
+    Done,
+    /// Worker → coordinator: a finished unit's record.
+    Result {
+        /// Matrix index of the unit.
+        unit: u32,
+        /// The measured record, bit-exact (floats travel as raw bits).
+        record: ExperimentRecord,
+    },
+    /// Worker → coordinator: still alive, extend my leases.
+    Heartbeat,
+}
+
+impl FleetMsg {
+    /// The message id on the wire.
+    pub fn id(&self) -> u8 {
+        match self {
+            FleetMsg::Hello { .. } => 1,
+            FleetMsg::Welcome { .. } => 2,
+            FleetMsg::Request => 3,
+            FleetMsg::Assign { .. } => 4,
+            FleetMsg::NoWork => 5,
+            FleetMsg::Done => 6,
+            FleetMsg::Result { .. } => 7,
+            FleetMsg::Heartbeat => 8,
+        }
+    }
+}
+
+/// CCITT-16 (polynomial 0x1021, init 0xFFFF) — the workspace's standard
+/// frame checksum (`telemetry::wire`, `trace::wire`).
+pub(crate) fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Bounds-checked reads over a byte cursor; the vendored `Buf` panics on
+/// underrun, so every read goes through `need` first.
+pub(crate) struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    pub(crate) fn new(buf: Bytes) -> Self {
+        Reader { buf }
+    }
+
+    fn need(&self, n: usize) -> Result<(), FleetError> {
+        if self.buf.remaining() < n {
+            Err(FleetError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, FleetError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, FleetError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, FleetError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, FleetError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Floats travel as raw bit patterns so every value — including NaNs
+    /// and negative zero — survives the trip bit-for-bit.
+    pub(crate) fn f64(&mut self) -> Result<f64, FleetError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn take(&mut self, n: usize) -> Result<Bytes, FleetError> {
+        self.need(n)?;
+        Ok(self.buf.split_to(n))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, FleetError> {
+        let len = self.u32()? as usize;
+        if len > MAX_PAYLOAD {
+            return Err(FleetError::Malformed("oversized string"));
+        }
+        let bytes = self.take(len)?;
+        std::str::from_utf8(&bytes)
+            .map(str::to_string)
+            .map_err(|_| FleetError::Malformed("string is not UTF-8"))
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+}
+
+pub(crate) fn put_f64_bits(buf: &mut BytesMut, v: f64) {
+    buf.put_u64_le(v.to_bits());
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+// --- Experiment spec / record codecs -------------------------------------
+
+fn put_spec(buf: &mut BytesMut, spec: &ExperimentSpec) {
+    buf.put_u32_le(spec.mission_index as u32);
+    match &spec.fault {
+        None => buf.put_u8(0),
+        Some(f) => {
+            buf.put_u8(1);
+            buf.put_u8(f.kind.id() as u8);
+            buf.put_u8(f.target.id() as u8);
+            put_f64_bits(buf, f.window.start);
+            put_f64_bits(buf, f.window.duration);
+        }
+    }
+}
+
+fn get_spec(r: &mut Reader) -> Result<ExperimentSpec, FleetError> {
+    let mission_index = r.u32()? as usize;
+    let fault = match r.u8()? {
+        0 => None,
+        1 => {
+            let kind_id = r.u8()? as u64;
+            let target_id = r.u8()? as u64;
+            let kind = FaultKind::ALL
+                .into_iter()
+                .find(|k| k.id() == kind_id)
+                .ok_or(FleetError::Malformed("unknown fault kind id"))?;
+            let target = FaultTarget::ALL
+                .into_iter()
+                .find(|t| t.id() == target_id)
+                .ok_or(FleetError::Malformed("unknown fault target id"))?;
+            let start = r.f64()?;
+            let duration = r.f64()?;
+            if !(start.is_finite() && start >= 0.0 && duration.is_finite() && duration >= 0.0) {
+                return Err(FleetError::Malformed("negative or non-finite window"));
+            }
+            Some(FaultSpec::new(
+                kind,
+                target,
+                InjectionWindow::new(start, duration),
+            ))
+        }
+        _ => return Err(FleetError::Malformed("bad fault presence flag")),
+    };
+    Ok(ExperimentSpec {
+        mission_index,
+        fault,
+    })
+}
+
+fn reason_code(reason: FailsafeReason) -> u8 {
+    match reason {
+        FailsafeReason::GyroImplausible => 0,
+        FailsafeReason::AccelImplausible => 1,
+        FailsafeReason::InnovationRejection => 2,
+        FailsafeReason::ImuDead => 3,
+        FailsafeReason::AttitudeFailure => 4,
+        FailsafeReason::ExternalDetection => 5,
+    }
+}
+
+fn reason_from_code(code: u8) -> Result<FailsafeReason, FleetError> {
+    Ok(match code {
+        0 => FailsafeReason::GyroImplausible,
+        1 => FailsafeReason::AccelImplausible,
+        2 => FailsafeReason::InnovationRejection,
+        3 => FailsafeReason::ImuDead,
+        4 => FailsafeReason::AttitudeFailure,
+        5 => FailsafeReason::ExternalDetection,
+        _ => return Err(FleetError::Malformed("unknown failsafe reason code")),
+    })
+}
+
+fn put_outcome(buf: &mut BytesMut, outcome: &FlightOutcome) {
+    match outcome {
+        FlightOutcome::Completed => {
+            buf.put_u8(0);
+            put_f64_bits(buf, 0.0);
+            buf.put_u8(0);
+        }
+        FlightOutcome::Crashed { time } => {
+            buf.put_u8(1);
+            put_f64_bits(buf, *time);
+            buf.put_u8(0);
+        }
+        FlightOutcome::Failsafe { time, reason } => {
+            buf.put_u8(2);
+            put_f64_bits(buf, *time);
+            buf.put_u8(reason_code(*reason));
+        }
+        FlightOutcome::Timeout => {
+            buf.put_u8(3);
+            put_f64_bits(buf, 0.0);
+            buf.put_u8(0);
+        }
+        FlightOutcome::Aborted => {
+            buf.put_u8(4);
+            put_f64_bits(buf, 0.0);
+            buf.put_u8(0);
+        }
+    }
+}
+
+fn get_outcome(r: &mut Reader) -> Result<FlightOutcome, FleetError> {
+    let code = r.u8()?;
+    let time = r.f64()?;
+    let reason = r.u8()?;
+    Ok(match code {
+        0 => FlightOutcome::Completed,
+        1 => FlightOutcome::Crashed { time },
+        2 => FlightOutcome::Failsafe {
+            time,
+            reason: reason_from_code(reason)?,
+        },
+        3 => FlightOutcome::Timeout,
+        4 => FlightOutcome::Aborted,
+        _ => return Err(FleetError::Malformed("unknown outcome code")),
+    })
+}
+
+/// Appends one record to `buf` (shared by `Result` frames and the
+/// checkpoint journal so both carry identical bit-exact payloads).
+pub(crate) fn put_record(buf: &mut BytesMut, record: &ExperimentRecord) {
+    put_spec(buf, &record.spec);
+    buf.put_u32_le(record.drone_id);
+    put_outcome(buf, &record.outcome);
+    put_f64_bits(buf, record.flight_duration);
+    put_f64_bits(buf, record.distance_est);
+    put_f64_bits(buf, record.distance_true);
+    buf.put_u32_le(record.inner_violations);
+    buf.put_u32_le(record.outer_violations);
+    buf.put_u32_le(record.ekf_resets);
+}
+
+/// Reads one record (see [`put_record`]).
+pub(crate) fn get_record(r: &mut Reader) -> Result<ExperimentRecord, FleetError> {
+    Ok(ExperimentRecord {
+        spec: get_spec(r)?,
+        drone_id: r.u32()?,
+        outcome: get_outcome(r)?,
+        flight_duration: r.f64()?,
+        distance_est: r.f64()?,
+        distance_true: r.f64()?,
+        inner_violations: r.u32()?,
+        outer_violations: r.u32()?,
+        ekf_resets: r.u32()?,
+    })
+}
+
+// --- Message framing ------------------------------------------------------
+
+/// Encodes a message into one framed byte buffer.
+pub fn encode_msg(msg: &FleetMsg) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(64);
+    match msg {
+        FleetMsg::Hello { worker_id } => payload.put_u32_le(*worker_id),
+        FleetMsg::Welcome {
+            spec_toml,
+            trace_dir,
+            lease_timeout_s,
+        } => {
+            put_str(&mut payload, spec_toml);
+            match trace_dir {
+                None => payload.put_u8(0),
+                Some(dir) => {
+                    payload.put_u8(1);
+                    put_str(&mut payload, dir);
+                }
+            }
+            put_f64_bits(&mut payload, *lease_timeout_s);
+        }
+        FleetMsg::Request | FleetMsg::NoWork | FleetMsg::Done | FleetMsg::Heartbeat => {}
+        FleetMsg::Assign { unit, spec } => {
+            payload.put_u32_le(*unit);
+            put_spec(&mut payload, spec);
+        }
+        FleetMsg::Result { unit, record } => {
+            payload.put_u32_le(*unit);
+            put_record(&mut payload, record);
+        }
+    }
+
+    let mut frame = BytesMut::with_capacity(payload.len() + 9);
+    frame.put_u8(MAGIC);
+    frame.put_u8(PROTOCOL_VERSION);
+    frame.put_u8(msg.id());
+    frame.put_u32_le(payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    let crc = crc16(&frame[1..]);
+    frame.put_u16_le(crc);
+    frame.to_vec()
+}
+
+fn decode_payload(msg_id: u8, payload: Bytes) -> Result<FleetMsg, FleetError> {
+    let mut r = Reader::new(payload);
+    let msg = match msg_id {
+        1 => FleetMsg::Hello {
+            worker_id: r.u32()?,
+        },
+        2 => {
+            let spec_toml = r.str()?;
+            let trace_dir = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                _ => return Err(FleetError::Malformed("bad trace-dir presence flag")),
+            };
+            let lease_timeout_s = r.f64()?;
+            FleetMsg::Welcome {
+                spec_toml,
+                trace_dir,
+                lease_timeout_s,
+            }
+        }
+        3 => FleetMsg::Request,
+        4 => FleetMsg::Assign {
+            unit: r.u32()?,
+            spec: get_spec(&mut r)?,
+        },
+        5 => FleetMsg::NoWork,
+        6 => FleetMsg::Done,
+        7 => FleetMsg::Result {
+            unit: r.u32()?,
+            record: get_record(&mut r)?,
+        },
+        8 => FleetMsg::Heartbeat,
+        other => return Err(FleetError::UnknownMessage(other)),
+    };
+    if r.remaining() != 0 {
+        return Err(FleetError::Malformed("trailing bytes in fleet frame"));
+    }
+    Ok(msg)
+}
+
+/// Decodes one framed message from a byte slice.
+///
+/// # Errors
+///
+/// Returns a typed [`FleetError`] for truncated, corrupted, or unknown
+/// frames; never panics, whatever the input.
+pub fn decode_msg(data: &[u8]) -> Result<FleetMsg, FleetError> {
+    if data.len() < 9 {
+        return Err(FleetError::Truncated);
+    }
+    if data[0] != MAGIC {
+        return Err(FleetError::BadMagic);
+    }
+    let version = data[1];
+    let msg_id = data[2];
+    let len = u32::from_le_bytes([data[3], data[4], data[5], data[6]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(FleetError::Malformed("oversized payload length"));
+    }
+    if data.len() < 9 + len {
+        return Err(FleetError::Truncated);
+    }
+    let crc_at = 7 + len;
+    let expect = u16::from_le_bytes([data[crc_at], data[crc_at + 1]]);
+    if crc16(&data[1..crc_at]) != expect {
+        return Err(FleetError::BadChecksum);
+    }
+    // Version is checked after the CRC: a flipped version byte reads as
+    // corruption, a genuinely different (intact) version as skew.
+    if version != PROTOCOL_VERSION {
+        return Err(FleetError::UnknownVersion(version));
+    }
+    decode_payload(msg_id, Bytes::from(data[7..crc_at].to_vec()))
+}
+
+/// Writes one framed message to a stream.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] on transport failure.
+pub fn write_msg(stream: &mut impl Write, msg: &FleetMsg) -> Result<usize, FleetError> {
+    let frame = encode_msg(msg);
+    stream.write_all(&frame)?;
+    stream.flush()?;
+    Ok(frame.len())
+}
+
+/// Reads one framed message from a stream; `(message, frame length)`.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Truncated`] when the peer closes mid-frame (a
+/// clean close before any header byte also reads as truncation) and the
+/// usual typed errors for corruption.
+pub fn read_msg(stream: &mut impl Read) -> Result<(FleetMsg, usize), FleetError> {
+    let mut head = [0u8; 7];
+    read_exact_or_truncated(stream, &mut head)?;
+    if head[0] != MAGIC {
+        return Err(FleetError::BadMagic);
+    }
+    let len = u32::from_le_bytes([head[3], head[4], head[5], head[6]]) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(FleetError::Malformed("oversized payload length"));
+    }
+    let mut rest = vec![0u8; len + 2];
+    read_exact_or_truncated(stream, &mut rest)?;
+    let mut frame = Vec::with_capacity(9 + len);
+    frame.extend_from_slice(&head);
+    frame.extend_from_slice(&rest);
+    decode_msg(&frame).map(|msg| (msg, frame.len()))
+}
+
+fn read_exact_or_truncated(stream: &mut impl Read, buf: &mut [u8]) -> Result<(), FleetError> {
+    stream.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FleetError::Truncated
+        } else {
+            FleetError::Io(e.to_string())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_record() -> ExperimentRecord {
+        ExperimentRecord {
+            spec: ExperimentSpec::faulty(
+                3,
+                FaultKind::Freeze,
+                FaultTarget::Imu,
+                InjectionWindow::new(90.0, 30.0),
+            ),
+            drone_id: 7,
+            outcome: FlightOutcome::Failsafe {
+                time: 97.25,
+                reason: FailsafeReason::InnovationRejection,
+            },
+            flight_duration: 132.5,
+            distance_est: 1234.567,
+            distance_true: 1200.001,
+            inner_violations: 2,
+            outer_violations: 1,
+            ekf_resets: 3,
+        }
+    }
+
+    fn round_trip(msg: FleetMsg) {
+        let bytes = encode_msg(&msg);
+        assert_eq!(decode_msg(&bytes).unwrap(), msg);
+        // The stream reader agrees with the slice decoder.
+        let mut cursor = std::io::Cursor::new(bytes.clone());
+        let (read, n) = read_msg(&mut cursor).unwrap();
+        assert_eq!(read, msg);
+        assert_eq!(n, bytes.len());
+    }
+
+    #[test]
+    fn all_messages_round_trip() {
+        round_trip(FleetMsg::Hello { worker_id: 42 });
+        round_trip(FleetMsg::Welcome {
+            spec_toml: "name = \"quick\"\n[campaign]\nseed = 7".to_string(),
+            trace_dir: Some("out/traces".to_string()),
+            lease_timeout_s: 12.5,
+        });
+        round_trip(FleetMsg::Welcome {
+            spec_toml: String::new(),
+            trace_dir: None,
+            lease_timeout_s: 30.0,
+        });
+        round_trip(FleetMsg::Request);
+        round_trip(FleetMsg::Assign {
+            unit: 17,
+            spec: ExperimentSpec::gold(4),
+        });
+        round_trip(FleetMsg::Assign {
+            unit: 18,
+            spec: sample_record().spec,
+        });
+        round_trip(FleetMsg::NoWork);
+        round_trip(FleetMsg::Done);
+        round_trip(FleetMsg::Result {
+            unit: 844,
+            record: sample_record(),
+        });
+        round_trip(FleetMsg::Heartbeat);
+    }
+
+    #[test]
+    fn record_floats_are_bit_exact() {
+        let mut record = sample_record();
+        record.flight_duration = f64::from_bits(0x400921FB54442D18); // pi
+        record.distance_est = -0.0;
+        let msg = FleetMsg::Result { unit: 0, record };
+        let back = decode_msg(&encode_msg(&msg)).unwrap();
+        let FleetMsg::Result { record: r, .. } = back else {
+            panic!("wrong message")
+        };
+        assert_eq!(r.flight_duration.to_bits(), 0x400921FB54442D18);
+        assert_eq!(r.distance_est.to_bits(), (-0.0_f64).to_bits());
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = encode_msg(&FleetMsg::Result {
+            unit: 1,
+            record: sample_record(),
+        });
+        for cut in [0, 1, 5, 8, bytes.len() - 1] {
+            assert_eq!(
+                decode_msg(&bytes[..cut]),
+                Err(FleetError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_magic_version_and_id_are_typed() {
+        let bytes = encode_msg(&FleetMsg::Request);
+        let mut v = bytes.clone();
+        v[0] = 0x00;
+        assert_eq!(decode_msg(&v), Err(FleetError::BadMagic));
+
+        // A flipped payload byte is a checksum mismatch.
+        let bytes = encode_msg(&FleetMsg::Hello { worker_id: 9 });
+        let mut v = bytes.clone();
+        v[8] ^= 0xFF;
+        assert_eq!(decode_msg(&v), Err(FleetError::BadChecksum));
+
+        // An intact frame with a different version is version skew.
+        let mut v = bytes.clone();
+        v[1] = 9;
+        let crc = crc16(&v[1..v.len() - 2]);
+        let n = v.len();
+        v[n - 2..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_msg(&v), Err(FleetError::UnknownVersion(9)));
+
+        // Same for an unknown message id.
+        let mut v = bytes;
+        v[2] = 99;
+        let crc = crc16(&v[1..v.len() - 2]);
+        let n = v.len();
+        v[n - 2..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_msg(&v), Err(FleetError::UnknownMessage(99)));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut v = encode_msg(&FleetMsg::Request);
+        v[3..7].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode_msg(&v),
+            Err(FleetError::Malformed("oversized payload length"))
+        );
+    }
+
+    #[test]
+    fn stream_reader_reports_clean_close_as_truncation() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_msg(&mut empty).unwrap_err(), FleetError::Truncated);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(FleetError::Truncated.to_string(), "truncated fleet frame");
+        assert!(FleetError::UnknownVersion(3).to_string().contains("3"));
+        assert!(FleetError::CheckpointMismatch {
+            expected: "a".into(),
+            found: "b".into()
+        }
+        .to_string()
+        .contains("different campaign"));
+    }
+}

@@ -1,0 +1,221 @@
+//! The fleet worker: connects to a coordinator, pulls work units, runs
+//! each experiment with the same panic-isolated harness as the
+//! single-process campaign, and streams records back.
+//!
+//! Workers are stateless: everything they need — the scenario, trace
+//! directory, lease timeout — arrives in the coordinator's `Welcome`.
+//! A worker that loses its connection reconnects with exponential
+//! backoff plus jitter, up to a capped attempt budget, so a coordinator
+//! restart (e.g. a `--resume` after a crash) picks the fleet back up
+//! without respawning processes.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use imufit_core::{Campaign, CampaignConfig};
+use imufit_math::rng::Pcg;
+use imufit_scenario::ScenarioSpec;
+
+use crate::protocol::{encode_msg, read_msg, write_msg, FleetError, FleetMsg};
+
+/// Reconnect attempts before a worker gives up on the coordinator.
+pub const MAX_CONNECT_ATTEMPTS: u32 = 8;
+
+/// Base delay for the reconnect backoff schedule (doubles per attempt).
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Longest single backoff sleep.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// How a worker session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// Coordinator said `Done`: the campaign is complete.
+    CampaignComplete,
+    /// The coordinator became unreachable and the reconnect budget ran
+    /// out. The coordinator's lease sweep re-queues anything we held.
+    CoordinatorLost,
+}
+
+/// Connects to `addr` with exponential backoff + jitter, seeded
+/// per-worker so two workers restarting together don't thundering-herd.
+fn connect_with_backoff(addr: SocketAddr, worker_id: u32) -> Result<TcpStream, FleetError> {
+    let mut rng = Pcg::seed_from(0x1F1E_E700u64 ^ u64::from(worker_id));
+    let mut delay = BACKOFF_BASE;
+    for attempt in 0..MAX_CONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => {
+                if attempt + 1 == MAX_CONNECT_ATTEMPTS {
+                    return Err(FleetError::Io(format!(
+                        "worker {worker_id}: coordinator unreachable after \
+                         {MAX_CONNECT_ATTEMPTS} attempts: {e}"
+                    )));
+                }
+                let jitter = rng.uniform_range(0.0, delay.as_secs_f64() * 0.5);
+                std::thread::sleep(delay + Duration::from_secs_f64(jitter));
+                delay = (delay * 2).min(BACKOFF_CAP);
+            }
+        }
+    }
+    unreachable!("loop returns on the final attempt")
+}
+
+/// The campaign context a worker rebuilds from the coordinator's
+/// `Welcome` message.
+struct WorkerContext {
+    config: CampaignConfig,
+    lease_timeout: Duration,
+}
+
+fn context_from_welcome(msg: &FleetMsg) -> Result<WorkerContext, FleetError> {
+    let (spec_toml, trace_dir, lease_timeout_s) = match msg {
+        FleetMsg::Welcome {
+            spec_toml,
+            trace_dir,
+            lease_timeout_s,
+        } => (spec_toml, trace_dir, *lease_timeout_s),
+        _ => return Err(FleetError::Malformed("expected Welcome after Hello")),
+    };
+    let spec = ScenarioSpec::from_toml(spec_toml)
+        .map_err(|e| FleetError::Io(format!("coordinator sent invalid scenario: {e}")))?;
+    let mut config = CampaignConfig::from_scenario(&spec);
+    if let Some(dir) = trace_dir {
+        let dir = PathBuf::from(dir);
+        let _ = std::fs::create_dir_all(&dir);
+        config.trace_dir = Some(dir);
+    }
+    Ok(WorkerContext {
+        config,
+        lease_timeout: Duration::from_secs_f64(lease_timeout_s.max(0.001)),
+    })
+}
+
+/// Runs a worker against the coordinator at `addr` until the campaign
+/// completes or the coordinator stays unreachable past the reconnect
+/// budget.
+///
+/// # Errors
+///
+/// Returns a typed [`FleetError`] only for handshake-level problems (an
+/// invalid scenario, a protocol breach); transport drops are retried
+/// internally and surface as [`WorkerExit::CoordinatorLost`].
+pub fn run_worker(addr: SocketAddr, worker_id: u32) -> Result<WorkerExit, FleetError> {
+    loop {
+        let stream = match connect_with_backoff(addr, worker_id) {
+            Ok(s) => s,
+            Err(_) => return Ok(WorkerExit::CoordinatorLost),
+        };
+        match serve_session(stream, worker_id) {
+            Ok(exit) => return Ok(exit),
+            Err(FleetError::Io(_)) | Err(FleetError::Truncated) => {
+                // Transport drop mid-session: leases lapse server-side;
+                // reconnect and pull fresh work.
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One connected session: handshake, then request/run/report until
+/// `Done` or a transport error.
+fn serve_session(mut stream: TcpStream, worker_id: u32) -> Result<WorkerExit, FleetError> {
+    write_msg(&mut stream, &FleetMsg::Hello { worker_id })?;
+    let (welcome, _) = read_msg(&mut stream)?;
+    let ctx = context_from_welcome(&welcome)?;
+
+    // Heartbeats ride a cloned handle so a long experiment doesn't let
+    // the lease lapse. The writer mutex keeps heartbeat frames from
+    // interleaving with result frames.
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let writer = Arc::clone(&writer);
+        let stop = Arc::clone(&stop);
+        let every = (ctx.lease_timeout / 3).max(Duration::from_millis(10));
+        std::thread::spawn(move || {
+            let frame = encode_msg(&FleetMsg::Heartbeat);
+            while !stop.load(Ordering::SeqCst) {
+                std::thread::sleep(every);
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                if w.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    // Vehicle slot recycled across units, exactly like the in-process
+    // worker threads in `Campaign::run_specs_with_progress`.
+    let mut vehicle = None;
+    let result = loop {
+        {
+            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = write_msg(&mut *w, &FleetMsg::Request) {
+                break Err(e);
+            }
+        }
+        match read_msg(&mut stream) {
+            Ok((FleetMsg::Assign { unit, spec }, _)) => {
+                let record =
+                    Campaign::run_experiment_isolated_into(&ctx.config, spec, &mut vehicle);
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                if let Err(e) = write_msg(&mut *w, &FleetMsg::Result { unit, record }) {
+                    break Err(e);
+                }
+            }
+            Ok((FleetMsg::NoWork, _)) => {
+                // Other workers hold the remaining leases; poll gently.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Ok((FleetMsg::Done, _)) => break Ok(WorkerExit::CampaignComplete),
+            Ok(_) => break Err(FleetError::Malformed("unexpected message in work loop")),
+            Err(e) => break Err(e),
+        }
+    };
+
+    stop.store(true, Ordering::SeqCst);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = beat.join();
+    result
+}
+
+/// Spawns `count` local worker processes running `worker_cmd` (argv,
+/// element 0 is the program) against `addr`. Used by both the `fleet`
+/// binary and `reproduce --fleet-workers`.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Io`] if any spawn fails; already-spawned
+/// children are left running (the caller's campaign still completes and
+/// they exit when it does).
+pub fn spawn_local_workers(
+    worker_cmd: &[String],
+    addr: SocketAddr,
+    count: usize,
+) -> Result<Vec<std::process::Child>, FleetError> {
+    let mut children = Vec::with_capacity(count);
+    for id in 0..count {
+        let child = std::process::Command::new(&worker_cmd[0])
+            .args(&worker_cmd[1..])
+            .arg("--connect")
+            .arg(addr.to_string())
+            .arg("--id")
+            .arg(id.to_string())
+            .spawn()
+            .map_err(|e| FleetError::Io(format!("spawning worker {id}: {e}")))?;
+        children.push(child);
+    }
+    Ok(children)
+}

@@ -194,6 +194,33 @@ impl Default for FlightSettings {
     }
 }
 
+/// Distributed-campaign settings: how a fleet coordinator shards this
+/// scenario across worker processes. Ignored by the single-process runner;
+/// the `imufit-fleet` crate reads them when `--fleet-workers`/`fleet run`
+/// is in play.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSettings {
+    /// Worker processes; 0 = one per available core, clamped to the run
+    /// count like `campaign.threads`.
+    pub workers: usize,
+    /// Seconds a dispatched work unit may go without a result or heartbeat
+    /// before its lease expires and the unit is re-queued.
+    pub lease_timeout_s: f64,
+    /// How many times a unit is re-dispatched after lease expiry or worker
+    /// loss before it is stamped `aborted` (the panic path's outcome).
+    pub retry_cap: usize,
+}
+
+impl Default for FleetSettings {
+    fn default() -> Self {
+        FleetSettings {
+            workers: 0,
+            lease_timeout_s: 30.0,
+            retry_cap: 3,
+        }
+    }
+}
+
 /// The campaign axes: seed, mission slice, injection windows, parallelism.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSettings {
@@ -232,6 +259,8 @@ pub struct ScenarioSpec {
     pub faults: FaultSettings,
     /// Campaign axes.
     pub campaign: CampaignSettings,
+    /// Distributed-campaign sharding (used by the fleet runner only).
+    pub fleet: FleetSettings,
     /// Black-box tracing (off by default; results are identical either way).
     pub trace: TraceSettings,
 }
@@ -306,6 +335,7 @@ impl ScenarioSpec {
             flight: FlightSettings::default(),
             faults: FaultSettings::default(),
             campaign: CampaignSettings::default(),
+            fleet: FleetSettings::default(),
             trace: TraceSettings::default(),
         }
     }
@@ -387,6 +417,12 @@ impl ScenarioSpec {
         }
         if !(1..=10).contains(&self.campaign.missions) {
             return Err(ScenarioError::BadMissionCount(self.campaign.missions));
+        }
+        if !(self.fleet.lease_timeout_s.is_finite() && self.fleet.lease_timeout_s > 0.0) {
+            return Err(ScenarioError::BadNumber {
+                field: "fleet.lease_timeout_s",
+                value: self.fleet.lease_timeout_s,
+            });
         }
         for &d in &self.campaign.durations {
             if !(d.is_finite() && d > 0.0) {
@@ -483,6 +519,11 @@ impl ScenarioSpec {
         );
         campaign.set("threads", Value::Int(self.campaign.threads as u64));
 
+        let mut fleet = Value::table();
+        fleet.set("workers", Value::Int(self.fleet.workers as u64));
+        fleet.set("lease_timeout_s", Value::Float(self.fleet.lease_timeout_s));
+        fleet.set("retry_cap", Value::Int(self.fleet.retry_cap as u64));
+
         let mut trace = Value::table();
         trace.set("enabled", Value::Bool(self.trace.enabled));
         trace.set(
@@ -507,6 +548,7 @@ impl ScenarioSpec {
         root.set("wind", wind);
         root.set("faults", faults);
         root.set("campaign", campaign);
+        root.set("fleet", fleet);
         root.set("trace", trace);
         root
     }
@@ -525,6 +567,7 @@ impl ScenarioSpec {
             "wind",
             "faults",
             "campaign",
+            "fleet",
             "trace",
         ];
         for (key, _) in root.entries() {
@@ -650,6 +693,12 @@ impl ScenarioSpec {
         spec.campaign.durations = get_f64s(campaign, "campaign", "durations")?;
         spec.campaign.injection_start = get_f64(campaign, "campaign", "injection_start")?;
         spec.campaign.threads = get_usize(campaign, "campaign", "threads")?;
+
+        let fleet = section(root, "fleet")?;
+        expect_keys(fleet, "fleet", &["workers", "lease_timeout_s", "retry_cap"])?;
+        spec.fleet.workers = get_usize(fleet, "fleet", "workers")?;
+        spec.fleet.lease_timeout_s = get_f64(fleet, "fleet", "lease_timeout_s")?;
+        spec.fleet.retry_cap = get_usize(fleet, "fleet", "retry_cap")?;
 
         let trace = section(root, "trace")?;
         expect_keys(
@@ -954,6 +1003,32 @@ mod tests {
         let text = spec.to_toml();
         let back = ScenarioSpec::from_toml(&text).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn fleet_section_round_trips_and_validates() {
+        let mut spec = ScenarioSpec::paper_default();
+        spec.fleet.workers = 4;
+        spec.fleet.lease_timeout_s = 7.5;
+        spec.fleet.retry_cap = 1;
+        assert!(spec.validate().is_ok());
+        assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+
+        spec.fleet.lease_timeout_s = 0.0;
+        assert!(matches!(
+            spec.validate(),
+            Err(ScenarioError::BadNumber {
+                field: "fleet.lease_timeout_s",
+                ..
+            })
+        ));
+
+        // Typos in the fleet section must be rejected like any other.
+        let text = ScenarioSpec::paper_default()
+            .to_toml()
+            .replace("retry_cap", "retry_cp");
+        assert!(ScenarioSpec::from_toml(&text).is_err());
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Distributed campaign driver: coordinator + worker processes over
+//! localhost TCP, producing a `campaign_results.csv` byte-identical to
+//! the single-process `reproduce` campaign.
+//!
+//! Usage:
+//!
+//! ```text
+//! fleet run [--scenario FILE|PRESET] [--workers N] [--out DIR]
+//!           [--seed N] [--missions M] [--quick] [--trace-dir DIR]
+//!           [--resume] [--no-spawn]
+//! fleet worker --connect ADDR [--id N]
+//! ```
+//!
+//! `run` shards the campaign, journals completed units to
+//! `OUT/fleet.ckpt`, and (unless `--no-spawn`) launches N copies of
+//! itself as workers. A killed run picks up where it left off with
+//! `--resume`: journaled units replay, only outstanding ones rerun, and
+//! the merged CSV is still byte-identical.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+
+use imufit_fleet::{CoordinatorConfig, WorkerExit};
+use imufit_obs::info;
+use imufit_scenario::{ScenarioSpec, PRESET_NAMES};
+
+const USAGE: &str = "usage: fleet run [--scenario FILE|PRESET] [--workers N] [--out DIR]
+                 [--seed N] [--missions M] [--quick] [--trace-dir DIR]
+                 [--resume] [--no-spawn] [--metrics]
+       fleet worker --connect ADDR [--id N]
+
+  run                 coordinate a distributed campaign
+    --scenario X      scenario document (TOML/JSON path) or preset name:
+                      paper-default, quick, redundancy-ablation, mitigation-on
+    --workers N       worker processes (default: scenario [fleet] workers;
+                      0 = one per CPU, clamped to the number of runs)
+    --out DIR         output directory (default .)
+    --seed N          campaign master seed override
+    --missions M      fly only the first M study missions
+    --quick           scaled smoke campaign: 3 missions, durations 2 s / 30 s
+    --trace-dir DIR   enable black-box tracing into DIR (same layout as
+                      `reproduce --trace-dir`)
+    --resume          replay OUT/fleet.ckpt and run only outstanding units
+    --no-spawn        don't spawn local workers; wait for external
+                      `fleet worker --connect` processes
+    --metrics         write campaign_metrics.json next to the CSV
+  worker              serve one worker process
+    --connect ADDR    coordinator address (host:port)
+    --id N            worker id reported to the coordinator (default 0)";
+
+/// Prints an argument error plus usage to stderr and exits 2.
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+/// Parses a flag's value, dying on anything missing or unparsable.
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(v) = value else {
+        die(&format!("missing value for {flag}"));
+    };
+    v.parse()
+        .unwrap_or_else(|_| die(&format!("cannot parse {flag} value '{v}'")))
+}
+
+struct RunArgs {
+    scenario: Option<String>,
+    workers: Option<usize>,
+    out: String,
+    seed: Option<u64>,
+    missions: Option<usize>,
+    quick: bool,
+    trace_dir: Option<String>,
+    resume: bool,
+    spawn: bool,
+    metrics: bool,
+}
+
+fn parse_run_args(mut it: std::env::Args) -> RunArgs {
+    let mut args = RunArgs {
+        scenario: None,
+        workers: None,
+        out: ".".to_string(),
+        seed: None,
+        missions: None,
+        quick: false,
+        trace_dir: None,
+        resume: false,
+        spawn: true,
+        metrics: false,
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" => {
+                args.scenario = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("missing value for --scenario")),
+                )
+            }
+            "--workers" => args.workers = Some(parse_value("--workers", it.next())),
+            "--out" => args.out = it.next().unwrap_or_else(|| die("missing value for --out")),
+            "--seed" => args.seed = Some(parse_value("--seed", it.next())),
+            "--missions" => args.missions = Some(parse_value("--missions", it.next())),
+            "--quick" => args.quick = true,
+            "--trace-dir" => {
+                args.trace_dir = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("missing value for --trace-dir")),
+                )
+            }
+            "--resume" => args.resume = true,
+            "--no-spawn" => args.spawn = false,
+            "--metrics" => args.metrics = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    args
+}
+
+/// Resolves `--scenario`: a preset name first, a document path otherwise.
+fn load_scenario(name_or_path: &str) -> ScenarioSpec {
+    if let Some(spec) = ScenarioSpec::preset(name_or_path) {
+        return spec;
+    }
+    ScenarioSpec::from_file(Path::new(name_or_path)).unwrap_or_else(|e| {
+        die(&format!(
+            "cannot load scenario '{name_or_path}': {e} (presets: {})",
+            PRESET_NAMES.join(", ")
+        ))
+    })
+}
+
+fn run_coordinator(args: RunArgs) {
+    let mut spec = match &args.scenario {
+        Some(s) => load_scenario(s),
+        None => ScenarioSpec::paper_default(),
+    };
+    if let Some(seed) = args.seed {
+        spec.campaign.seed = seed;
+    }
+    if let Some(missions) = args.missions {
+        spec.campaign.missions = missions;
+    }
+    if args.quick {
+        spec.campaign.missions = spec.campaign.missions.min(3);
+        spec.campaign.durations = vec![2.0, 30.0];
+    }
+    if let Some(workers) = args.workers {
+        spec.fleet.workers = workers;
+    }
+    if args.trace_dir.is_some() {
+        spec.trace.enabled = true;
+    }
+    if let Err(e) = spec.validate() {
+        die(&format!("invalid scenario: {e}"));
+    }
+
+    let out = PathBuf::from(&args.out);
+    std::fs::create_dir_all(&out)
+        .unwrap_or_else(|e| die(&format!("cannot create output dir {}: {e}", out.display())));
+
+    let mut config = CoordinatorConfig::new(spec.clone(), &out);
+    config.resume = args.resume;
+    if spec.trace.enabled {
+        config.trace_dir = Some(
+            args.trace_dir
+                .as_deref()
+                .map(PathBuf::from)
+                .unwrap_or_else(|| out.join("traces")),
+        );
+    }
+
+    let coordinator = imufit_fleet::Coordinator::bind(config).unwrap_or_else(|e| {
+        eprintln!("error: cannot start coordinator: {e}");
+        std::process::exit(1);
+    });
+    let total = coordinator.total_units();
+    let workers = campaign_worker_count(&spec, total);
+    info!(
+        "fleet: {} units, {} workers, listening on {} ({} replayed from checkpoint)",
+        total,
+        workers,
+        coordinator.addr(),
+        coordinator.resumed_units()
+    );
+
+    let mut children = Vec::new();
+    if args.spawn {
+        let exe = std::env::current_exe()
+            .unwrap_or_else(|e| die(&format!("cannot locate own executable: {e}")));
+        let cmd = vec![exe.display().to_string(), "worker".to_string()];
+        children = imufit_fleet::spawn_local_workers(&cmd, coordinator.addr(), workers)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+    } else {
+        println!("fleet: connect workers to {}", coordinator.addr());
+    }
+
+    let reporter = imufit_obs::progress::ProgressReporter::new("fleet", total, workers);
+    let progress = move |done: usize, _total: usize| {
+        reporter.record(done, 0.0);
+    };
+    let started = std::time::Instant::now();
+    let results = coordinator.serve(Some(&progress)).unwrap_or_else(|e| {
+        eprintln!("error: coordinator failed: {e}");
+        std::process::exit(1);
+    });
+    for child in &mut children {
+        let _ = child.wait();
+    }
+    info!(
+        "fleet campaign finished in {:.0} s wall-clock; faulty completion {:.1}%",
+        started.elapsed().as_secs_f64(),
+        results.faulty_completion_pct()
+    );
+
+    let csv_path = out.join("campaign_results.csv");
+    std::fs::write(&csv_path, results.to_csv())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", csv_path.display()));
+    info!("wrote {}", csv_path.display());
+    if args.metrics {
+        let metrics_path = out.join("campaign_metrics.json");
+        std::fs::write(&metrics_path, imufit_obs::export::json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", metrics_path.display()));
+        info!("wrote {}", metrics_path.display());
+    }
+}
+
+/// The worker-process count: CLI/scenario value, with 0 meaning one per
+/// CPU clamped to the number of runs (same rule as `campaign.threads`).
+fn campaign_worker_count(spec: &ScenarioSpec, runs: usize) -> usize {
+    if spec.fleet.workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(1, runs.max(1))
+    } else {
+        spec.fleet.workers
+    }
+}
+
+fn run_worker(mut it: std::env::Args) {
+    let mut connect: Option<String> = None;
+    let mut id: u32 = 0;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => {
+                connect = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("missing value for --connect")),
+                )
+            }
+            "--id" => id = parse_value("--id", it.next()),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    let Some(addr) = connect else {
+        die("worker requires --connect ADDR");
+    };
+    let addr: SocketAddr = addr
+        .parse()
+        .unwrap_or_else(|_| die(&format!("cannot parse --connect address '{addr}'")));
+    match imufit_fleet::run_worker(addr, id) {
+        Ok(WorkerExit::CampaignComplete) => {}
+        Ok(WorkerExit::CoordinatorLost) => {
+            eprintln!("worker {id}: coordinator lost; exiting");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("worker {id}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    imufit_obs::log::init();
+    let mut it = std::env::args();
+    let _ = it.next();
+    match it.next().as_deref() {
+        Some("run") => run_coordinator(parse_run_args(it)),
+        Some("worker") => run_worker(it),
+        Some("--help") | Some("-h") => println!("{USAGE}"),
+        Some(other) => die(&format!("unknown subcommand: {other}")),
+        None => die("expected a subcommand: run | worker"),
+    }
+}

@@ -36,7 +36,7 @@ use imufit_uav::{FlightSimulator, SimConfig};
 const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--quick]
                  [--scenario FILE|PRESET] [--dump-scenario]
                  [--trace-dir DIR] [--trace-window PRE:POST]
-                 [--trace-triggers A,B,...]
+                 [--trace-triggers A,B,...] [--fleet-workers N]
                  [--no-extras] [--metrics] [--no-metrics]
 
   --seed N            campaign master seed (default 2024)
@@ -53,6 +53,10 @@ const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--q
   --trace-triggers L  comma-separated trigger list: detector-edge,
                       voter-exclusion, bubble-violation, failsafe, panic
                       (default: all)
+  --fleet-workers N   run the campaign across N worker processes over
+                      localhost TCP (see the `fleet` binary); 0 = one per
+                      CPU, clamped to the number of runs. The merged CSV
+                      is byte-identical to the single-process campaign
   --no-extras         skip the beyond-the-paper sections
   --metrics           also write Prometheus text exposition
   --no-metrics        suppress the campaign_metrics.json snapshot";
@@ -85,6 +89,8 @@ struct Args {
     trace_window: Option<(usize, usize)>,
     /// Trigger selection.
     trace_triggers: Option<Vec<imufit_trace::TraceTrigger>>,
+    /// Distribute the campaign over N worker processes (0 = auto).
+    fleet_workers: Option<usize>,
 }
 
 /// Parses `--trace-window PRE:POST`, dying on anything malformed.
@@ -148,6 +154,7 @@ fn parse_args() -> Args {
         trace_dir: None,
         trace_window: None,
         trace_triggers: None,
+        fleet_workers: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -160,6 +167,9 @@ fn parse_args() -> Args {
             }
             "--trace-window" => args.trace_window = Some(parse_trace_window(it.next())),
             "--trace-triggers" => args.trace_triggers = Some(parse_trace_triggers(it.next())),
+            "--fleet-workers" => {
+                args.fleet_workers = Some(parse_value("--fleet-workers", it.next()))
+            }
             "--seed" => args.seed = Some(parse_value("--seed", it.next())),
             "--missions" => args.missions = Some(parse_value("--missions", it.next())),
             "--out" => args.out = it.next().unwrap_or_else(|| die("missing value for --out")),
@@ -290,8 +300,82 @@ fn collect_extras(seed: u64) -> report::ExtraSections {
     }
 }
 
+/// Hidden self-worker mode backing `--fleet-workers`: the coordinator
+/// re-execs this binary as `reproduce --fleet-worker --connect ADDR
+/// --id N`, which serves fleet work units until the campaign completes.
+fn run_fleet_worker(rest: &[String]) -> ! {
+    let mut connect: Option<&str> = None;
+    let mut id: u32 = 0;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--connect" => connect = it.next().map(String::as_str),
+            "--id" => {
+                id = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("cannot parse --id value"))
+            }
+            other => die(&format!("unknown fleet-worker argument: {other}")),
+        }
+    }
+    let addr: std::net::SocketAddr = connect
+        .unwrap_or_else(|| die("fleet worker requires --connect ADDR"))
+        .parse()
+        .unwrap_or_else(|_| die("cannot parse --connect address"));
+    match imufit_fleet::run_worker(addr, id) {
+        Ok(imufit_fleet::WorkerExit::CampaignComplete) => std::process::exit(0),
+        Ok(imufit_fleet::WorkerExit::CoordinatorLost) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("fleet worker {id}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Runs the campaign through the fleet coordinator with `workers`
+/// self-spawned worker processes, journaling to `out/fleet.ckpt`.
+fn run_fleet_campaign(
+    spec: &ScenarioSpec,
+    trace_dir: Option<std::path::PathBuf>,
+    out: &std::path::Path,
+    workers: usize,
+    progress: &(dyn Fn(usize, usize) + Sync),
+) -> imufit_core::CampaignResults {
+    std::fs::create_dir_all(out)
+        .unwrap_or_else(|e| panic!("cannot create output dir {}: {e}", out.display()));
+    let mut fleet_config = imufit_fleet::CoordinatorConfig::new(spec.clone(), out);
+    fleet_config.trace_dir = trace_dir;
+    let coordinator = imufit_fleet::Coordinator::bind(fleet_config).unwrap_or_else(|e| {
+        eprintln!("error: cannot start fleet coordinator: {e}");
+        std::process::exit(1);
+    });
+    let exe =
+        std::env::current_exe().unwrap_or_else(|e| panic!("cannot locate own executable: {e}"));
+    let cmd = vec![exe.display().to_string(), "--fleet-worker".to_string()];
+    let mut children = imufit_fleet::spawn_local_workers(&cmd, coordinator.addr(), workers)
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+    let results = coordinator.serve(Some(progress)).unwrap_or_else(|e| {
+        eprintln!("error: fleet coordinator failed: {e}");
+        std::process::exit(1);
+    });
+    for child in &mut children {
+        let _ = child.wait();
+    }
+    results
+}
+
 fn main() {
     imufit_obs::log::init();
+    // The hidden worker mode must short-circuit before normal parsing:
+    // its flags are not part of the public interface.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("--fleet-worker") {
+        run_fleet_worker(&raw[1..]);
+    }
     let args = parse_args();
 
     // One scenario document describes the whole run; the remaining CLI
@@ -309,6 +393,9 @@ fn main() {
     if args.quick {
         spec.campaign.missions = spec.campaign.missions.min(3);
         spec.campaign.durations = vec![2.0, 30.0];
+    }
+    if let Some(n) = args.fleet_workers {
+        spec.fleet.workers = n;
     }
     // Trace overrides: `--trace-dir` arms the collector, the window and
     // trigger flags tune it; a window deeper than the ring grows the ring.
@@ -345,19 +432,31 @@ fn main() {
     }
 
     let total = config.matrix().len();
-    let workers = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        config.threads
-    };
+    // With `--fleet-workers` the unit of parallelism is a worker process
+    // (scenario `[fleet] workers`, 0 = auto); otherwise it is an
+    // in-process thread (`campaign.threads`, same auto rule).
+    let fleet_procs = args.fleet_workers.map(|_| {
+        if spec.fleet.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .clamp(1, total.max(1))
+        } else {
+            spec.fleet.workers
+        }
+    });
+    let workers = fleet_procs.unwrap_or_else(|| config.effective_workers(total));
     info!(
-        "campaign: {} experiments across {} missions (seed {}, {} workers)",
+        "campaign: {} experiments across {} missions (seed {}, {} {})",
         total,
         config.missions.len(),
         seed,
-        workers
+        workers,
+        if fleet_procs.is_some() {
+            "fleet workers"
+        } else {
+            "workers"
+        }
     );
 
     // Live progress: runs done / total, ETA, and worker utilisation (the
@@ -370,7 +469,17 @@ fn main() {
         reporter.record(done, run_hist.histogram().sum());
     };
     let started = std::time::Instant::now();
-    let results = Campaign::new(config).run_with_progress(Some(&progress));
+    let results = if let Some(procs) = fleet_procs {
+        run_fleet_campaign(
+            &spec,
+            config.trace_dir.clone(),
+            std::path::Path::new(&args.out),
+            procs,
+            &progress,
+        )
+    } else {
+        Campaign::new(config).run_with_progress(Some(&progress))
+    };
     info!(
         "campaign finished in {:.0} s wall-clock; faulty completion {:.1}%",
         started.elapsed().as_secs_f64(),

@@ -24,6 +24,7 @@
 //! | [`detect`] | `imufit-detect` | online fault detectors + evaluation harness |
 //! | [`scenario`] | `imufit-scenario` | one-document run descriptions + presets |
 //! | [`trace`] | `imufit-trace` | black-box flight tracing + `.ifbb` post-mortems |
+//! | [`fleet`] | `imufit-fleet` | distributed campaigns: coordinator/workers + checkpoints |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use imufit_detect as detect;
 pub use imufit_dynamics as dynamics;
 pub use imufit_estimator as estimator;
 pub use imufit_faults as faults;
+pub use imufit_fleet as fleet;
 pub use imufit_math as math;
 pub use imufit_missions as missions;
 pub use imufit_scenario as scenario;
