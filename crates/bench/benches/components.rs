@@ -182,7 +182,8 @@ fn bench_trace(c: &mut Criterion) {
                 caused_by: i.checked_sub(1),
                 tick: 22_500 + u64::from(i) * 70,
                 time: 90.0 + f64::from(i) * 0.28,
-                kind: imufit_trace::TraceEventKind::ALL[i as usize % 11],
+                kind: imufit_trace::TraceEventKind::ALL
+                    [i as usize % imufit_trace::TraceEventKind::ALL.len()],
                 param: 0,
                 detail: "detection ensemble alarm persisted 0.25 s".to_string(),
             })
@@ -205,6 +206,7 @@ fn bench_fleet(c: &mut Criterion) {
             FaultTarget::Gyrometer,
             InjectionWindow::new(90.0, 10.0),
         )),
+        attack: None,
     };
     // The coordinator's per-unit send path: frame an Assign, then decode
     // it as the worker would.

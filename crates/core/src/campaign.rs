@@ -14,11 +14,13 @@ use serde::{Deserialize, Serialize};
 
 use imufit_faults::InjectionWindow;
 use imufit_missions::{all_missions, Mission};
-use imufit_scenario::{FaultSettings, FlightSettings, ScenarioSpec};
+use imufit_scenario::{AttackSettings, FaultSettings, FlightSettings, ScenarioSpec};
 use imufit_trace::TraceSettings;
 use imufit_uav::{FlightOutcome, FlightSimulator, FlightSummary, SimConfig, VehicleBuilder};
 
-use crate::experiment::{csv_header, experiment_matrix, ExperimentRecord, ExperimentSpec};
+use crate::experiment::{
+    attack_matrix, csv_header, experiment_matrix, ExperimentRecord, ExperimentSpec,
+};
 
 /// Errors produced when an experiment cannot be run at all.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +79,12 @@ pub struct CampaignConfig {
     /// Fault selection: which kinds/targets of the full matrix to fly, and
     /// whether faults hit all redundant IMU instances.
     pub faults: FaultSettings,
+    /// Sensor-attack axis: which catalog attacks to fly against each
+    /// mission, and whether the innovation monitors defend. Empty kinds
+    /// (the default) add no cells, keeping paper-default campaigns
+    /// unchanged cell for cell.
+    #[serde(default)]
+    pub attacks: AttackSettings,
     /// Black-box tracing per run (disabled by default; tracing never feeds
     /// back into flight state, so results are identical either way).
     pub trace: TraceSettings,
@@ -96,6 +104,7 @@ impl Default for CampaignConfig {
             imu_redundancy: 3,
             flight: FlightSettings::default(),
             faults: FaultSettings::default(),
+            attacks: AttackSettings::default(),
             trace: TraceSettings::default(),
             trace_dir: None,
         }
@@ -131,6 +140,7 @@ impl CampaignConfig {
             imu_redundancy: spec.flight.imu_redundancy,
             flight: spec.flight.clone(),
             faults: spec.faults.clone(),
+            attacks: spec.attacks.clone(),
             trace: spec.trace.clone(),
             trace_dir: None,
         }
@@ -155,13 +165,26 @@ impl CampaignConfig {
     /// by the fault selection (empty selection = everything; gold runs are
     /// always kept).
     pub fn matrix(&self) -> Vec<ExperimentSpec> {
-        experiment_matrix(self.missions.len(), &self.durations, self.injection_start)
-            .into_iter()
-            .filter(|spec| match &spec.fault {
-                None => true,
-                Some(f) => self.faults.selects_kind(f.kind) && self.faults.selects_target(f.target),
-            })
-            .collect()
+        let mut specs: Vec<ExperimentSpec> =
+            experiment_matrix(self.missions.len(), &self.durations, self.injection_start)
+                .into_iter()
+                .filter(|spec| match &spec.fault {
+                    None => true,
+                    Some(f) => {
+                        self.faults.selects_kind(f.kind) && self.faults.selects_target(f.target)
+                    }
+                })
+                .collect();
+        // The attack axis rides behind the paper grid so existing cell
+        // indices (and the golden CSV) are untouched.
+        specs.extend(attack_matrix(
+            self.missions.len(),
+            &self.attacks.kinds,
+            &self.attacks.durations,
+            self.attacks.start_s,
+            self.attacks.intensity_scale,
+        ));
+        specs
     }
 
     /// The per-flight simulator configuration for one mission of this
@@ -174,6 +197,7 @@ impl CampaignConfig {
             seed,
         );
         sim.imu_redundancy = self.imu_redundancy.max(1);
+        sim.innovation_monitors = self.attacks.monitors;
         sim.trace = self.trace.clone();
         sim
     }
@@ -277,9 +301,11 @@ impl Campaign {
                 })?;
         let seed = spec.derive_seed(config.seed);
         let faults = spec.fault.map(|f| vec![f]).unwrap_or_default();
+        let attacks = spec.attack.map(|a| vec![a]).unwrap_or_default();
         let sim_config = config.sim_config(mission, seed);
         VehicleBuilder::new(mission, sim_config)
             .with_faults(faults)
+            .with_attacks(attacks)
             .build_into(vehicle)
             .map_err(|e| CampaignError::InvalidConfig(e.to_string()))?;
         let summary: FlightSummary = vehicle
@@ -420,6 +446,18 @@ impl Campaign {
             .get(spec.mission_index)
             .map(|m| m.drone.id)
             .unwrap_or(u32::MAX);
+        if let Some(a) = &spec.attack {
+            return format!(
+                "mission={} drone={} target={} kind={} duration={} seed={} outcome={}",
+                spec.mission_index,
+                drone_id,
+                a.target().label(),
+                a.kind.label(),
+                a.window.duration,
+                config.seed,
+                outcome_label
+            );
+        }
         match &spec.fault {
             None => format!(
                 "mission={} drone={} kind=gold seed={} outcome={}",
@@ -440,15 +478,22 @@ impl Campaign {
 
     /// A filesystem-safe, matrix-unique stem for one experiment's box.
     fn trace_file_stem(spec: &ExperimentSpec) -> String {
-        let raw = match &spec.fault {
-            None => format!("m{}_gold", spec.mission_index),
-            Some(f) => format!(
+        let raw = match (&spec.fault, &spec.attack) {
+            (None, Some(a)) => format!(
+                "m{}_{}_{}_{}s",
+                spec.mission_index,
+                a.target().label(),
+                a.kind.label(),
+                a.window.duration
+            ),
+            (Some(f), _) => format!(
                 "m{}_{}_{}_{}s",
                 spec.mission_index,
                 f.target.label(),
                 f.kind.label(),
                 f.window.duration
             ),
+            (None, None) => format!("m{}_gold", spec.mission_index),
         };
         raw.chars()
             .map(|c| {

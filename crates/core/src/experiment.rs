@@ -2,9 +2,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use imufit_faults::{FaultKind, FaultSpec, FaultTarget, InjectionWindow};
+use imufit_faults::{AttackKind, AttackSpec, FaultKind, FaultSpec, FaultTarget, InjectionWindow};
 use imufit_math::rng::derive_seed;
 use imufit_uav::FlightOutcome;
+
+/// Seed-derivation namespace for attack cells: distinct from gold runs
+/// (`u64::MAX`) and from fault cells (small [`FaultKind`] ids), so the
+/// attack axis never collides with — or perturbs — the paper matrix.
+const ATTACK_SEED_TAG: u64 = u64::MAX - 1;
 
 /// One cell of the experiment matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -13,6 +18,10 @@ pub struct ExperimentSpec {
     pub mission_index: usize,
     /// The fault to inject, or `None` for a gold run.
     pub fault: Option<FaultSpec>,
+    /// The sensor attack to inject (the beyond-IMU axis), or `None`.
+    /// Deserialization defaults keep pre-attack checkpoints readable.
+    #[serde(default)]
+    pub attack: Option<AttackSpec>,
 }
 
 impl ExperimentSpec {
@@ -21,6 +30,7 @@ impl ExperimentSpec {
         ExperimentSpec {
             mission_index,
             fault: None,
+            attack: None,
         }
     }
 
@@ -34,24 +44,37 @@ impl ExperimentSpec {
         ExperimentSpec {
             mission_index,
             fault: Some(FaultSpec::new(kind, target, window)),
+            attack: None,
         }
     }
 
-    /// The label the paper's tables use ("Gold Run", "Acc Zeros", ...).
+    /// A sensor-attack run.
+    pub fn attacked(mission_index: usize, attack: AttackSpec) -> Self {
+        ExperimentSpec {
+            mission_index,
+            fault: None,
+            attack: Some(attack),
+        }
+    }
+
+    /// The label the paper's tables use ("Gold Run", "Acc Zeros", ...);
+    /// attack cells use the catalog label ("GPS gps-spoof-ramp").
     pub fn label(&self) -> String {
-        match &self.fault {
-            None => "Gold Run".to_string(),
-            Some(f) => f.label(),
+        match (&self.fault, &self.attack) {
+            (Some(f), _) => f.label(),
+            (None, Some(a)) => a.label(),
+            (None, None) => "Gold Run".to_string(),
         }
     }
 
     /// Derives a deterministic per-experiment seed from a campaign master
     /// seed: every experiment has its own independent random stream, so the
-    /// campaign is reproducible under any execution order.
+    /// campaign is reproducible under any execution order. Gold and fault
+    /// cells derive exactly as they always have; attack cells live in their
+    /// own namespace ([`ATTACK_SEED_TAG`]).
     pub fn derive_seed(&self, master: u64) -> u64 {
-        match &self.fault {
-            None => derive_seed(master, &[self.mission_index as u64, u64::MAX, 0, 0]),
-            Some(f) => derive_seed(
+        match (&self.fault, &self.attack) {
+            (Some(f), _) => derive_seed(
                 master,
                 &[
                     self.mission_index as u64,
@@ -62,6 +85,16 @@ impl ExperimentSpec {
                     (f.window.duration * 1000.0) as u64,
                 ],
             ),
+            (None, Some(a)) => derive_seed(
+                master,
+                &[
+                    self.mission_index as u64,
+                    ATTACK_SEED_TAG,
+                    a.kind.id(),
+                    (a.window.duration * 1000.0) as u64,
+                ],
+            ),
+            (None, None) => derive_seed(master, &[self.mission_index as u64, u64::MAX, 0, 0]),
         }
     }
 }
@@ -96,28 +129,36 @@ impl ExperimentRecord {
         self.outcome.is_completed()
     }
 
-    /// The injection duration, or `None` for gold runs.
+    /// The injection duration (fault or attack), or `None` for gold runs.
     pub fn injection_duration(&self) -> Option<f64> {
-        self.spec.fault.map(|f| f.window.duration)
+        self.spec
+            .fault
+            .map(|f| f.window.duration)
+            .or(self.spec.attack.map(|a| a.window.duration))
     }
 
     /// The targeted component, or `None` for gold runs.
     pub fn target(&self) -> Option<imufit_faults::FaultTarget> {
-        self.spec.fault.map(|f| f.target)
+        self.spec
+            .fault
+            .map(|f| f.target)
+            .or(self.spec.attack.map(|a| a.target()))
     }
 
-    /// One CSV row (see [`csv_header`]).
+    /// One CSV row (see [`csv_header`]). Gold and fault rows format exactly
+    /// as they always have; attack rows put the attacked sensor in the
+    /// target column and the catalog label in the fault column.
     pub fn to_csv_row(&self) -> String {
         format!(
             "{},{},{},{},{},{:.2},{:.4},{:.4},{},{},{}",
             self.drone_id,
-            self.spec
-                .fault
-                .map(|f| f.target.label().to_string())
+            self.target()
+                .map(|t| t.label().to_string())
                 .unwrap_or_else(|| "-".into()),
             self.spec
                 .fault
                 .map(|f| f.kind.label().to_string())
+                .or(self.spec.attack.map(|a| a.kind.label().to_string()))
                 .unwrap_or_else(|| "gold".into()),
             self.injection_duration()
                 .map(|d| format!("{d}"))
@@ -139,7 +180,10 @@ pub fn csv_header() -> &'static str {
 }
 
 /// Builds the full experiment matrix: gold runs first, then every
-/// (kind, target, duration, mission) combination.
+/// (kind, target, duration, mission) combination over the paper's IMU
+/// suite. The beyond-IMU targets ride the attack axis
+/// ([`attack_matrix`]), keeping this grid — and the 850-case paper
+/// campaign it produces — untouched by the extended fault surface.
 pub fn experiment_matrix(
     mission_count: usize,
     durations: &[f64],
@@ -151,11 +195,36 @@ pub fn experiment_matrix(
     }
     for &duration in durations {
         let window = InjectionWindow::new(injection_start, duration);
-        for target in FaultTarget::ALL {
+        for target in FaultTarget::imu_suite() {
             for kind in FaultKind::ALL {
                 for m in 0..mission_count {
                     specs.push(ExperimentSpec::faulty(m, kind, target, window));
                 }
+            }
+        }
+    }
+    specs
+}
+
+/// Builds the attack axis: every (kind, duration, mission) combination of
+/// the selected catalog entries. Empty `kinds` (the default everywhere)
+/// yields an empty axis, so paper-default campaigns are unchanged cell for
+/// cell.
+pub fn attack_matrix(
+    mission_count: usize,
+    kinds: &[AttackKind],
+    durations: &[f64],
+    injection_start: f64,
+    intensity_scale: f64,
+) -> Vec<ExperimentSpec> {
+    let mut specs = Vec::with_capacity(mission_count * kinds.len() * durations.len());
+    for &duration in durations {
+        let window = InjectionWindow::new(injection_start, duration);
+        for &kind in kinds {
+            let attack = AttackSpec::new(kind, window)
+                .with_intensity(kind.default_intensity() * intensity_scale);
+            for m in 0..mission_count {
+                specs.push(ExperimentSpec::attacked(m, attack));
             }
         }
     }
@@ -199,6 +268,63 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 850, "seed collision in the matrix");
+    }
+
+    #[test]
+    fn attack_matrix_shape_and_labels() {
+        let specs = attack_matrix(3, &AttackKind::all(), &[10.0, 30.0], 90.0, 1.0);
+        assert_eq!(specs.len(), 3 * 4 * 2);
+        assert!(specs
+            .iter()
+            .all(|s| s.fault.is_none() && s.attack.is_some()));
+        let spoof = specs
+            .iter()
+            .find(|s| s.attack.unwrap().kind == AttackKind::GpsSpoofRamp)
+            .unwrap();
+        assert_eq!(spoof.label(), "GPS gps-spoof-ramp");
+        // Empty selection = empty axis: the paper-default campaign shape.
+        assert!(attack_matrix(10, &[], &[30.0], 90.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn attack_seeds_never_collide_with_the_paper_matrix() {
+        let mut specs = experiment_matrix(10, &[2.0, 5.0, 10.0, 30.0], 90.0);
+        specs.extend(attack_matrix(
+            10,
+            &AttackKind::all(),
+            &[2.0, 5.0, 10.0, 30.0],
+            90.0,
+            1.0,
+        ));
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.derive_seed(2024)).collect();
+        let total = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), total, "attack axis collided with a fault cell");
+    }
+
+    #[test]
+    fn attack_row_csv_shape() {
+        let spec = ExperimentSpec::attacked(
+            0,
+            AttackSpec::new(AttackKind::BaroDrift, InjectionWindow::new(90.0, 30.0)),
+        );
+        let rec = ExperimentRecord {
+            spec,
+            drone_id: 3,
+            outcome: FlightOutcome::Completed,
+            flight_duration: 200.0,
+            distance_est: 1000.0,
+            distance_true: 990.0,
+            inner_violations: 1,
+            outer_violations: 0,
+            ekf_resets: 0,
+        };
+        let row = rec.to_csv_row();
+        assert_eq!(row.split(',').count(), csv_header().split(',').count());
+        assert!(row.contains("Baro"));
+        assert!(row.contains("baro-drift"));
+        assert!(row.contains(",30,"));
     }
 
     #[test]

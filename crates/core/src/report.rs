@@ -271,7 +271,10 @@ pub fn render_experiments_md_with_extras(
          (see DESIGN.md for the substitutions vs. the paper's PX4 + Gazebo testbed). \
          Reproduction criterion: **shape** (orderings, trends, crossovers), not absolute values.\n\n",
         records.len(),
-        records.iter().filter(|r| r.spec.fault.is_none()).count()
+        records
+            .iter()
+            .filter(|r| r.spec.fault.is_none() && r.spec.attack.is_none())
+            .count()
     ));
 
     s.push_str("## Shape targets (DESIGN.md §4)\n\n");

@@ -79,13 +79,20 @@ pub struct Table2 {
 }
 
 impl Table2 {
-    /// Aggregates records into Table II.
+    /// Aggregates records into Table II. Attack-axis records (beyond-IMU)
+    /// are excluded: the paper's tables summarize the Table I fault matrix
+    /// only, whatever else the campaign flew.
     pub fn from_records(records: &[ExperimentRecord]) -> Table2 {
-        let gold_records: Vec<&ExperimentRecord> =
-            records.iter().filter(|r| r.spec.fault.is_none()).collect();
+        let paper: Vec<&ExperimentRecord> =
+            records.iter().filter(|r| r.spec.attack.is_none()).collect();
+        let gold_records: Vec<&ExperimentRecord> = paper
+            .iter()
+            .copied()
+            .filter(|r| r.spec.fault.is_none())
+            .collect();
         let gold = MetricRow::from_group("Gold Run", &gold_records);
 
-        let mut durations: Vec<f64> = records
+        let mut durations: Vec<f64> = paper
             .iter()
             .filter_map(|r| r.injection_duration())
             .collect();
@@ -95,8 +102,9 @@ impl Table2 {
         let mut rows: Vec<MetricRow> = durations
             .iter()
             .map(|&d| {
-                let group: Vec<&ExperimentRecord> = records
+                let group: Vec<&ExperimentRecord> = paper
                     .iter()
+                    .copied()
                     .filter(|r| r.injection_duration() == Some(d))
                     .collect();
                 MetricRow::from_group(&format!("{d:.0} seconds"), &group)
@@ -130,14 +138,17 @@ pub struct Table3 {
 }
 
 impl Table3 {
-    /// Aggregates records into Table III.
+    /// Aggregates records into Table III (attack-axis records excluded;
+    /// see [`Table2::from_records`]).
     pub fn from_records(records: &[ExperimentRecord]) -> Table3 {
-        let gold_records: Vec<&ExperimentRecord> =
-            records.iter().filter(|r| r.spec.fault.is_none()).collect();
+        let gold_records: Vec<&ExperimentRecord> = records
+            .iter()
+            .filter(|r| r.spec.fault.is_none() && r.spec.attack.is_none())
+            .collect();
         let gold = MetricRow::from_group("Gold Run", &gold_records);
 
         let mut rows = Vec::new();
-        for target in FaultTarget::ALL {
+        for target in FaultTarget::imu_suite() {
             let mut block: Vec<MetricRow> = imufit_faults::FaultKind::ALL
                 .iter()
                 .filter_map(|&kind| {
@@ -232,13 +243,19 @@ pub struct Table4 {
 }
 
 impl Table4 {
-    /// Aggregates records into Table IV.
+    /// Aggregates records into Table IV (attack-axis records excluded;
+    /// see [`Table2::from_records`]).
     pub fn from_records(records: &[ExperimentRecord]) -> Table4 {
-        let gold_records: Vec<&ExperimentRecord> =
-            records.iter().filter(|r| r.spec.fault.is_none()).collect();
+        let paper: Vec<&ExperimentRecord> =
+            records.iter().filter(|r| r.spec.attack.is_none()).collect();
+        let gold_records: Vec<&ExperimentRecord> = paper
+            .iter()
+            .copied()
+            .filter(|r| r.spec.fault.is_none())
+            .collect();
         let gold = FailureRow::from_group("Gold Run", &gold_records);
 
-        let mut durations: Vec<f64> = records
+        let mut durations: Vec<f64> = paper
             .iter()
             .filter_map(|r| r.injection_duration())
             .collect();
@@ -247,19 +264,23 @@ impl Table4 {
         let by_duration = durations
             .iter()
             .map(|&d| {
-                let group: Vec<&ExperimentRecord> = records
+                let group: Vec<&ExperimentRecord> = paper
                     .iter()
+                    .copied()
                     .filter(|r| r.injection_duration() == Some(d))
                     .collect();
                 FailureRow::from_group(&format!("{d:.0} seconds"), &group)
             })
             .collect();
 
-        let by_component = FaultTarget::ALL
+        let by_component = FaultTarget::imu_suite()
             .iter()
             .map(|&t| {
-                let group: Vec<&ExperimentRecord> =
-                    records.iter().filter(|r| r.target() == Some(t)).collect();
+                let group: Vec<&ExperimentRecord> = paper
+                    .iter()
+                    .copied()
+                    .filter(|r| r.target() == Some(t))
+                    .collect();
                 FailureRow::from_group(t.label(), &group)
             })
             .collect();

@@ -49,6 +49,11 @@ pub trait AttitudeEstimator {
     /// Incorporates a compass yaw measurement, radians.
     fn fuse_yaw(&mut self, measured_yaw: f64);
 
+    /// Injects a velocity error directly into the state estimate,
+    /// modelling a single-event upset in estimator memory. Backends that
+    /// carry no correctable velocity state may ignore it (the default).
+    fn perturb_velocity(&mut self, _dv: Vec3) {}
+
     /// The current nominal state estimate.
     fn state(&self) -> &NavState;
 
@@ -90,6 +95,10 @@ impl AttitudeEstimator for crate::Ekf {
 
     fn fuse_yaw(&mut self, measured_yaw: f64) {
         crate::Ekf::fuse_yaw(self, measured_yaw);
+    }
+
+    fn perturb_velocity(&mut self, dv: Vec3) {
+        crate::Ekf::perturb_velocity(self, dv);
     }
 
     fn state(&self) -> &NavState {

@@ -378,7 +378,21 @@ impl Ekf {
         let innovation = wrap_pi(measured_yaw - self.nominal.yaw());
         // Small-angle approximation maps the yaw error onto the body-z
         // attitude error for near-level flight.
-        let _ = self.fuse_scalar(IDX_ANG + 2, innovation, r);
+        let (_, ratio) = self.fuse_scalar(IDX_ANG + 2, innovation, r);
+        self.health.yaw_test_ratio = ratio;
+    }
+
+    /// Adds `dv` to the velocity estimate without telling the filter.
+    ///
+    /// Models a single-event upset in estimator memory: the nominal state is
+    /// corrupted but the covariance is not inflated, exactly the blind spot a
+    /// state glitch exploits — the filter keeps trusting a state it should
+    /// not. Subsequent GPS innovations are what surface the damage.
+    pub fn perturb_velocity(&mut self, dv: Vec3) {
+        if !self.initialized {
+            return;
+        }
+        self.nominal.velocity += dv;
     }
 
     /// One scalar measurement update on error-state component `idx`.

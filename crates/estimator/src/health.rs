@@ -17,6 +17,13 @@ pub struct EstimatorHealth {
     pub vel_test_ratio: f64,
     /// Largest recent barometer height innovation test ratio.
     pub hgt_test_ratio: f64,
+    /// Most recent compass yaw innovation test ratio. Feeds the
+    /// innovation-consistency monitors only; deliberately excluded from
+    /// [`EstimatorHealth::any_rejecting`] and
+    /// [`EstimatorHealth::worst_ratio`] so the legacy failsafe path is
+    /// untouched by the magnetometer channel.
+    #[serde(default)]
+    pub yaw_test_ratio: f64,
     /// Number of state resets performed after persistent rejection.
     pub reset_count: u32,
     /// Seconds since the last *accepted* horizontal position or velocity

@@ -37,10 +37,12 @@ pub mod backend;
 pub mod complementary;
 pub mod ekf;
 pub mod health;
+pub mod monitor;
 pub mod state;
 
 pub use backend::{AttitudeEstimator, BoxedEstimator};
 pub use complementary::{ComplementaryFilter, ComplementaryParams};
 pub use ekf::{Ekf, EkfParams};
 pub use health::EstimatorHealth;
+pub use monitor::{DegradationMonitors, InnovationMonitor, MonitorParams, MonitorStage};
 pub use state::NavState;

@@ -19,6 +19,12 @@
 //! [`InjectionWindow`] in flight time. The paper's campaign uses windows of
 //! 2, 5, 10 and 30 seconds starting 90 s after takeoff.
 //!
+//! Beyond the IMU, the [`attack`] module extends the fault surface to the
+//! aiding sensors the EKF fuses — GPS spoof ramps, barometric drift,
+//! soft-iron magnetometer bias rotation — plus single-tick estimator-state
+//! glitches, each a first-class [`FaultTarget`] driven by the same window
+//! and scope machinery.
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +48,7 @@
 //! assert_eq!(faulty.accel, clean.accel);    // accel untouched
 //! ```
 
+pub mod attack;
 pub mod catalog;
 pub mod injector;
 pub mod kind;
@@ -49,6 +56,7 @@ pub mod scope;
 pub mod target;
 pub mod window;
 
+pub use attack::{AttackInjector, AttackKind, AttackSpec, RealWorldAttack, ATTACK_CATALOG};
 pub use catalog::{RealWorldFault, TABLE_I};
 pub use injector::{FaultInjector, FaultSpec};
 pub use kind::FaultKind;

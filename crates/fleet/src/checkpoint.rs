@@ -31,8 +31,10 @@ use crate::protocol::{crc16, get_record, put_record, FleetError, Reader, MAX_PAY
 /// File magic: the first four bytes of every checkpoint journal.
 pub const CKPT_MAGIC: [u8; 4] = *b"IFCK";
 
-/// Current journal version.
-pub const CKPT_VERSION: u8 = 1;
+/// Current journal version. Version 2 added the attack field to the
+/// record codec; older journals are rejected as version skew rather than
+/// misread.
+pub const CKPT_VERSION: u8 = 2;
 
 /// Identifies the campaign a journal belongs to. Derived from the exact
 /// scenario document plus the sharded unit count, so a resume against a

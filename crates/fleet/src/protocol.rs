@@ -20,7 +20,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use imufit_controller::FailsafeReason;
 use imufit_core::{ExperimentRecord, ExperimentSpec};
-use imufit_faults::{FaultKind, FaultSpec, FaultTarget, InjectionWindow};
+use imufit_faults::{
+    AttackKind, AttackSpec, FaultKind, FaultScope, FaultSpec, FaultTarget, InjectionWindow,
+};
 use imufit_uav::FlightOutcome;
 
 /// Frame start marker (distinct from telemetry's `0xFD` and trace's
@@ -28,8 +30,9 @@ use imufit_uav::FlightOutcome;
 pub const MAGIC: u8 = 0xF1;
 
 /// Current protocol version. A coordinator and worker must agree exactly;
-/// version skew is a typed error, not silent misinterpretation.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// version skew is a typed error, not silent misinterpretation. Version 2
+/// added the attack field to the experiment-spec codec.
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Upper bound on a frame payload. The largest legitimate message is a
 /// `Welcome` carrying a scenario document (a few KiB); anything claiming
@@ -256,6 +259,27 @@ fn put_spec(buf: &mut BytesMut, spec: &ExperimentSpec) {
             put_f64_bits(buf, f.window.duration);
         }
     }
+    match &spec.attack {
+        None => buf.put_u8(0),
+        Some(a) => {
+            buf.put_u8(1);
+            buf.put_u8(a.kind.id() as u8);
+            // Scope travels as its stable id: 0 = all, k + 1 = instance k.
+            buf.put_u8(a.scope.id() as u8);
+            put_f64_bits(buf, a.window.start);
+            put_f64_bits(buf, a.window.duration);
+            put_f64_bits(buf, a.intensity);
+        }
+    }
+}
+
+fn get_window(r: &mut Reader) -> Result<InjectionWindow, FleetError> {
+    let start = r.f64()?;
+    let duration = r.f64()?;
+    if !(start.is_finite() && start >= 0.0 && duration.is_finite() && duration >= 0.0) {
+        return Err(FleetError::Malformed("negative or non-finite window"));
+    }
+    Ok(InjectionWindow::new(start, duration))
 }
 
 fn get_spec(r: &mut Reader) -> Result<ExperimentSpec, FleetError> {
@@ -269,26 +293,44 @@ fn get_spec(r: &mut Reader) -> Result<ExperimentSpec, FleetError> {
                 .into_iter()
                 .find(|k| k.id() == kind_id)
                 .ok_or(FleetError::Malformed("unknown fault kind id"))?;
-            let target = FaultTarget::ALL
+            let target = FaultTarget::all()
                 .into_iter()
                 .find(|t| t.id() == target_id)
                 .ok_or(FleetError::Malformed("unknown fault target id"))?;
-            let start = r.f64()?;
-            let duration = r.f64()?;
-            if !(start.is_finite() && start >= 0.0 && duration.is_finite() && duration >= 0.0) {
-                return Err(FleetError::Malformed("negative or non-finite window"));
-            }
-            Some(FaultSpec::new(
-                kind,
-                target,
-                InjectionWindow::new(start, duration),
-            ))
+            Some(FaultSpec::new(kind, target, get_window(r)?))
         }
         _ => return Err(FleetError::Malformed("bad fault presence flag")),
+    };
+    let attack = match r.u8()? {
+        0 => None,
+        1 => {
+            let kind_id = r.u8()? as u64;
+            let scope_id = r.u8()?;
+            let kind = AttackKind::all()
+                .into_iter()
+                .find(|k| k.id() == kind_id)
+                .ok_or(FleetError::Malformed("unknown attack kind id"))?;
+            let scope = match scope_id {
+                0 => FaultScope::All,
+                k => FaultScope::Instance(k as usize - 1),
+            };
+            let window = get_window(r)?;
+            let intensity = r.f64()?;
+            if !intensity.is_finite() {
+                return Err(FleetError::Malformed("non-finite attack intensity"));
+            }
+            Some(
+                AttackSpec::new(kind, window)
+                    .with_scope(scope)
+                    .with_intensity(intensity),
+            )
+        }
+        _ => return Err(FleetError::Malformed("bad attack presence flag")),
     };
     Ok(ExperimentSpec {
         mission_index,
         fault,
+        attack,
     })
 }
 
@@ -615,6 +657,25 @@ mod tests {
             unit: 18,
             spec: sample_record().spec,
         });
+        // Attack cells: kind, scope, window, and intensity all survive.
+        round_trip(FleetMsg::Assign {
+            unit: 19,
+            spec: ExperimentSpec::attacked(
+                2,
+                AttackSpec::new(AttackKind::GpsSpoofRamp, InjectionWindow::new(90.0, 30.0))
+                    .with_scope(FaultScope::Instance(0))
+                    .with_intensity(0.75),
+            ),
+        });
+        for kind in AttackKind::all() {
+            round_trip(FleetMsg::Assign {
+                unit: 20 + kind.id() as u32,
+                spec: ExperimentSpec::attacked(
+                    0,
+                    AttackSpec::new(kind, InjectionWindow::new(90.0, 10.0)),
+                ),
+            });
+        }
         round_trip(FleetMsg::NoWork);
         round_trip(FleetMsg::Done);
         round_trip(FleetMsg::Result {

@@ -23,6 +23,6 @@ pub mod spec;
 
 pub use doc::{DocError, Value};
 pub use spec::{
-    CampaignSettings, EstimatorBackend, FaultSettings, FleetSettings, FlightSettings,
-    MitigationSettings, ScenarioError, ScenarioSpec, WindSettings, PRESET_NAMES,
+    AttackSettings, CampaignSettings, EstimatorBackend, FaultSettings, FleetSettings,
+    FlightSettings, MitigationSettings, ScenarioError, ScenarioSpec, WindSettings, PRESET_NAMES,
 };

@@ -13,10 +13,11 @@
 //! | `quick` | 3 missions × {2 s, 30 s} smoke campaign |
 //! | `redundancy-ablation` | faults confined to IMU instance 0 |
 //! | `mitigation-on` | fast-detection mitigation enabled |
+//! | `attack-sweep` | the beyond-IMU attack catalog with innovation monitors on |
 
 use std::fmt;
 
-use imufit_faults::{FaultKind, FaultTarget};
+use imufit_faults::{AttackKind, FaultKind, FaultTarget};
 use imufit_trace::{TraceSettings, TraceTrigger};
 
 use crate::doc::{self, DocError, Value};
@@ -143,6 +144,36 @@ impl FaultSettings {
     }
 }
 
+/// The beyond-IMU attack axis: which catalog entries a campaign built from
+/// this scenario injects, and whether the EKF's innovation-consistency
+/// monitors (the graceful-degradation defense) fly with them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackSettings {
+    /// Attack kinds to inject; empty means no attack axis at all (the
+    /// paper-default shape).
+    pub kinds: Vec<AttackKind>,
+    /// Attack window start, s after takeoff.
+    pub start_s: f64,
+    /// Attack window durations, s.
+    pub durations: Vec<f64>,
+    /// Multiplier on each kind's default intensity.
+    pub intensity_scale: f64,
+    /// Arm the per-sensor innovation monitors and the degradation ladder.
+    pub monitors: bool,
+}
+
+impl Default for AttackSettings {
+    fn default() -> Self {
+        AttackSettings {
+            kinds: Vec::new(),
+            start_s: 90.0,
+            durations: vec![30.0],
+            intensity_scale: 1.0,
+            monitors: false,
+        }
+    }
+}
+
 /// Everything one vehicle needs: rates, redundancy, environment, and the
 /// estimator / mitigation backends. The mission and seed stay external —
 /// they are the campaign's axes, not the vehicle's shape.
@@ -257,6 +288,8 @@ pub struct ScenarioSpec {
     pub flight: FlightSettings,
     /// Fault selection and scoping.
     pub faults: FaultSettings,
+    /// Beyond-IMU attack axis (empty by default).
+    pub attacks: AttackSettings,
     /// Campaign axes.
     pub campaign: CampaignSettings,
     /// Distributed-campaign sharding (used by the fleet runner only).
@@ -320,11 +353,12 @@ impl From<DocError> for ScenarioError {
 }
 
 /// The names [`ScenarioSpec::preset`] accepts.
-pub const PRESET_NAMES: [&str; 4] = [
+pub const PRESET_NAMES: [&str; 5] = [
     "paper-default",
     "quick",
     "redundancy-ablation",
     "mitigation-on",
+    "attack-sweep",
 ];
 
 impl ScenarioSpec {
@@ -334,6 +368,7 @@ impl ScenarioSpec {
             name: "paper-default".to_string(),
             flight: FlightSettings::default(),
             faults: FaultSettings::default(),
+            attacks: AttackSettings::default(),
             campaign: CampaignSettings::default(),
             fleet: FleetSettings::default(),
             trace: TraceSettings::default(),
@@ -355,6 +390,15 @@ impl ScenarioSpec {
             }
             "mitigation-on" => {
                 spec.flight.mitigation.fast_detection = true;
+            }
+            "attack-sweep" => {
+                // Gold baselines plus the full catalog, monitors armed; the
+                // Table I fault grid stays home (no fault durations).
+                spec.campaign.missions = 3;
+                spec.campaign.durations = Vec::new();
+                spec.attacks.kinds = AttackKind::all().to_vec();
+                spec.attacks.durations = vec![10.0, 30.0];
+                spec.attacks.monitors = true;
             }
             _ => return None,
         }
@@ -432,6 +476,26 @@ impl ScenarioSpec {
                 });
             }
         }
+        if !(self.attacks.start_s.is_finite() && self.attacks.start_s >= 0.0) {
+            return Err(ScenarioError::BadNumber {
+                field: "attacks.start_s",
+                value: self.attacks.start_s,
+            });
+        }
+        if !(self.attacks.intensity_scale.is_finite() && self.attacks.intensity_scale > 0.0) {
+            return Err(ScenarioError::BadNumber {
+                field: "attacks.intensity_scale",
+                value: self.attacks.intensity_scale,
+            });
+        }
+        for &d in &self.attacks.durations {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(ScenarioError::BadNumber {
+                    field: "attacks.durations",
+                    value: d,
+                });
+            }
+        }
         self.trace.validate().map_err(ScenarioError::Trace)?;
         Ok(())
     }
@@ -500,6 +564,34 @@ impl ScenarioSpec {
             ),
         );
 
+        let mut attacks = Value::table();
+        attacks.set(
+            "kinds",
+            Value::Arr(
+                self.attacks
+                    .kinds
+                    .iter()
+                    .map(|k| Value::Str(k.label().into()))
+                    .collect(),
+            ),
+        );
+        attacks.set("start_s", Value::Float(self.attacks.start_s));
+        attacks.set(
+            "durations",
+            Value::Arr(
+                self.attacks
+                    .durations
+                    .iter()
+                    .map(|&d| Value::Float(d))
+                    .collect(),
+            ),
+        );
+        attacks.set(
+            "intensity_scale",
+            Value::Float(self.attacks.intensity_scale),
+        );
+        attacks.set("monitors", Value::Bool(self.attacks.monitors));
+
         let mut campaign = Value::table();
         campaign.set("seed", Value::Int(self.campaign.seed));
         campaign.set("missions", Value::Int(self.campaign.missions as u64));
@@ -547,6 +639,7 @@ impl ScenarioSpec {
         root.set("mitigation", mitigation);
         root.set("wind", wind);
         root.set("faults", faults);
+        root.set("attacks", attacks);
         root.set("campaign", campaign);
         root.set("fleet", fleet);
         root.set("trace", trace);
@@ -566,6 +659,7 @@ impl ScenarioSpec {
             "mitigation",
             "wind",
             "faults",
+            "attacks",
             "campaign",
             "fleet",
             "trace",
@@ -665,7 +759,7 @@ impl ScenarioSpec {
         spec.faults.targets = get_strings(faults, "faults", "targets")?
             .iter()
             .map(|label| {
-                FaultTarget::ALL
+                FaultTarget::all()
                     .into_iter()
                     .find(|t| t.label() == label)
                     .ok_or_else(|| {
@@ -675,6 +769,43 @@ impl ScenarioSpec {
                     })
             })
             .collect::<Result<_, _>>()?;
+
+        // Optional for compatibility with pre-attack documents: an absent
+        // section means "no attack axis", but a present one is held to the
+        // same strict unknown-/missing-key rules as every other section.
+        match root.get("attacks") {
+            None => {}
+            Some(attacks @ Value::Table(_)) => {
+                expect_keys(
+                    attacks,
+                    "attacks",
+                    &[
+                        "kinds",
+                        "start_s",
+                        "durations",
+                        "intensity_scale",
+                        "monitors",
+                    ],
+                )?;
+                spec.attacks.kinds = get_strings(attacks, "attacks", "kinds")?
+                    .iter()
+                    .map(|label| {
+                        AttackKind::parse(label).ok_or_else(|| {
+                            ScenarioError::Document(DocError::new(format!(
+                                "attacks.kinds: unknown attack kind '{label}'"
+                            )))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                spec.attacks.start_s = get_f64(attacks, "attacks", "start_s")?;
+                spec.attacks.durations = get_f64s(attacks, "attacks", "durations")?;
+                spec.attacks.intensity_scale = get_f64(attacks, "attacks", "intensity_scale")?;
+                spec.attacks.monitors = get_bool(attacks, "attacks", "monitors")?;
+            }
+            Some(_) => {
+                return Err(DocError::new("'attacks' must be a section/object").into());
+            }
+        }
 
         let campaign = section(root, "campaign")?;
         expect_keys(
@@ -1029,6 +1160,58 @@ mod tests {
             .to_toml()
             .replace("retry_cap", "retry_cp");
         assert!(ScenarioSpec::from_toml(&text).is_err());
+    }
+
+    #[test]
+    fn attack_section_round_trips_and_validates() {
+        let spec = ScenarioSpec::preset("attack-sweep").unwrap();
+        assert_eq!(spec.attacks.kinds, AttackKind::all().to_vec());
+        assert!(spec.attacks.monitors);
+        assert!(spec.campaign.durations.is_empty(), "fault grid stays home");
+        assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+
+        let mut bad = spec.clone();
+        bad.attacks.intensity_scale = 0.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(ScenarioError::BadNumber {
+                field: "attacks.intensity_scale",
+                ..
+            })
+        ));
+        let mut bad = spec.clone();
+        bad.attacks.durations = vec![-3.0];
+        assert!(bad.validate().is_err());
+
+        // Unknown attack kinds and typo'd keys are rejected like any other.
+        let text = spec.to_toml().replace("gps-spoof-ramp", "gps-spoof-rmp");
+        let err = ScenarioSpec::from_toml(&text).unwrap_err();
+        assert!(err.to_string().contains("gps-spoof-rmp"), "{err}");
+        let text = spec.to_toml().replace("intensity_scale", "intensity_scle");
+        assert!(ScenarioSpec::from_toml(&text).is_err());
+    }
+
+    #[test]
+    fn documents_without_an_attacks_section_still_parse() {
+        // Pre-attack scenario files must keep working: strip the section.
+        let spec = ScenarioSpec::paper_default();
+        let mut kept = Vec::new();
+        let mut in_attacks = false;
+        for line in spec.to_toml().lines().map(str::to_string) {
+            if line.trim() == "[attacks]" {
+                in_attacks = true;
+            } else if line.trim_start().starts_with('[') {
+                in_attacks = false;
+            }
+            if !in_attacks {
+                kept.push(line);
+            }
+        }
+        let text = kept.join("\n");
+        assert!(!text.contains("[attacks]"), "{text}");
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(back, spec, "absent section means the default (no axis)");
     }
 
     #[test]

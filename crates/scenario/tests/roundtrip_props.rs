@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use imufit_faults::{FaultKind, FaultTarget};
+use imufit_faults::{AttackKind, FaultKind, FaultTarget};
 use imufit_scenario::{EstimatorBackend, ScenarioSpec, PRESET_NAMES};
 
 /// A scenario with every field perturbed away from its default, so the
@@ -23,6 +23,7 @@ fn build_spec(
     fast_detection: bool,
     kind: FaultKind,
     target: FaultTarget,
+    attack: (AttackKind, f64, f64, bool),
 ) -> ScenarioSpec {
     let mut spec = ScenarioSpec::paper_default();
     spec.name = format!("prop-{seed}");
@@ -40,6 +41,10 @@ fn build_spec(
     spec.flight.wind.gust_std = wind.2;
     spec.faults.kinds = vec![kind];
     spec.faults.targets = vec![target];
+    spec.attacks.kinds = vec![attack.0];
+    spec.attacks.durations = vec![attack.1];
+    spec.attacks.intensity_scale = attack.2;
+    spec.attacks.monitors = attack.3;
     spec.campaign.seed = seed;
     spec.campaign.missions = missions;
     spec.campaign.durations = durations;
@@ -51,7 +56,11 @@ fn any_kind() -> impl Strategy<Value = FaultKind> {
 }
 
 fn any_target() -> impl Strategy<Value = FaultTarget> {
-    prop::sample::select(FaultTarget::ALL.to_vec())
+    prop::sample::select(FaultTarget::all().to_vec())
+}
+
+fn any_attack_kind() -> impl Strategy<Value = AttackKind> {
+    prop::sample::select(AttackKind::all().to_vec())
 }
 
 fn any_backend() -> impl Strategy<Value = EstimatorBackend> {
@@ -82,10 +91,15 @@ proptest! {
         fast in any_bool(),
         kind in any_kind(),
         target in any_target(),
+        attack_kind in any_attack_kind(),
+        attack_d in 0.5_f64..60.0,
+        attack_scale in 0.1_f64..4.0,
+        monitors in any_bool(),
     ) {
         let spec = build_spec(
             physics, (gps, baro, compass, 1.0), redundancy, seed, missions,
             vec![d0, d1], (wn, we, gust), backend, fast, kind, target,
+            (attack_kind, attack_d, attack_scale, monitors),
         );
         prop_assert!(spec.validate().is_ok());
         let text = spec.to_toml();
@@ -107,10 +121,13 @@ proptest! {
         fast in any_bool(),
         kind in any_kind(),
         target in any_target(),
+        attack_kind in any_attack_kind(),
+        monitors in any_bool(),
     ) {
         let spec = build_spec(
             physics, (gps, 25.0, 10.0, 1.0), 3, seed, missions,
             vec![d0], (wn, 0.0, 0.0), backend, fast, kind, target,
+            (attack_kind, 30.0, 1.0, monitors),
         );
         let text = spec.to_json();
         let back = ScenarioSpec::from_json(&text);

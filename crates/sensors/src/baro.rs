@@ -31,6 +31,28 @@ impl Default for BaroSpec {
     }
 }
 
+impl BaroSpec {
+    /// Checks the invariants the barometer model relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation
+    /// (non-finite or negative noise/drift stds).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("noise_std", self.noise_std),
+            ("drift_walk", self.drift_walk),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!(
+                    "BaroSpec.{name} must be finite and non-negative, got {v}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A simulated barometer referenced to the local-frame origin altitude.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Barometer {
@@ -49,6 +71,22 @@ impl Barometer {
             origin_msl,
             drift: 0.0,
         }
+    }
+
+    /// [`Barometer::new`] behind [`BaroSpec::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an unusable spec, or for a
+    /// non-finite `origin_msl`.
+    pub fn try_new(spec: BaroSpec, origin_msl: f64) -> Result<Self, String> {
+        spec.validate()?;
+        if !origin_msl.is_finite() {
+            return Err(format!(
+                "Barometer origin_msl must be finite, got {origin_msl}"
+            ));
+        }
+        Ok(Self::new(spec, origin_msl))
     }
 
     /// Measures altitude above the origin for a vehicle at `altitude_agl`
@@ -71,6 +109,23 @@ impl Barometer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        assert!(BaroSpec::default().validate().is_ok());
+        let bad = BaroSpec {
+            noise_std: f64::INFINITY,
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("noise_std"));
+        let bad = BaroSpec {
+            drift_walk: -0.1,
+            ..Default::default()
+        };
+        assert!(Barometer::try_new(bad, 0.0).is_err());
+        assert!(Barometer::try_new(BaroSpec::default(), f64::NAN).is_err());
+        assert!(Barometer::try_new(BaroSpec::default(), 16.0).is_ok());
+    }
 
     #[test]
     fn unbiased_at_startup() {

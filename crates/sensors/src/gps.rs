@@ -44,6 +44,37 @@ impl Default for GpsSpec {
     }
 }
 
+impl GpsSpec {
+    /// Checks the invariants the receiver model relies on, in the style of
+    /// `VehicleBuilder`'s rate validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation:
+    /// non-finite or negative noise stds, or a non-positive `error_tau`
+    /// (the OU decay would blow up).
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("horizontal_noise_std", self.horizontal_noise_std),
+            ("vertical_noise_std", self.vertical_noise_std),
+            ("velocity_noise_std", self.velocity_noise_std),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!(
+                    "GpsSpec.{name} must be finite and non-negative, got {v}"
+                ));
+            }
+        }
+        if !(self.error_tau.is_finite() && self.error_tau > 0.0) {
+            return Err(format!(
+                "GpsSpec.error_tau must be positive and finite, got {}",
+                self.error_tau
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// A simulated GNSS receiver with correlated (random-walk-like) position
 /// error plus white noise.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -59,6 +90,17 @@ impl Gps {
             spec,
             correlated_error: Vec3::ZERO,
         }
+    }
+
+    /// [`Gps::new`] behind [`GpsSpec::validate`]: rejects specs the model
+    /// cannot run on instead of producing NaN fixes later.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an unusable spec.
+    pub fn try_new(spec: GpsSpec) -> Result<Self, String> {
+        spec.validate()?;
+        Ok(Self::new(spec))
     }
 
     /// Produces a fix for the true state, advancing the correlated error by
@@ -102,6 +144,27 @@ impl Gps {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        assert!(GpsSpec::default().validate().is_ok());
+        let bad = GpsSpec {
+            horizontal_noise_std: -1.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("horizontal_noise_std"));
+        let bad = GpsSpec {
+            velocity_noise_std: f64::NAN,
+            ..Default::default()
+        };
+        assert!(Gps::try_new(bad).is_err());
+        let bad = GpsSpec {
+            error_tau: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("error_tau"));
+        assert!(Gps::try_new(GpsSpec::default()).is_ok());
+    }
 
     #[test]
     fn fix_is_near_truth() {

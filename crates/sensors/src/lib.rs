@@ -35,8 +35,8 @@ pub mod mag;
 pub mod voter;
 
 pub use accel::Accelerometer;
-pub use baro::{BaroSample, Barometer};
-pub use gps::{Gps, GpsSample};
+pub use baro::{BaroSample, BaroSpec, Barometer};
+pub use gps::{Gps, GpsSample, GpsSpec};
 pub use gyro::Gyroscope;
 pub use imu::{
     consensus, consensus_deviation, healthiest_instance, Imu, ImuSample, ImuSpec, RedundantImu,

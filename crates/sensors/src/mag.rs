@@ -49,6 +49,43 @@ impl Default for MagSpec {
     }
 }
 
+impl MagSpec {
+    /// Checks the invariants the magnetometer model relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation:
+    /// non-finite or negative noise stds, a non-positive field strength
+    /// (yaw extraction needs a field), or non-finite angles.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("noise_std", self.noise_std),
+            ("hard_iron_std", self.hard_iron_std),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!(
+                    "MagSpec.{name} must be finite and non-negative, got {v}"
+                ));
+            }
+        }
+        if !(self.strength.is_finite() && self.strength > 0.0) {
+            return Err(format!(
+                "MagSpec.strength must be positive and finite, got {}",
+                self.strength
+            ));
+        }
+        for (name, v) in [
+            ("declination", self.declination),
+            ("inclination", self.inclination),
+        ] {
+            if !v.is_finite() {
+                return Err(format!("MagSpec.{name} must be finite, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A simulated magnetometer with a fixed hard-iron residual.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Magnetometer {
@@ -79,6 +116,17 @@ impl Magnetometer {
                 rng.normal_with(0.0, b),
             ),
         }
+    }
+
+    /// [`Magnetometer::new`] behind [`MagSpec::validate`]. Draws from `rng`
+    /// only on success, so a rejected spec leaves the stream untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation message for an unusable spec.
+    pub fn try_new(spec: MagSpec, rng: &mut Pcg) -> Result<Self, String> {
+        spec.validate()?;
+        Ok(Self::new(spec, rng))
     }
 
     /// The sensor specification.
@@ -132,6 +180,31 @@ mod tests {
             ..Default::default()
         };
         Magnetometer::new(spec, &mut Pcg::seed_from(1))
+    }
+
+    #[test]
+    fn spec_validation_rejects_nonsense() {
+        assert!(MagSpec::default().validate().is_ok());
+        let bad = MagSpec {
+            noise_std: -1.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("noise_std"));
+        let bad = MagSpec {
+            strength: 0.0,
+            ..Default::default()
+        };
+        assert!(bad.validate().unwrap_err().contains("strength"));
+        let bad = MagSpec {
+            inclination: f64::NAN,
+            ..Default::default()
+        };
+        let mut rng = Pcg::seed_from(9);
+        let before = rng.clone();
+        assert!(Magnetometer::try_new(bad, &mut rng).is_err());
+        // A rejected spec must not consume from the stream.
+        assert_eq!(rng, before);
+        assert!(Magnetometer::try_new(MagSpec::default(), &mut rng).is_ok());
     }
 
     #[test]

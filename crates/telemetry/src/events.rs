@@ -28,6 +28,13 @@ pub enum FlightEventKind {
     MitigationRecovered,
     /// Failsafe latched.
     FailsafeActivated,
+    /// A sensor-attack window opened (GPS spoof, baro drift, ...).
+    AttackInjected,
+    /// A sensor-attack window closed.
+    AttackCleared,
+    /// An innovation monitor moved an aiding sensor along the degradation
+    /// ladder; `detail` names the sensor and stage.
+    SensorDegradation,
 }
 
 impl FlightEventKind {
@@ -42,6 +49,9 @@ impl FlightEventKind {
             FlightEventKind::MitigationEscalated => 5,
             FlightEventKind::MitigationRecovered => 6,
             FlightEventKind::FailsafeActivated => 7,
+            FlightEventKind::AttackInjected => 8,
+            FlightEventKind::AttackCleared => 9,
+            FlightEventKind::SensorDegradation => 10,
         }
     }
 
@@ -56,6 +66,9 @@ impl FlightEventKind {
             5 => FlightEventKind::MitigationEscalated,
             6 => FlightEventKind::MitigationRecovered,
             7 => FlightEventKind::FailsafeActivated,
+            8 => FlightEventKind::AttackInjected,
+            9 => FlightEventKind::AttackCleared,
+            10 => FlightEventKind::SensorDegradation,
             _ => return None,
         })
     }
@@ -71,6 +84,9 @@ impl FlightEventKind {
             FlightEventKind::MitigationEscalated => "mitigation escalated",
             FlightEventKind::MitigationRecovered => "mitigation recovered",
             FlightEventKind::FailsafeActivated => "failsafe activated",
+            FlightEventKind::AttackInjected => "attack injected",
+            FlightEventKind::AttackCleared => "attack cleared",
+            FlightEventKind::SensorDegradation => "sensor degradation",
         }
     }
 }
@@ -130,6 +146,9 @@ mod tests {
             FlightEventKind::MitigationEscalated,
             FlightEventKind::MitigationRecovered,
             FlightEventKind::FailsafeActivated,
+            FlightEventKind::AttackInjected,
+            FlightEventKind::AttackCleared,
+            FlightEventKind::SensorDegradation,
         ] {
             assert_eq!(FlightEventKind::from_code(kind.code()), Some(kind));
         }

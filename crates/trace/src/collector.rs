@@ -128,8 +128,12 @@ impl TraceCollector {
             detail,
         });
         match kind {
-            TraceEventKind::FaultActivated => self.last_fault = Some(id),
-            TraceEventKind::DetectorEdge | TraceEventKind::VoterExclusion => {
+            TraceEventKind::FaultActivated | TraceEventKind::AttackActivated => {
+                self.last_fault = Some(id);
+            }
+            TraceEventKind::DetectorEdge
+            | TraceEventKind::VoterExclusion
+            | TraceEventKind::SensorDegradation => {
                 self.last_detection = Some(id);
             }
             TraceEventKind::PrimarySwitch
@@ -147,11 +151,15 @@ impl TraceCollector {
     /// one step up the fault → detection → mitigation → outcome chain.
     fn cause_for(&self, kind: TraceEventKind) -> Option<u32> {
         match kind {
-            TraceEventKind::FaultActivated => None,
+            // Attacks are root causes, exactly like injected faults.
+            TraceEventKind::FaultActivated | TraceEventKind::AttackActivated => None,
             TraceEventKind::FaultCleared
+            | TraceEventKind::AttackCleared
             | TraceEventKind::DetectorEdge
             | TraceEventKind::VoterExclusion
-            | TraceEventKind::VoterReinstatement => self.last_fault,
+            | TraceEventKind::VoterReinstatement
+            // A degradation edge is the monitors *detecting* the attack.
+            | TraceEventKind::SensorDegradation => self.last_fault,
             TraceEventKind::PrimarySwitch
             | TraceEventKind::CascadeTransition
             | TraceEventKind::FailsafeActivated => self.last_detection.or(self.last_fault),
@@ -270,6 +278,7 @@ fn trigger_for(kind: TraceEventKind) -> Option<TraceTrigger> {
         TraceEventKind::BubbleViolation => Some(TraceTrigger::BubbleViolation),
         TraceEventKind::FailsafeActivated => Some(TraceTrigger::Failsafe),
         TraceEventKind::PanicCaptured => Some(TraceTrigger::Panic),
+        TraceEventKind::SensorDegradation => Some(TraceTrigger::SensorDegradation),
         _ => None,
     }
 }

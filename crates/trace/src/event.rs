@@ -29,11 +29,20 @@ pub enum TraceEventKind {
     RunOutcome,
     /// The simulation panicked; captured by the campaign worker.
     PanicCaptured,
+    /// A sensor-attack window opened; `detail` holds the attack label.
+    AttackActivated,
+    /// A sensor-attack window closed.
+    AttackCleared,
+    /// An innovation monitor moved an aiding sensor down (or back up) the
+    /// degradation ladder (param: packed sensor/stage code; `detail` names
+    /// both).
+    SensorDegradation,
 }
 
 impl TraceEventKind {
-    /// Every kind, in wire-code order.
-    pub const ALL: [TraceEventKind; 11] = [
+    /// Every kind, in wire-code order. New kinds append — codes are baked
+    /// into persisted black boxes.
+    pub const ALL: [TraceEventKind; 14] = [
         TraceEventKind::FaultActivated,
         TraceEventKind::FaultCleared,
         TraceEventKind::DetectorEdge,
@@ -45,6 +54,9 @@ impl TraceEventKind {
         TraceEventKind::FailsafeActivated,
         TraceEventKind::RunOutcome,
         TraceEventKind::PanicCaptured,
+        TraceEventKind::AttackActivated,
+        TraceEventKind::AttackCleared,
+        TraceEventKind::SensorDegradation,
     ];
 
     /// Stable wire code.
@@ -74,6 +86,9 @@ impl TraceEventKind {
             TraceEventKind::FailsafeActivated => "failsafe activated",
             TraceEventKind::RunOutcome => "run outcome",
             TraceEventKind::PanicCaptured => "panic captured",
+            TraceEventKind::AttackActivated => "attack activated",
+            TraceEventKind::AttackCleared => "attack cleared",
+            TraceEventKind::SensorDegradation => "sensor degradation",
         }
     }
 }

@@ -18,16 +18,21 @@ pub enum TraceTrigger {
     Failsafe,
     /// The simulation panicked (captured by the campaign worker).
     Panic,
+    /// An innovation monitor moved an aiding sensor down the degradation
+    /// ladder.
+    SensorDegradation,
 }
 
 impl TraceTrigger {
-    /// Every trigger, in wire-code order.
-    pub const ALL: [TraceTrigger; 5] = [
+    /// Every trigger, in wire-code order. New triggers append — codes are
+    /// baked into persisted black boxes.
+    pub const ALL: [TraceTrigger; 6] = [
         TraceTrigger::DetectorEdge,
         TraceTrigger::VoterExclusion,
         TraceTrigger::BubbleViolation,
         TraceTrigger::Failsafe,
         TraceTrigger::Panic,
+        TraceTrigger::SensorDegradation,
     ];
 
     /// The identifier used in scenario documents and `--trace-triggers`.
@@ -38,6 +43,7 @@ impl TraceTrigger {
             TraceTrigger::BubbleViolation => "bubble-violation",
             TraceTrigger::Failsafe => "failsafe",
             TraceTrigger::Panic => "panic",
+            TraceTrigger::SensorDegradation => "sensor-degradation",
         }
     }
 

@@ -99,10 +99,15 @@ impl Latencies {
         let mut l = Latencies::default();
         for ev in events {
             match ev.kind {
-                TraceEventKind::FaultActivated if l.fault_time.is_none() => {
+                TraceEventKind::FaultActivated | TraceEventKind::AttackActivated
+                    if l.fault_time.is_none() =>
+                {
                     l.fault_time = Some(ev.time);
                 }
-                TraceEventKind::DetectorEdge | TraceEventKind::VoterExclusion
+                TraceEventKind::DetectorEdge
+                | TraceEventKind::VoterExclusion
+                // A degradation edge is the monitors detecting an attack.
+                | TraceEventKind::SensorDegradation
                     if l.detection_time.is_none()
                         && l.fault_time.map(|f| ev.time >= f).unwrap_or(false) =>
                 {

@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use imufit_faults::FaultSpec;
+use imufit_faults::{AttackSpec, FaultSpec};
 use imufit_missions::Mission;
 use imufit_scenario::{ScenarioError, ScenarioSpec};
 
@@ -46,6 +46,7 @@ pub struct VehicleBuilder<'m> {
     mission: &'m Mission,
     config: SimConfig,
     faults: Vec<FaultSpec>,
+    attacks: Vec<AttackSpec>,
 }
 
 impl<'m> VehicleBuilder<'m> {
@@ -55,6 +56,7 @@ impl<'m> VehicleBuilder<'m> {
             mission,
             config,
             faults: Vec::new(),
+            attacks: Vec::new(),
         }
     }
 
@@ -79,6 +81,12 @@ impl<'m> VehicleBuilder<'m> {
     /// Schedules faults for the flight (empty = gold run).
     pub fn with_faults(mut self, faults: Vec<FaultSpec>) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Schedules aiding-sensor attacks for the flight (empty = none).
+    pub fn with_attacks(mut self, attacks: Vec<AttackSpec>) -> Self {
+        self.attacks = attacks;
         self
     }
 
@@ -133,7 +141,9 @@ impl<'m> VehicleBuilder<'m> {
     /// simulator invariant (zero/non-finite rates, redundancy 0, …).
     pub fn build(self) -> Result<FlightSimulator, BuildError> {
         Self::validate(&self.config)?;
-        Ok(FlightSimulator::new(self.mission, self.faults, self.config))
+        let mut sim = FlightSimulator::new(self.mission, self.faults, self.config);
+        sim.set_attacks(self.attacks);
+        Ok(sim)
     }
 
     /// Builds into a recycled vehicle slot: an existing vehicle is
@@ -150,6 +160,9 @@ impl<'m> VehicleBuilder<'m> {
         match slot {
             Some(vehicle) => vehicle.reset(self.mission, self.faults, self.config),
             None => *slot = Some(FlightSimulator::new(self.mission, self.faults, self.config)),
+        }
+        if let Some(vehicle) = slot {
+            vehicle.set_attacks(self.attacks);
         }
         Ok(())
     }

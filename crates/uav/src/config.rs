@@ -43,6 +43,12 @@ pub struct SimConfig {
     pub fast_detection: bool,
     /// Continuous alarm time before the mitigation triggers failsafe, s.
     pub mitigation_persist: f64,
+    /// Per-sensor innovation-consistency monitors with graceful degradation
+    /// (reject → drop-sensor → dead-reckon → failsafe). Off by default so
+    /// the paper-default campaign stays bit-identical to the golden
+    /// results; the `attack-sweep` scenario turns them on.
+    #[serde(default)]
+    pub innovation_monitors: bool,
     /// Which navigation filter flies the vehicle (EKF for the paper's
     /// reproduction; the complementary filter is the gating-free baseline).
     pub estimator: EstimatorBackend,
@@ -70,6 +76,7 @@ impl SimConfig {
             faults_affect_all_redundant: true,
             fast_detection: false,
             mitigation_persist: 0.25,
+            innovation_monitors: false,
             estimator: EstimatorBackend::Ekf,
             trace: TraceSettings::default(),
             seed,
@@ -88,6 +95,7 @@ impl SimConfig {
             seed,
         );
         config.trace = spec.trace.clone();
+        config.innovation_monitors = spec.attacks.monitors;
         config
     }
 
@@ -118,6 +126,7 @@ impl SimConfig {
             faults_affect_all_redundant,
             fast_detection: f.mitigation.fast_detection,
             mitigation_persist: f.mitigation.persist_s,
+            innovation_monitors: false,
             estimator: f.estimator,
             trace: TraceSettings::default(),
             seed,
@@ -153,6 +162,7 @@ mod tests {
             assert_eq!(a.faults_affect_all_redundant, b.faults_affect_all_redundant);
             assert_eq!(a.fast_detection, b.fast_detection);
             assert_eq!(a.mitigation_persist, b.mitigation_persist);
+            assert_eq!(a.innovation_monitors, b.innovation_monitors);
             assert_eq!(a.estimator, b.estimator);
             assert_eq!(a.seed, b.seed);
         }
@@ -165,5 +175,8 @@ mod tests {
         assert!(!SimConfig::from_scenario(&ablation, mission, 1).faults_affect_all_redundant);
         let mitigated = ScenarioSpec::preset("mitigation-on").unwrap();
         assert!(SimConfig::from_scenario(&mitigated, mission, 1).fast_detection);
+        let sweep = ScenarioSpec::preset("attack-sweep").unwrap();
+        assert!(SimConfig::from_scenario(&sweep, mission, 1).innovation_monitors);
+        assert!(!SimConfig::default_for(mission, 1).innovation_monitors);
     }
 }

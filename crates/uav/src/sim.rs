@@ -9,8 +9,13 @@ use imufit_bubble::{BubbleTracker, InnerBubbleSpec, Route};
 use imufit_controller::{ControllerParams, FlightController, RedundancyStatus};
 use imufit_detect::{Detector, EnsembleDetector};
 use imufit_dynamics::{Quadrotor, QuadrotorParams, WindModel};
-use imufit_estimator::{AttitudeEstimator, BoxedEstimator, ComplementaryFilter, Ekf, EkfParams};
-use imufit_faults::{FaultInjector, FaultScope, FaultSpec};
+use imufit_estimator::{
+    AttitudeEstimator, BoxedEstimator, ComplementaryFilter, DegradationMonitors, Ekf, EkfParams,
+    MonitorStage,
+};
+use imufit_faults::{
+    AttackInjector, AttackSpec, FaultInjector, FaultScope, FaultSpec, FaultTarget,
+};
 use imufit_math::rng::Pcg;
 use imufit_math::Vec3;
 use imufit_missions::Mission;
@@ -98,6 +103,9 @@ pub struct FlightSimulator {
     gps: Gps,
     mag: Magnetometer,
     injector: FaultInjector,
+    /// Aiding-sensor attack schedule (GPS spoof, baro drift, ...); a
+    /// passthrough when the flight carries no attacks.
+    attack_injector: AttackInjector,
     estimator: BoxedEstimator,
     controller: FlightController,
     wind: WindModel,
@@ -120,6 +128,16 @@ pub struct FlightSimulator {
     rng_compass: Pcg,
     rng_wind: Pcg,
     rng_fault: Pcg,
+    rng_attack: Pcg,
+
+    /// Per-sensor innovation-consistency monitors; `None` unless
+    /// [`SimConfig::innovation_monitors`] is set (the paper default keeps
+    /// them off, which keeps the golden campaign bit-identical).
+    monitors: Option<DegradationMonitors>,
+    /// When GPS fusion was dropped, for the dead-reckon failsafe timer.
+    dead_reckon_since: Option<f64>,
+    attack_was_active: bool,
+    trace_attack_was: bool,
 
     metrics: SimMetrics,
     airborne: bool,
@@ -178,10 +196,13 @@ impl FlightSimulator {
             ),
             imu_bank: RedundantImu::new(imu_spec, 1, &mut shell_rng),
             voter: ImuVoter::new(VoterConfig::default(), 1),
-            baro: Barometer::new(BaroSpec::default(), 16.0),
-            gps: Gps::new(GpsSpec::default()),
-            mag: Magnetometer::new(MagSpec::default(), &mut shell_rng),
+            baro: Barometer::try_new(BaroSpec::default(), 16.0)
+                .expect("default baro spec is valid"),
+            gps: Gps::try_new(GpsSpec::default()).expect("default GPS spec is valid"),
+            mag: Magnetometer::try_new(MagSpec::default(), &mut shell_rng)
+                .expect("default mag spec is valid"),
             injector: FaultInjector::new(imu_spec, Vec::new()),
+            attack_injector: AttackInjector::passthrough(),
             estimator: build_estimator(config.estimator),
             controller: FlightController::new(
                 ControllerParams::for_vehicle(1.0, 1.0),
@@ -209,6 +230,11 @@ impl FlightSimulator {
             rng_compass: shell_rng.derive(&[0]),
             rng_wind: shell_rng.derive(&[0]),
             rng_fault: shell_rng.derive(&[0]),
+            rng_attack: shell_rng.derive(&[0]),
+            monitors: None,
+            dead_reckon_since: None,
+            attack_was_active: false,
+            trace_attack_was: false,
             metrics: SimMetrics::new(),
             airborne: false,
             distance_true: 0.0,
@@ -272,10 +298,15 @@ impl FlightSimulator {
         let instance_count = config.imu_redundancy.max(1);
         self.imu_bank = RedundantImu::new(imu_spec, instance_count, &mut rng_init);
         self.voter = ImuVoter::new(VoterConfig::default(), instance_count);
-        self.baro = Barometer::new(BaroSpec::default(), 16.0);
-        self.gps = Gps::new(GpsSpec::default());
-        self.mag = Magnetometer::new(MagSpec::default(), &mut rng_init);
+        self.baro =
+            Barometer::try_new(BaroSpec::default(), 16.0).expect("default baro spec is valid");
+        self.gps = Gps::try_new(GpsSpec::default()).expect("default GPS spec is valid");
+        self.mag = Magnetometer::try_new(MagSpec::default(), &mut rng_init)
+            .expect("default mag spec is valid");
         self.injector = FaultInjector::new(imu_spec, faults);
+        // Attack schedules are per-experiment, like faults; a recycled
+        // vehicle starts clean and [`FlightSimulator::set_attacks`] re-arms.
+        self.attack_injector = AttackInjector::passthrough();
 
         // Recycle the estimator when the backend matches; a backend change
         // (possible when recycling across scenarios) rebuilds the box.
@@ -331,6 +362,10 @@ impl FlightSimulator {
         self.rng_compass = master.derive(&[4]);
         self.rng_wind = master.derive(&[5]);
         self.rng_fault = master.derive(&[6]);
+        // Stream [7] feeds attack-parameter draws. Deriving it is pure (the
+        // other streams are untouched), and with no attacks scheduled it is
+        // never consumed — both properties the golden campaign relies on.
+        self.rng_attack = master.derive(&[7]);
 
         self.dt = 1.0 / config.physics_rate;
         self.time = 0.0;
@@ -344,6 +379,12 @@ impl FlightSimulator {
             .reconfigure(config.fast_detection, config.mitigation_persist);
         self.fault_was_active = false;
         self.failsafe_was_active = false;
+        self.monitors = config
+            .innovation_monitors
+            .then(DegradationMonitors::default);
+        self.dead_reckon_since = None;
+        self.attack_was_active = false;
+        self.trace_attack_was = false;
         self.tracer.reset(&config.trace);
         // The shadow ensemble only earns its per-tick cost when detection
         // edges are wanted: without the detector-edge trigger the ring runs
@@ -370,6 +411,28 @@ impl FlightSimulator {
     /// The active configuration.
     pub fn config(&self) -> &SimConfig {
         &self.config
+    }
+
+    /// Schedules aiding-sensor attacks for this flight (empty = none).
+    /// Call after construction or [`FlightSimulator::reset`]; the attack
+    /// RNG stream is derived from the seed during reset and parameters are
+    /// drawn only at window activation, so the moment of scheduling cannot
+    /// perturb reproducibility.
+    pub fn set_attacks(&mut self, attacks: Vec<AttackSpec>) {
+        self.attack_injector = AttackInjector::new(attacks);
+    }
+
+    /// The scheduled aiding-sensor attacks.
+    pub fn attacks(&self) -> Vec<AttackSpec> {
+        self.attack_injector.specs()
+    }
+
+    /// Current degradation-ladder stages as `(gps, baro, mag)`, or `None`
+    /// when innovation monitors are disabled.
+    pub fn monitor_stages(&self) -> Option<(MonitorStage, MonitorStage, MonitorStage)> {
+        self.monitors
+            .as_ref()
+            .map(|m| (m.gps.stage(), m.baro.stage(), m.mag.stage()))
     }
 
     /// The flight controller (for inspection in tests).
@@ -507,6 +570,41 @@ impl FlightSimulator {
                 self.trace_fault_was = active_now;
             }
         }
+        // --- Sensor attacks: window phases advance once per tick ---
+        // Activation draws attack parameters from the dedicated stream;
+        // with nothing scheduled this whole block is an exact no-op.
+        self.attack_injector
+            .advance(self.time, &mut self.rng_attack);
+        let attack_active = self.attack_injector.any_active(self.time);
+        if attack_active != self.attack_was_active {
+            let kind = if attack_active {
+                FlightEventKind::AttackInjected
+            } else {
+                FlightEventKind::AttackCleared
+            };
+            self.recorder.push_event(FlightEvent::new(
+                self.time,
+                kind,
+                self.attack_labels(attack_active),
+            ));
+            self.attack_was_active = attack_active;
+        }
+        if tracing && attack_active != self.trace_attack_was {
+            let kind = if attack_active {
+                TraceEventKind::AttackActivated
+            } else {
+                TraceEventKind::AttackCleared
+            };
+            self.tracer.event(
+                kind,
+                self.tick,
+                self.time,
+                0,
+                self.attack_labels(attack_active),
+            );
+            self.trace_attack_was = attack_active;
+        }
+
         let primary = self.imu_bank.primary();
         let report = self.voter.vote(&samples, primary);
         let corrupted = report.merged;
@@ -587,33 +685,61 @@ impl FlightSimulator {
         let ekf_span = self.metrics.ekf.enter();
         self.estimator.predict(&corrupted, dt);
         if self.every(self.config.gps_rate) {
-            let fix = self.gps.sample(
+            let mut fix = self.gps.sample(
                 self.quad.state().position,
                 self.quad.state().velocity,
                 1.0 / self.config.gps_rate,
                 &mut self.rng_gps,
             );
-            self.estimator.fuse_gps(&fix);
+            self.attack_injector.apply_gps(&mut fix, self.time);
+            if self.monitors.as_ref().is_none_or(|m| m.gps.allows_fusion()) {
+                self.estimator.fuse_gps(&fix);
+                let health = self.estimator.health();
+                self.observe_monitor(
+                    FaultTarget::Gps,
+                    health.pos_test_ratio.max(health.vel_test_ratio),
+                );
+            }
         }
         if self.every(self.config.baro_rate) {
-            let sample = self.baro.sample(
+            let mut sample = self.baro.sample(
                 self.quad.state().altitude(),
                 1.0 / self.config.baro_rate,
                 &mut self.rng_baro,
             );
-            self.estimator.fuse_baro(&sample);
+            self.attack_injector.apply_baro(&mut sample, self.time);
+            if self
+                .monitors
+                .as_ref()
+                .is_none_or(|m| m.baro.allows_fusion())
+            {
+                self.estimator.fuse_baro(&sample);
+                let ratio = self.estimator.health().hgt_test_ratio;
+                self.observe_monitor(FaultTarget::Barometer, ratio);
+            }
         }
         if self.every(self.config.compass_rate) {
             // A real magnetometer pipeline: sample the body-frame field from
             // the true attitude, then tilt-compensate with the *estimated*
             // roll/pitch (so attitude-estimate errors degrade the yaw aid,
             // exactly as on a real autopilot).
-            let sample = self
+            let mut sample = self
                 .mag
                 .sample(self.quad.state().attitude, &mut self.rng_compass);
-            let (est_roll, est_pitch, _) = self.estimator.state().attitude.to_euler();
-            let yaw = yaw_from_mag(&sample, est_roll, est_pitch, self.mag.spec().declination);
-            self.estimator.fuse_yaw(yaw);
+            self.attack_injector.apply_mag(&mut sample, self.time);
+            if self.monitors.as_ref().is_none_or(|m| m.mag.allows_fusion()) {
+                let (est_roll, est_pitch, _) = self.estimator.state().attitude.to_euler();
+                let yaw = yaw_from_mag(&sample, est_roll, est_pitch, self.mag.spec().declination);
+                self.estimator.fuse_yaw(yaw);
+                let ratio = self.estimator.health().yaw_test_ratio;
+                self.observe_monitor(FaultTarget::Magnetometer, ratio);
+            }
+        }
+        // A single-tick estimator-state upset: the velocity estimate takes
+        // the drawn kick with no covariance inflation — the filter keeps
+        // trusting a state it should not, until GPS innovations surface it.
+        if let Some(kick) = self.attack_injector.take_state_glitch(self.time) {
+            self.estimator.perturb_velocity(kick);
         }
         drop(ekf_span);
 
@@ -628,6 +754,19 @@ impl FlightSimulator {
             .observe(&corrupted, dt, self.time, self.airborne)
         {
             self.controller.trigger_external_failsafe(self.time, &nav);
+        }
+
+        // Bottom rung of the degradation ladder: a dropped GPS leaves the
+        // vehicle dead-reckoning on inertial + whatever aiding survives.
+        // Tolerate that briefly, then hand the flight to the failsafe
+        // rather than drift indefinitely on an unaided solution.
+        if self.monitors.as_ref().is_some_and(|m| m.dead_reckoning()) {
+            let since = *self.dead_reckon_since.get_or_insert(self.time);
+            if self.airborne && self.time - since >= self.monitor_params().failsafe_after_s {
+                self.controller.trigger_external_failsafe(self.time, &nav);
+            }
+        } else {
+            self.dead_reckon_since = None;
         }
 
         // The shadow detection ensemble timestamps detector rising edges for
@@ -879,6 +1018,77 @@ impl FlightSimulator {
             .map(|f| f.label())
             .collect::<Vec<_>>()
             .join(", ")
+    }
+
+    /// Labels of the attacks currently inside (`active`) or already past
+    /// their windows, joined for event details.
+    fn attack_labels(&self, active: bool) -> String {
+        self.attack_injector
+            .specs()
+            .iter()
+            .filter(|a| {
+                if active {
+                    a.window.contains(self.time)
+                } else {
+                    a.window.is_past(self.time)
+                }
+            })
+            .map(|a| a.label())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+
+    /// The monitor tuning in force (the default set when monitors are off,
+    /// so timer comparisons stay well-defined).
+    fn monitor_params(&self) -> imufit_estimator::MonitorParams {
+        self.monitors
+            .as_ref()
+            .map(|m| m.gps.params())
+            .unwrap_or_default()
+    }
+
+    /// Feeds one innovation test ratio to `sensor`'s monitor and emits the
+    /// degradation edge — flight log, black box, obs counter — when the
+    /// ladder moves. A no-op when monitors are disabled.
+    fn observe_monitor(&mut self, sensor: FaultTarget, ratio: f64) {
+        let Some(monitors) = self.monitors.as_mut() else {
+            return;
+        };
+        let monitor = match sensor {
+            FaultTarget::Gps => &mut monitors.gps,
+            FaultTarget::Barometer => &mut monitors.baro,
+            FaultTarget::Magnetometer => &mut monitors.mag,
+            FaultTarget::Accelerometer
+            | FaultTarget::Gyrometer
+            | FaultTarget::Imu
+            | FaultTarget::EstimatorState => return,
+        };
+        let Some(stage) = monitor.observe(ratio) else {
+            return;
+        };
+        let mean = monitor.windowed_mean();
+        let detail = format!(
+            "{}: {} (windowed mean ratio {:.3})",
+            sensor.label(),
+            stage.label(),
+            mean
+        );
+        imufit_obs::counter_labeled("sensor_degradations_total", "sensor", sensor.label()).inc();
+        self.recorder.push_event(FlightEvent {
+            time: self.time,
+            kind: FlightEventKind::SensorDegradation,
+            param: (sensor.id() as u32) << 8 | stage.code(),
+            detail: detail.clone(),
+        });
+        if self.tracer.is_armed() {
+            self.tracer.event(
+                TraceEventKind::SensorDegradation,
+                self.tick,
+                self.time,
+                (sensor.id() as u32) << 8 | stage.code(),
+                detail,
+            );
+        }
     }
 
     /// Ticks a sub-rate scheduler: true when an event at `rate` Hz is due.

@@ -44,15 +44,16 @@ const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--q
   --out DIR           output directory (default .)
   --quick             scaled smoke campaign: 3 missions, durations 2 s / 30 s
   --scenario X        scenario document (TOML/JSON path) or preset name:
-                      paper-default, quick, redundancy-ablation, mitigation-on
+                      paper-default, quick, redundancy-ablation,
+                      mitigation-on, attack-sweep
   --dump-scenario     print the active scenario as TOML and exit
   --trace-dir DIR     enable black-box tracing; write one .ifbb per run that
                       trips a trigger into DIR (read them with `triage`)
   --trace-window P:Q  capture P records before and Q after each trigger
                       (default 256:256)
   --trace-triggers L  comma-separated trigger list: detector-edge,
-                      voter-exclusion, bubble-violation, failsafe, panic
-                      (default: all)
+                      voter-exclusion, bubble-violation, failsafe,
+                      sensor-degradation, panic (default: all)
   --fleet-workers N   run the campaign across N worker processes over
                       localhost TCP (see the `fleet` binary); 0 = one per
                       CPU, clamped to the number of runs. The merged CSV

@@ -34,7 +34,7 @@ fn outcome(kind: FaultKind, target: FaultTarget, duration: f64, seed: u64) -> Fl
 fn every_fault_cell_produces_a_classified_outcome() {
     // The full 7 x 3 grid at 2 s: whatever happens, every run must reach a
     // terminal classification (no hangs, panics, or unclassified ends).
-    for target in FaultTarget::ALL {
+    for target in FaultTarget::imu_suite() {
         for kind in FaultKind::ALL {
             let o = outcome(kind, target, 2.0, 101);
             let label = o.label();
@@ -49,7 +49,7 @@ fn every_fault_cell_produces_a_classified_outcome() {
 #[test]
 fn saturation_faults_are_never_survivable_at_30s() {
     // Min/Max on any component for 30 s: the paper's worst class (0-2.5%).
-    for target in FaultTarget::ALL {
+    for target in FaultTarget::imu_suite() {
         for kind in [FaultKind::Min, FaultKind::Max] {
             let o = outcome(kind, target, 30.0, 103);
             assert!(

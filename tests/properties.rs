@@ -4,10 +4,13 @@ use proptest::prelude::*;
 
 use imufit::controller::{ActuatorDemand, Mixer};
 use imufit::estimator::{Ekf, EkfParams};
-use imufit::faults::{FaultInjector, FaultKind, FaultSpec, FaultTarget, InjectionWindow};
+use imufit::faults::{
+    AttackInjector, AttackKind, AttackSpec, FaultInjector, FaultKind, FaultScope, FaultSpec,
+    FaultTarget, InjectionWindow,
+};
 use imufit::math::rng::Pcg;
 use imufit::math::{wrap_pi, GeoPoint, LocalFrame, Quat, Vec3};
-use imufit::sensors::{ImuSample, ImuSpec};
+use imufit::sensors::{BaroSample, GpsSample, ImuSample, ImuSpec, MagSample};
 
 fn any_vec3(range: f64) -> impl Strategy<Value = Vec3> {
     (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
@@ -18,7 +21,7 @@ fn any_kind() -> impl Strategy<Value = FaultKind> {
 }
 
 fn any_target() -> impl Strategy<Value = FaultTarget> {
-    prop::sample::select(FaultTarget::ALL.to_vec())
+    prop::sample::select(FaultTarget::all().to_vec())
 }
 
 proptest! {
@@ -306,6 +309,12 @@ proptest! {
                     FaultTarget::Accelerometer => out.accel == Vec3::ZERO,
                     FaultTarget::Gyrometer => out.gyro == Vec3::ZERO,
                     FaultTarget::Imu => out.accel == Vec3::ZERO && out.gyro == Vec3::ZERO,
+                    // Beyond-IMU targets never touch the inertial stream:
+                    // the Table I injector passes their samples through.
+                    FaultTarget::Gps
+                    | FaultTarget::Barometer
+                    | FaultTarget::Magnetometer
+                    | FaultTarget::EstimatorState => out == clean,
                 };
                 prop_assert!(zeroed, "not zeroed at t={}", t);
             } else {
@@ -394,7 +403,7 @@ proptest! {
     fn experiment_seeds_distinct(
         m1 in 0usize..10, m2 in 0usize..10,
         k1 in 0usize..7, k2 in 0usize..7,
-        t1 in 0usize..3, t2 in 0usize..3,
+        t1 in 0usize..7, t2 in 0usize..7,
         d1 in 0usize..4, d2 in 0usize..4,
         master in 0u64..10_000,
     ) {
@@ -403,13 +412,13 @@ proptest! {
         let s1 = ExperimentSpec::faulty(
             m1,
             FaultKind::ALL[k1],
-            FaultTarget::ALL[t1],
+            FaultTarget::all()[t1],
             InjectionWindow::new(90.0, durations[d1]),
         );
         let s2 = ExperimentSpec::faulty(
             m2,
             FaultKind::ALL[k2],
-            FaultTarget::ALL[t2],
+            FaultTarget::all()[t2],
             InjectionWindow::new(90.0, durations[d2]),
         );
         if (m1, k1, t1, d1) != (m2, k2, t2, d2) {
@@ -417,5 +426,137 @@ proptest! {
         } else {
             prop_assert_eq!(s1.derive_seed(master), s2.derive_seed(master));
         }
+    }
+}
+
+fn any_attack_kind() -> impl Strategy<Value = AttackKind> {
+    prop::sample::select(AttackKind::all().to_vec())
+}
+
+/// A representative trio of aiding-sensor samples at time `t`.
+fn aiding_samples(pos: Vec3, field: Vec3) -> (GpsSample, BaroSample, MagSample) {
+    (
+        GpsSample {
+            position: pos,
+            velocity: Vec3::new(2.0, -0.5, 0.1),
+            horizontal_accuracy: 1.2,
+            vertical_accuracy: 1.8,
+        },
+        BaroSample {
+            altitude: -pos.z,
+            pressure_pa: 101_000.0,
+        },
+        MagSample { field },
+    )
+}
+
+proptest! {
+    /// An attack corrupts nothing outside its window, and inside the
+    /// window it corrupts only its own sensor: a GPS spoof never touches
+    /// baro or mag samples, and vice versa.
+    #[test]
+    fn attack_corruption_is_confined_to_window_and_sensor(
+        kind in any_attack_kind(),
+        start in 10.0_f64..100.0,
+        duration in 0.5_f64..60.0,
+        pos in any_vec3(200.0),
+        field in any_vec3(0.5),
+        seed in 0u64..1000,
+    ) {
+        let mut inj = AttackInjector::new(vec![AttackSpec::new(
+            kind,
+            InjectionWindow::new(start, duration),
+        )]);
+        let mut rng = Pcg::seed_from(seed);
+        let end = start + duration;
+        for t in [0.0, start - 0.01, start, start + duration / 2.0, end, end + 50.0] {
+            inj.advance(t, &mut rng);
+            let (clean_gps, clean_baro, clean_mag) = aiding_samples(pos, field);
+            let (mut gps, mut baro, mut mag) = (clean_gps, clean_baro, clean_mag);
+            inj.apply_gps(&mut gps, t);
+            inj.apply_baro(&mut baro, t);
+            inj.apply_mag(&mut mag, t);
+            let kick = inj.take_state_glitch(t);
+            let inside = (start..end).contains(&t);
+            if !inside {
+                prop_assert_eq!(gps, clean_gps, "gps corrupted outside window at t={}", t);
+                prop_assert_eq!(baro, clean_baro, "baro corrupted outside window at t={}", t);
+                prop_assert_eq!(mag, clean_mag, "mag corrupted outside window at t={}", t);
+                prop_assert_eq!(kick, None, "state glitch fired outside window at t={}", t);
+            } else {
+                // Cross-sensor confinement: only the targeted stream moves.
+                if kind != AttackKind::GpsSpoofRamp {
+                    prop_assert_eq!(gps, clean_gps);
+                }
+                if kind != AttackKind::BaroDrift {
+                    prop_assert_eq!(baro, clean_baro);
+                }
+                if kind != AttackKind::MagBiasRotation {
+                    prop_assert_eq!(mag, clean_mag);
+                }
+                if kind != AttackKind::StateGlitch {
+                    prop_assert_eq!(kick, None);
+                }
+            }
+        }
+    }
+
+    /// Before its window an attack is pure passthrough: samples come back
+    /// bit-identical and the attack RNG stream is never consumed.
+    #[test]
+    fn pending_attack_is_drawless_and_identity(
+        kind in any_attack_kind(),
+        pos in any_vec3(200.0),
+        field in any_vec3(0.5),
+        seed in 0u64..1000,
+    ) {
+        let mut inj = AttackInjector::new(vec![AttackSpec::new(
+            kind,
+            InjectionWindow::new(1_000.0, 10.0),
+        )]);
+        let mut rng = Pcg::seed_from(seed);
+        let mut reference = Pcg::seed_from(seed);
+        for i in 0..200 {
+            let t = i as f64 * 0.5;
+            inj.advance(t, &mut rng);
+            let (clean_gps, clean_baro, clean_mag) = aiding_samples(pos, field);
+            let (mut gps, mut baro, mut mag) = (clean_gps, clean_baro, clean_mag);
+            inj.apply_gps(&mut gps, t);
+            inj.apply_baro(&mut baro, t);
+            inj.apply_mag(&mut mag, t);
+            prop_assert_eq!(gps, clean_gps);
+            prop_assert_eq!(baro, clean_baro);
+            prop_assert_eq!(mag, clean_mag);
+            prop_assert_eq!(inj.take_state_glitch(t), None);
+        }
+        prop_assert_eq!(rng.uniform(), reference.uniform(), "attack stream was consumed");
+    }
+
+    /// An attack scoped to a sensor instance the vehicle doesn't fly
+    /// (the testbed flies instance 0 of each aiding sensor) never corrupts
+    /// anything, even inside its window.
+    #[test]
+    fn out_of_scope_attack_never_corrupts(
+        kind in any_attack_kind(),
+        instance in 1usize..8,
+        t in 0.0_f64..200.0,
+        pos in any_vec3(200.0),
+        field in any_vec3(0.5),
+        seed in 0u64..1000,
+    ) {
+        let spec = AttackSpec::new(kind, InjectionWindow::new(0.0, 500.0))
+            .with_scope(FaultScope::Instance(instance));
+        let mut inj = AttackInjector::new(vec![spec]);
+        let mut rng = Pcg::seed_from(seed);
+        inj.advance(t, &mut rng);
+        let (clean_gps, clean_baro, clean_mag) = aiding_samples(pos, field);
+        let (mut gps, mut baro, mut mag) = (clean_gps, clean_baro, clean_mag);
+        inj.apply_gps(&mut gps, t);
+        inj.apply_baro(&mut baro, t);
+        inj.apply_mag(&mut mag, t);
+        prop_assert_eq!(gps, clean_gps);
+        prop_assert_eq!(baro, clean_baro);
+        prop_assert_eq!(mag, clean_mag);
+        prop_assert_eq!(inj.take_state_glitch(t), None);
     }
 }
