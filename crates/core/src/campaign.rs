@@ -556,6 +556,11 @@ impl Campaign {
 
         imufit_obs::gauge("campaign_workers").set(workers as f64);
         imufit_obs::gauge("campaign_experiments_total").set(total as f64);
+        // Reset the fleet gauges at (in-process) campaign start so
+        // back-to-back campaigns in one process — bench-lib, examples —
+        // don't report the previous distributed run's stale values.
+        imufit_obs::gauge("fleet_units_total").set(0.0);
+        imufit_obs::gauge("fleet_units_resumed").set(0.0);
         // Pre-register the campaign's headline counters so the exported
         // snapshot always carries them, even when a run produces no aborts,
         // panics, or voter activity.

@@ -15,6 +15,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use imufit_core::{Campaign, CampaignConfig, CampaignResults, ExperimentRecord, ExperimentSpec};
+use imufit_obs::snapshot::{Aggregate, Snapshot};
 use imufit_scenario::ScenarioSpec;
 
 use crate::checkpoint::{
@@ -69,6 +70,8 @@ struct Sched {
     /// Wall-clock busy time accumulated per worker, for utilisation.
     busy: HashMap<u32, Duration>,
     assigned_at: HashMap<u32, Instant>,
+    /// Units completed per worker, for the live status board.
+    done_by: HashMap<u32, u64>,
 }
 
 impl Sched {
@@ -151,6 +154,9 @@ pub struct Coordinator {
     retry_cap: usize,
     total: usize,
     resumed: usize,
+    /// Latest metric snapshot per worker (heartbeat piggybacks), merged
+    /// into the coordinator's `/metrics` scrape.
+    aggregate: Arc<Aggregate>,
 }
 
 impl Coordinator {
@@ -203,6 +209,9 @@ impl Coordinator {
 
         imufit_obs::gauge("fleet_units_total").set(total as f64);
         imufit_obs::gauge("fleet_units_resumed").set(done as f64);
+        // Back-to-back campaigns in one process must not report the
+        // previous campaign's worker count while this one spins up.
+        imufit_obs::gauge("campaign_workers").set(0.0);
         // Pre-register the fleet counters so exports always carry them.
         imufit_obs::counter("fleet_units_dispatched_total");
         imufit_obs::counter("fleet_units_completed_total");
@@ -213,6 +222,10 @@ impl Coordinator {
         imufit_obs::counter("fleet_bytes_sent_total");
         imufit_obs::counter("fleet_bytes_received_total");
         imufit_obs::counter("fleet_worker_disconnects_total");
+        imufit_obs::counter("fleet_snapshots_received_total");
+        imufit_obs::counter("fleet_snapshot_decode_errors_total");
+
+        imufit_obs::status::board().begin_campaign(&config.spec.name, total as u64, done as u64);
 
         Ok(Coordinator {
             listener,
@@ -229,13 +242,22 @@ impl Coordinator {
                 journal,
                 busy: HashMap::new(),
                 assigned_at: HashMap::new(),
+                done_by: HashMap::new(),
             })),
             done_flag: Arc::new(AtomicBool::new(false)),
             lease_timeout,
             retry_cap,
             total,
             resumed: done,
+            aggregate: Arc::new(Aggregate::new()),
         })
+    }
+
+    /// The per-worker snapshot store: hand this to the embedded metrics
+    /// server so one scrape of the coordinator returns the merged
+    /// fleet-wide view labeled `worker="N"`.
+    pub fn aggregate(&self) -> Arc<Aggregate> {
+        Arc::clone(&self.aggregate)
     }
 
     /// The address workers connect to.
@@ -384,12 +406,38 @@ impl Coordinator {
                     worker_id = id;
                     Some(welcome.clone())
                 }
-                FleetMsg::Heartbeat => {
-                    let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
-                    let deadline = Instant::now() + self.lease_timeout;
-                    for lease in sched.leases.values_mut() {
-                        if lease.worker_id == worker_id {
-                            lease.deadline = deadline;
+                FleetMsg::Heartbeat { snapshot } => {
+                    {
+                        let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
+                        let deadline = Instant::now() + self.lease_timeout;
+                        let mut held = 0u64;
+                        for lease in sched.leases.values_mut() {
+                            if lease.worker_id == worker_id {
+                                lease.deadline = deadline;
+                                held += 1;
+                            }
+                        }
+                        let units_done = sched.done_by.get(&worker_id).copied().unwrap_or(0);
+                        let busy_ms = sched
+                            .busy
+                            .get(&worker_id)
+                            .map(|d| d.as_millis() as u64)
+                            .unwrap_or(0);
+                        imufit_obs::status::board()
+                            .worker_seen(worker_id, held, units_done, busy_ms);
+                    }
+                    if let Some(bytes) = snapshot {
+                        match Snapshot::decode(&bytes) {
+                            Ok(snap) => {
+                                imufit_obs::counter("fleet_snapshots_received_total").inc();
+                                self.aggregate.store(
+                                    &worker_id.to_string(),
+                                    snap.with_label("worker", &worker_id.to_string()),
+                                );
+                            }
+                            Err(_) => {
+                                imufit_obs::counter("fleet_snapshot_decode_errors_total").inc();
+                            }
                         }
                     }
                     None
@@ -433,6 +481,8 @@ impl Coordinator {
                         let was_done = sched.done;
                         sched.complete(unit, record);
                         if sched.done > was_done {
+                            *sched.done_by.entry(worker_id).or_default() += 1;
+                            imufit_obs::status::board().set_progress(sched.done as u64);
                             if let Some(cb) = progress {
                                 cb(sched.done, self.total);
                             }
@@ -487,6 +537,7 @@ mod tests {
             journal,
             busy: HashMap::new(),
             assigned_at: HashMap::new(),
+            done_by: HashMap::new(),
         };
         (sched, config, path)
     }

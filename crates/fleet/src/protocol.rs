@@ -31,8 +31,9 @@ pub const MAGIC: u8 = 0xF1;
 
 /// Current protocol version. A coordinator and worker must agree exactly;
 /// version skew is a typed error, not silent misinterpretation. Version 2
-/// added the attack field to the experiment-spec codec.
-pub const PROTOCOL_VERSION: u8 = 2;
+/// added the attack field to the experiment-spec codec; version 3 added
+/// the optional metric-snapshot payload piggybacked on heartbeats.
+pub const PROTOCOL_VERSION: u8 = 3;
 
 /// Upper bound on a frame payload. The largest legitimate message is a
 /// `Welcome` carrying a scenario document (a few KiB); anything claiming
@@ -133,8 +134,15 @@ pub enum FleetMsg {
         /// The measured record, bit-exact (floats travel as raw bits).
         record: ExperimentRecord,
     },
-    /// Worker → coordinator: still alive, extend my leases.
-    Heartbeat,
+    /// Worker → coordinator: still alive, extend my leases. Optionally
+    /// carries the worker's encoded metric-registry snapshot
+    /// (`imufit_obs::snapshot` wire format, its own inner CRC frame) so
+    /// the coordinator can serve a merged fleet-wide `/metrics` view.
+    Heartbeat {
+        /// Encoded snapshot, absent when the worker has nothing to report
+        /// (e.g. instrumentation compiled out).
+        snapshot: Option<Vec<u8>>,
+    },
 }
 
 impl FleetMsg {
@@ -148,7 +156,7 @@ impl FleetMsg {
             FleetMsg::NoWork => 5,
             FleetMsg::Done => 6,
             FleetMsg::Result { .. } => 7,
-            FleetMsg::Heartbeat => 8,
+            FleetMsg::Heartbeat { .. } => 8,
         }
     }
 }
@@ -455,7 +463,15 @@ pub fn encode_msg(msg: &FleetMsg) -> Vec<u8> {
             }
             put_f64_bits(&mut payload, *lease_timeout_s);
         }
-        FleetMsg::Request | FleetMsg::NoWork | FleetMsg::Done | FleetMsg::Heartbeat => {}
+        FleetMsg::Request | FleetMsg::NoWork | FleetMsg::Done => {}
+        FleetMsg::Heartbeat { snapshot } => match snapshot {
+            None => payload.put_u8(0),
+            Some(bytes) => {
+                payload.put_u8(1);
+                payload.put_u32_le(bytes.len() as u32);
+                payload.put_slice(bytes);
+            }
+        },
         FleetMsg::Assign { unit, spec } => {
             payload.put_u32_le(*unit);
             put_spec(&mut payload, spec);
@@ -508,7 +524,20 @@ fn decode_payload(msg_id: u8, payload: Bytes) -> Result<FleetMsg, FleetError> {
             unit: r.u32()?,
             record: get_record(&mut r)?,
         },
-        8 => FleetMsg::Heartbeat,
+        8 => {
+            let snapshot = match r.u8()? {
+                0 => None,
+                1 => {
+                    let len = r.u32()? as usize;
+                    if len > MAX_PAYLOAD {
+                        return Err(FleetError::Malformed("oversized heartbeat snapshot"));
+                    }
+                    Some(r.take(len)?.to_vec())
+                }
+                _ => return Err(FleetError::Malformed("bad snapshot presence flag")),
+            };
+            FleetMsg::Heartbeat { snapshot }
+        }
         other => return Err(FleetError::UnknownMessage(other)),
     };
     if r.remaining() != 0 {
@@ -682,7 +711,10 @@ mod tests {
             unit: 844,
             record: sample_record(),
         });
-        round_trip(FleetMsg::Heartbeat);
+        round_trip(FleetMsg::Heartbeat { snapshot: None });
+        round_trip(FleetMsg::Heartbeat {
+            snapshot: Some(vec![0xF5, 1, 2, 3, 4]),
+        });
     }
 
     #[test]

@@ -134,20 +134,32 @@ fn serve_session(mut stream: TcpStream, worker_id: u32) -> Result<WorkerExit, Fl
 
     // Heartbeats ride a cloned handle so a long experiment doesn't let
     // the lease lapse. The writer mutex keeps heartbeat frames from
-    // interleaving with result frames.
+    // interleaving with result frames. Beats are capped at 2 s so metric
+    // snapshots (piggybacked on every beat) reach the coordinator early
+    // even under long lease timeouts.
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     let stop = Arc::new(AtomicBool::new(false));
     let beat = {
         let writer = Arc::clone(&writer);
         let stop = Arc::clone(&stop);
-        let every = (ctx.lease_timeout / 3).max(Duration::from_millis(10));
+        let every = (ctx.lease_timeout / 3)
+            .min(Duration::from_secs(2))
+            .max(Duration::from_millis(10));
         std::thread::spawn(move || {
-            let frame = encode_msg(&FleetMsg::Heartbeat);
             while !stop.load(Ordering::SeqCst) {
                 std::thread::sleep(every);
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
+                // Re-captured per beat: the coordinator keeps only the
+                // latest snapshot, so each beat carries cumulative state.
+                let snap = imufit_obs::snapshot::capture();
+                let snapshot = if snap.is_empty() {
+                    None
+                } else {
+                    Some(snap.encode())
+                };
+                let frame = encode_msg(&FleetMsg::Heartbeat { snapshot });
                 let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
                 if w.write_all(&frame).is_err() {
                     break;

@@ -8,86 +8,16 @@ use std::sync::atomic::Ordering;
 
 use crate::metrics::{Entry, MetricKey, Registry};
 
-/// Escapes a Prometheus label value: backslash, double quote and newline.
-fn escape_label(value: &str) -> String {
-    let mut out = String::with_capacity(value.len());
-    for c in value.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '"' => out.push_str("\\\""),
-            '\n' => out.push_str("\\n"),
-            other => out.push(other),
-        }
-    }
-    out
-}
-
-fn render_labels(labels: &[(String, String)]) -> String {
-    if labels.is_empty() {
-        return String::new();
-    }
-    let inner: Vec<String> = labels
-        .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
-        .collect();
-    format!("{{{}}}", inner.join(","))
-}
-
 /// Renders the whole registry in the Prometheus text exposition format.
+///
+/// Rendering goes through [`crate::snapshot`] so a local export, a scrape
+/// of the embedded server and a merged fleet-wide scrape all use one
+/// renderer — label values are escaped on every series kind, and
+/// histogram `_bucket`/`_sum`/`_count` lines carry the metric's own
+/// labels merged with `le` (a labeled histogram renders as distinct,
+/// valid series rather than colliding unlabeled ones).
 pub fn prometheus() -> String {
-    let mut out = String::new();
-    let mut last_typed: Option<(String, &'static str)> = None;
-    for (key, entry) in Registry::global().snapshot() {
-        let kind = match &entry {
-            Entry::Counter(_) => "counter",
-            Entry::Gauge(_) => "gauge",
-            Entry::Histogram(_) => "histogram",
-        };
-        if last_typed.as_ref() != Some(&(key.name.clone(), kind)) {
-            let _ = writeln!(out, "# TYPE {} {kind}", key.name);
-            last_typed = Some((key.name.clone(), kind));
-        }
-        match entry {
-            Entry::Counter(cell) => {
-                let _ = writeln!(
-                    out,
-                    "{}{} {}",
-                    key.name,
-                    render_labels(&key.labels),
-                    cell.load(Ordering::Relaxed)
-                );
-            }
-            Entry::Gauge(cell) => {
-                let _ = writeln!(
-                    out,
-                    "{}{} {}",
-                    key.name,
-                    render_labels(&key.labels),
-                    f64::from_bits(cell.load(Ordering::Relaxed))
-                );
-            }
-            Entry::Histogram(core) => {
-                let mut cumulative = 0u64;
-                for (i, slot) in core.counts.iter().enumerate() {
-                    cumulative += slot.load(Ordering::Relaxed);
-                    let le = core
-                        .bounds
-                        .get(i)
-                        .map(|b| b.to_string())
-                        .unwrap_or_else(|| "+Inf".to_string());
-                    let _ = writeln!(out, "{}_bucket{{le=\"{le}\"}} {cumulative}", key.name);
-                }
-                let _ = writeln!(out, "{}_sum {}", key.name, core.sum());
-                let _ = writeln!(
-                    out,
-                    "{}_count {}",
-                    key.name,
-                    core.total.load(Ordering::Relaxed)
-                );
-            }
-        }
-    }
-    out
+    crate::snapshot::capture().to_prometheus()
 }
 
 /// One parsed exposition sample (see [`parse_prometheus`]).
@@ -235,7 +165,8 @@ pub fn json() -> String {
                 json_f64(Some(f64::from_bits(cell.load(Ordering::Relaxed))))
             )),
             Entry::Histogram(core) => histograms.push(format!(
-                "{{\"name\":\"{name}\",\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                "{{\"name\":\"{name}\",\"labels\":{},\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
+                labels_json(&key),
                 core.total.load(Ordering::Relaxed),
                 json_f64(Some(core.sum())),
                 json_f64(core.quantile(0.50)),

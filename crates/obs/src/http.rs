@@ -1,0 +1,241 @@
+//! The embedded metrics HTTP server: `/metrics`, `/status`, `/healthz`.
+//!
+//! Hand-rolled HTTP/1.1 over `std::net`, in the same zero-dependency
+//! style as the fleet crate's TCP protocol: a single accept thread, short
+//! read/write timeouts, one response per connection (`Connection: close`).
+//! Scrapes read the registry through [`crate::snapshot::capture`] — pure
+//! atomic loads — so a scrape can never perturb a running campaign, and a
+//! coordinator can hand the server an [`Aggregate`] so one scrape returns
+//! the merged fleet-wide view with per-worker labels.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::snapshot::{capture, Aggregate};
+
+/// Largest accepted request head (we only ever need the request line).
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// A running metrics server; shuts down when dropped or via
+/// [`ObsServer::shutdown`].
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9469"`, port 0 for ephemeral) and
+    /// serves until shut down. `aggregate`, when given, is merged into
+    /// every `/metrics` response (the coordinator's fleet-wide view).
+    pub fn serve(addr: &str, aggregate: Option<Arc<Aggregate>>) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-http".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Requests are tiny and local; serve inline.
+                            let _ = handle_connection(stream, aggregate.as_deref());
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                    }
+                }
+            })?;
+        Ok(ObsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolved port for `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, aggregate: Option<&Aggregate>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let path = match read_request_path(&mut stream) {
+        Some(path) => path,
+        None => return write_response(&mut stream, 400, "text/plain", "bad request\n"),
+    };
+    match path.as_str() {
+        "/metrics" => {
+            let mut snap = capture();
+            if let Some(agg) = aggregate {
+                snap.merge(&agg.merged());
+            }
+            write_response(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4",
+                &snap.to_prometheus(),
+            )
+        }
+        "/status" => write_response(
+            &mut stream,
+            200,
+            "application/json",
+            &crate::status::board().render_json(),
+        ),
+        "/healthz" => write_response(&mut stream, 200, "text/plain", "ok\n"),
+        _ => write_response(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+/// Reads up to the end of the request head and returns the request-line
+/// path for well-formed `GET` requests.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next()?;
+    let path = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    // Strip any query string; the endpoints take no parameters.
+    Some(path.split('?').next().unwrap_or(path).to_string())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let code: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|c| c.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    #[test]
+    fn serves_healthz_metrics_status_and_404() {
+        let server = ObsServer::serve("127.0.0.1:0", None).unwrap();
+        let addr = server.addr();
+
+        let (code, body) = get(addr, "/healthz");
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+        #[cfg(feature = "enabled")]
+        crate::counter("obs_test_http_counter").inc();
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        #[cfg(feature = "enabled")]
+        assert!(body.contains("obs_test_http_counter"));
+        #[cfg(not(feature = "enabled"))]
+        assert!(body.is_empty());
+
+        let (code, body) = get(addr, "/status");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"workers\""));
+
+        let (code, _) = get(addr, "/nope");
+        assert_eq!(code, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_scrape_includes_aggregate() {
+        use crate::snapshot::{Snapshot, SnapshotMetric, SnapshotValue};
+        let agg = Arc::new(Aggregate::new());
+        agg.store(
+            "3",
+            Snapshot {
+                metrics: vec![SnapshotMetric {
+                    name: "obs_test_http_agg_total".into(),
+                    labels: vec![("worker".into(), "3".into())],
+                    value: SnapshotValue::Counter(11),
+                }],
+            },
+        );
+        let server = ObsServer::serve("127.0.0.1:0", Some(Arc::clone(&agg))).unwrap();
+        let (code, body) = get(server.addr(), "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("obs_test_http_agg_total{worker=\"3\"} 11"));
+        server.shutdown();
+    }
+}

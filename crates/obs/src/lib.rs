@@ -54,13 +54,38 @@
 //! exposition and [`export::json`] as a JSON document with p50/p95/p99
 //! per histogram — the `reproduce` binary writes the latter as
 //! `campaign_metrics.json`.
+//!
+//! # Live plane
+//!
+//! Beyond end-of-run files, the crate carries a live observability plane:
+//!
+//! * [`snapshot`] — owned registry snapshots with a versioned CRC-framed
+//!   codec and exact merge semantics (raw histogram buckets), the unit of
+//!   fleet-wide aggregation;
+//! * [`http`] — a hand-rolled zero-dependency HTTP/1.1 server exposing
+//!   `/metrics` (Prometheus text), `/status` (JSON progress) and
+//!   `/healthz`;
+//! * [`status`] — the global campaign/worker status board behind
+//!   `/status`;
+//! * [`timeseries`] — a bounded-ring snapshot recorder flushed to a
+//!   CRC-framed `.ifms` file, decoded by `triage metrics`;
+//! * [`plane`] — server + recorder assembled for the binaries.
+//!
+//! These modules are pure codecs and servers, compiled unconditionally;
+//! only [`snapshot::capture`] touches the registry, and without the
+//! `enabled` feature it returns an empty snapshot.
 
 #![forbid(unsafe_code)]
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub mod http;
 pub mod log;
+pub mod plane;
 pub mod progress;
+pub mod snapshot;
+pub mod status;
+pub mod timeseries;
 
 #[cfg(feature = "enabled")]
 mod export_impl;

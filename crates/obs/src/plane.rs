@@ -1,0 +1,106 @@
+//! The assembled observability plane: HTTP server plus time-series
+//! recorder, started and torn down together.
+//!
+//! `reproduce` and `fleet` both need the same choreography — bind the
+//! `/metrics` server before the campaign starts, sample snapshots on an
+//! interval while it runs, and at the end flush the ring to a `.ifms`
+//! file and stop the server. [`Plane`] packages that so the binaries stay
+//! a few lines each. A disabled plane ([`Plane::off`]) is inert: every
+//! method is a no-op, so call sites need no feature or flag branching.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::http::ObsServer;
+use crate::snapshot::{capture, Aggregate, Snapshot};
+use crate::timeseries::Recorder;
+
+/// A running (or inert) observability plane.
+#[derive(Debug, Default)]
+pub struct Plane {
+    server: Option<ObsServer>,
+    recorder: Option<Recorder>,
+}
+
+impl Plane {
+    /// An inert plane: no server, no recorder, `finish` writes nothing.
+    pub fn off() -> Plane {
+        Plane::default()
+    }
+
+    /// Binds the HTTP server on `addr` and starts the snapshot recorder.
+    /// `aggregate`, when given (the fleet coordinator), is merged into
+    /// both scrapes and recorded samples so the series carries the
+    /// fleet-wide per-worker view.
+    pub fn start(
+        addr: &str,
+        sample_interval: Duration,
+        series_capacity: usize,
+        aggregate: Option<Arc<Aggregate>>,
+    ) -> std::io::Result<Plane> {
+        let server = ObsServer::serve(addr, aggregate.clone())?;
+        let sampler: Arc<dyn Fn() -> Snapshot + Send + Sync> = Arc::new(move || {
+            let mut snap = capture();
+            if let Some(agg) = &aggregate {
+                snap.merge(&agg.merged());
+            }
+            snap
+        });
+        let recorder = Recorder::start(sample_interval, series_capacity, sampler);
+        Ok(Plane {
+            server: Some(server),
+            recorder: Some(recorder),
+        })
+    }
+
+    /// The bound server address, when serving.
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().map(|s| s.addr())
+    }
+
+    /// Stops the recorder and server; writes the recorded series to
+    /// `path` and returns it, or `None` for an inert plane.
+    pub fn finish(mut self, path: &Path) -> std::io::Result<Option<PathBuf>> {
+        let written = match self.recorder.take() {
+            None => None,
+            Some(recorder) => {
+                let series = recorder.stop_into_series();
+                std::fs::write(path, series.encode())?;
+                Some(path.to_path_buf())
+            }
+        };
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plane_is_a_no_op() {
+        let plane = Plane::off();
+        assert!(plane.addr().is_none());
+        let out = std::env::temp_dir().join("imufit_plane_off.ifms");
+        assert_eq!(plane.finish(&out).unwrap(), None);
+        assert!(!out.exists());
+    }
+
+    #[test]
+    fn plane_serves_and_flushes_a_series() {
+        let plane = Plane::start("127.0.0.1:0", Duration::from_millis(20), 16, None).unwrap();
+        assert!(plane.addr().is_some());
+        std::thread::sleep(Duration::from_millis(80));
+        let out = std::env::temp_dir().join("imufit_plane_on.ifms");
+        let written = plane.finish(&out).unwrap();
+        assert_eq!(written.as_deref(), Some(out.as_path()));
+        let series = crate::timeseries::TimeSeries::read(&out).unwrap();
+        assert!(!series.frames.is_empty());
+        let _ = std::fs::remove_file(&out);
+    }
+}

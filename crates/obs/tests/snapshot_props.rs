@@ -1,0 +1,222 @@
+//! Property tests for the metric-snapshot wire format: arbitrary
+//! registries survive encode→decode bit-for-bit, the decoder answers
+//! corruption — truncation, flipped bytes, unknown versions — with typed
+//! errors and never a panic, and histogram-bucket merging is associative
+//! (the fleet coordinator may fold worker snapshots in any grouping).
+
+use proptest::prelude::*;
+
+use imufit_obs::snapshot::{Snapshot, SnapshotError, SnapshotMetric, SnapshotValue};
+
+/// CRC-CCITT-16 (poly 0x1021, init 0xFFFF), mirroring the codec's
+/// checksum so a test can re-frame a payload with a *valid* CRC.
+fn crc16(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in bytes {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// One metric with its shape derived deterministically from a handful of
+/// generated scalars, covering all three kinds and labeled/unlabeled.
+fn build_metric(idx: usize, kind: u8, value: u64, labeled: bool, buckets: usize) -> SnapshotMetric {
+    let labels = if labeled {
+        vec![("worker".to_string(), format!("{}", idx % 7))]
+    } else {
+        Vec::new()
+    };
+    let value = match kind % 3 {
+        0 => SnapshotValue::Counter(value),
+        1 => SnapshotValue::Gauge((value as f64 * 0.5).to_bits()),
+        _ => SnapshotValue::Histogram {
+            bounds: (0..buckets).map(|b| (b + 1) as f64 * 0.001).collect(),
+            counts: (0..=buckets)
+                .map(|b| value.rotate_left(b as u32) % 97)
+                .collect(),
+            sum_bits: (value as f64 * 1e-6).to_bits(),
+        },
+    };
+    SnapshotMetric {
+        name: format!("metric_{idx}_total"),
+        labels,
+        value,
+    }
+}
+
+fn build_snapshot(seed: u64, metrics: usize, buckets: usize) -> Snapshot {
+    Snapshot {
+        metrics: (0..metrics)
+            .map(|i| {
+                build_metric(
+                    i,
+                    (seed >> (i % 8)) as u8,
+                    seed.wrapping_mul(i as u64 + 1),
+                    i % 2 == 0,
+                    buckets,
+                )
+            })
+            .collect(),
+    }
+}
+
+/// The histogram bucket counts of `snap`'s metric named `name`, summed
+/// across label sets.
+fn bucket_counts(snap: &Snapshot, name: &str) -> Vec<u64> {
+    let mut total: Vec<u64> = Vec::new();
+    for m in &snap.metrics {
+        if m.name != name {
+            continue;
+        }
+        if let SnapshotValue::Histogram { counts, .. } = &m.value {
+            if total.is_empty() {
+                total = vec![0; counts.len()];
+            }
+            for (t, c) in total.iter_mut().zip(counts) {
+                *t += c;
+            }
+        }
+    }
+    total
+}
+
+proptest! {
+    /// snapshot → frame → snapshot is the identity for arbitrary
+    /// registries.
+    #[test]
+    fn round_trip(
+        seed in 0_u64..u64::MAX,
+        metrics in 0_usize..12,
+        buckets in 1_usize..8,
+    ) {
+        let snap = build_snapshot(seed, metrics, buckets);
+        prop_assert_eq!(Snapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    /// Every truncation point decodes to a typed error — never a panic,
+    /// never a bogus success.
+    #[test]
+    fn truncation_never_panics(
+        seed in 0_u64..1_000_000,
+        cut_frac in 0.0_f64..1.0,
+    ) {
+        let bytes = build_snapshot(seed, 4, 4).encode();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        let err = Snapshot::decode(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, SnapshotError::Truncated | SnapshotError::BadChecksum),
+            "cut at {}: {:?}", cut, err
+        );
+    }
+
+    /// Flipping any single byte is caught by the checksum (or, for the
+    /// magic byte, by the magic check) — never a panic.
+    #[test]
+    fn bit_flips_never_panic(
+        seed in 0_u64..1_000_000,
+        flip in 0.0_f64..1.0,
+        xor in 1_u8..u8::MAX,
+    ) {
+        let mut bytes = build_snapshot(seed, 3, 3).encode();
+        let at = ((bytes.len() - 1) as f64 * flip) as usize;
+        bytes[at] ^= xor;
+        let err = Snapshot::decode(&bytes).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                SnapshotError::BadMagic
+                    | SnapshotError::BadChecksum
+                    | SnapshotError::Truncated
+            ),
+            "flip at {}: {:?}", at, err
+        );
+    }
+
+    /// Merging is associative on histogram bucket counts: however the
+    /// coordinator groups worker snapshots, the fleet-wide distribution is
+    /// the same. (Sum fields are f64 and deliberately not asserted —
+    /// quantiles come from the integer buckets.)
+    #[test]
+    fn merge_is_associative_on_buckets(
+        sa in 0_u64..1_000_000,
+        sb in 0_u64..1_000_000,
+        sc in 0_u64..1_000_000,
+    ) {
+        // Identical shape (names, kinds, bounds), different counts: the
+        // fleet case, where every worker reports the same registry
+        // layout. Kind-mismatched merges are first-wins and deliberately
+        // out of scope here.
+        let build = |seed: u64| Snapshot {
+            metrics: (0..6)
+                .map(|i| {
+                    build_metric(i, i as u8, seed.wrapping_mul(i as u64 + 1), i % 2 == 0, 4)
+                })
+                .collect(),
+        };
+        let a = build(sa);
+        let b = build(sb);
+        let c = build(sc);
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        for m in &a.metrics {
+            if matches!(m.value, SnapshotValue::Histogram { .. }) {
+                prop_assert_eq!(
+                    bucket_counts(&left, &m.name),
+                    bucket_counts(&right, &m.name),
+                    "metric {}", &m.name
+                );
+            }
+        }
+        // Counters are saturating sums, associative outright.
+        for m in &a.metrics {
+            if matches!(m.value, SnapshotValue::Counter(_)) {
+                prop_assert_eq!(
+                    left.counter_total(&m.name),
+                    right.counter_total(&m.name),
+                    "metric {}", &m.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unknown_version_is_rejected_only_when_the_checksum_holds() {
+    let mut bytes = build_snapshot(7, 2, 3).encode();
+    bytes[1] = 9;
+    // Without re-framing, the flip reads as corruption...
+    assert_eq!(Snapshot::decode(&bytes), Err(SnapshotError::BadChecksum));
+    // ...and with a valid checksum it is version skew.
+    let end = bytes.len() - 2;
+    let crc = crc16(&bytes[1..end]);
+    bytes[end] = (crc >> 8) as u8;
+    bytes[end + 1] = (crc & 0xFF) as u8;
+    assert_eq!(
+        Snapshot::decode(&bytes),
+        Err(SnapshotError::UnknownVersion(9))
+    );
+}
+
+#[test]
+fn garbage_input_is_rejected_not_panicked_on() {
+    assert_eq!(Snapshot::decode(&[]), Err(SnapshotError::Truncated));
+    assert_eq!(
+        Snapshot::decode(b"not a snapshot frame"),
+        Err(SnapshotError::BadMagic)
+    );
+}

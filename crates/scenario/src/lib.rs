@@ -24,5 +24,6 @@ pub mod spec;
 pub use doc::{DocError, Value};
 pub use spec::{
     AttackSettings, CampaignSettings, EstimatorBackend, FaultSettings, FleetSettings,
-    FlightSettings, MitigationSettings, ScenarioError, ScenarioSpec, WindSettings, PRESET_NAMES,
+    FlightSettings, MitigationSettings, ObsSettings, ScenarioError, ScenarioSpec, WindSettings,
+    PRESET_NAMES,
 };

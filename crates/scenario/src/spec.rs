@@ -225,6 +225,34 @@ impl Default for FlightSettings {
     }
 }
 
+/// Live observability-plane settings: whether a campaign run embeds the
+/// HTTP `/metrics`/`/status` server and how the time-series recorder
+/// samples. Results are identical whether the plane is on or off — this
+/// section only controls the side channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSettings {
+    /// Serve `/metrics`, `/status`, and `/healthz` during the run.
+    pub serve: bool,
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Time-series recorder sampling interval, s.
+    pub sample_interval_s: f64,
+    /// Ring capacity of the recorder: the newest N samples survive to
+    /// the flushed `.ifms` file.
+    pub series_capacity: usize,
+}
+
+impl Default for ObsSettings {
+    fn default() -> Self {
+        ObsSettings {
+            serve: false,
+            addr: "127.0.0.1:0".to_string(),
+            sample_interval_s: 1.0,
+            series_capacity: 600,
+        }
+    }
+}
+
 /// Distributed-campaign settings: how a fleet coordinator shards this
 /// scenario across worker processes. Ignored by the single-process runner;
 /// the `imufit-fleet` crate reads them when `--fleet-workers`/`fleet run`
@@ -296,6 +324,9 @@ pub struct ScenarioSpec {
     pub fleet: FleetSettings,
     /// Black-box tracing (off by default; results are identical either way).
     pub trace: TraceSettings,
+    /// Live observability plane (off by default; results are identical
+    /// either way).
+    pub obs: ObsSettings,
 }
 
 /// Why a scenario cannot be used to build vehicles or campaigns.
@@ -372,6 +403,7 @@ impl ScenarioSpec {
             campaign: CampaignSettings::default(),
             fleet: FleetSettings::default(),
             trace: TraceSettings::default(),
+            obs: ObsSettings::default(),
         }
     }
 
@@ -495,6 +527,18 @@ impl ScenarioSpec {
                     value: d,
                 });
             }
+        }
+        if !(self.obs.sample_interval_s.is_finite() && self.obs.sample_interval_s > 0.0) {
+            return Err(ScenarioError::BadNumber {
+                field: "obs.sample_interval_s",
+                value: self.obs.sample_interval_s,
+            });
+        }
+        if self.obs.series_capacity == 0 {
+            return Err(ScenarioError::BadNumber {
+                field: "obs.series_capacity",
+                value: 0.0,
+            });
         }
         self.trace.validate().map_err(ScenarioError::Trace)?;
         Ok(())
@@ -632,6 +676,18 @@ impl ScenarioSpec {
         trace.set("post_window", Value::Int(self.trace.post_window as u64));
         trace.set("ring_capacity", Value::Int(self.trace.ring_capacity as u64));
 
+        let mut obs = Value::table();
+        obs.set("serve", Value::Bool(self.obs.serve));
+        obs.set("addr", Value::Str(self.obs.addr.clone()));
+        obs.set(
+            "sample_interval_s",
+            Value::Float(self.obs.sample_interval_s),
+        );
+        obs.set(
+            "series_capacity",
+            Value::Int(self.obs.series_capacity as u64),
+        );
+
         let mut root = Value::table();
         root.set("name", Value::Str(self.name.clone()));
         root.set("sim", sim);
@@ -643,6 +699,7 @@ impl ScenarioSpec {
         root.set("campaign", campaign);
         root.set("fleet", fleet);
         root.set("trace", trace);
+        root.set("obs", obs);
         root
     }
 
@@ -663,6 +720,7 @@ impl ScenarioSpec {
             "campaign",
             "fleet",
             "trace",
+            "obs",
         ];
         for (key, _) in root.entries() {
             if key != "name" && !known_sections.contains(&key.as_str()) {
@@ -857,6 +915,29 @@ impl ScenarioSpec {
         spec.trace.pre_window = get_usize(trace, "trace", "pre_window")?;
         spec.trace.post_window = get_usize(trace, "trace", "post_window")?;
         spec.trace.ring_capacity = get_usize(trace, "trace", "ring_capacity")?;
+
+        // Optional for compatibility with pre-observability documents: an
+        // absent section means "plane off", but a present one is held to
+        // the same strict key rules as every other section.
+        match root.get("obs") {
+            None => {}
+            Some(obs @ Value::Table(_)) => {
+                expect_keys(
+                    obs,
+                    "obs",
+                    &["serve", "addr", "sample_interval_s", "series_capacity"],
+                )?;
+                spec.obs.serve = get_bool(obs, "obs", "serve")?;
+                spec.obs.addr = get_str(obs, "addr").map_err(|_| {
+                    ScenarioError::Document(DocError::new("obs.addr must be a string"))
+                })?;
+                spec.obs.sample_interval_s = get_f64(obs, "obs", "sample_interval_s")?;
+                spec.obs.series_capacity = get_usize(obs, "obs", "series_capacity")?;
+            }
+            Some(_) => {
+                return Err(DocError::new("'obs' must be a section/object").into());
+            }
+        }
 
         Ok(spec)
     }
@@ -1212,6 +1293,64 @@ mod tests {
         assert!(!text.contains("[attacks]"), "{text}");
         let back = ScenarioSpec::from_toml(&text).unwrap();
         assert_eq!(back, spec, "absent section means the default (no axis)");
+    }
+
+    #[test]
+    fn obs_section_round_trips_and_validates() {
+        let mut spec = ScenarioSpec::paper_default();
+        spec.obs.serve = true;
+        spec.obs.addr = "127.0.0.1:9469".to_string();
+        spec.obs.sample_interval_s = 0.5;
+        spec.obs.series_capacity = 120;
+        assert!(spec.validate().is_ok());
+        assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+
+        let mut bad = spec.clone();
+        bad.obs.sample_interval_s = 0.0;
+        assert!(matches!(
+            bad.validate(),
+            Err(ScenarioError::BadNumber {
+                field: "obs.sample_interval_s",
+                ..
+            })
+        ));
+        let mut bad = spec.clone();
+        bad.obs.series_capacity = 0;
+        assert!(matches!(
+            bad.validate(),
+            Err(ScenarioError::BadNumber {
+                field: "obs.series_capacity",
+                ..
+            })
+        ));
+
+        // Typos in the obs section are rejected like any other.
+        let text = spec
+            .to_toml()
+            .replace("sample_interval_s", "sample_intervl_s");
+        assert!(ScenarioSpec::from_toml(&text).is_err());
+    }
+
+    #[test]
+    fn documents_without_an_obs_section_still_parse() {
+        let spec = ScenarioSpec::paper_default();
+        let mut kept = Vec::new();
+        let mut in_obs = false;
+        for line in spec.to_toml().lines().map(str::to_string) {
+            if line.trim() == "[obs]" {
+                in_obs = true;
+            } else if line.trim_start().starts_with('[') {
+                in_obs = false;
+            }
+            if !in_obs {
+                kept.push(line);
+            }
+        }
+        let text = kept.join("\n");
+        assert!(!text.contains("[obs]"), "{text}");
+        let back = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(back, spec, "absent section means the default (plane off)");
     }
 
     #[test]

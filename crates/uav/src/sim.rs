@@ -69,6 +69,17 @@ struct SimMetrics {
     ekf: imufit_obs::Timer,
     /// Fault-injector bank pass, histogram `fault_injector_seconds`.
     inject: imufit_obs::Timer,
+    /// Sensor sampling stage (IMU bank + pristine copy),
+    /// histogram `sim_stage_sensors_seconds`.
+    stage_sensors: imufit_obs::Timer,
+    /// Consensus voter pass plus its bookkeeping,
+    /// histogram `sim_stage_voter_seconds`.
+    stage_voter: imufit_obs::Timer,
+    /// Controller block (mitigation, cascade, failsafe edges),
+    /// histogram `sim_stage_control_seconds`.
+    stage_control: imufit_obs::Timer,
+    /// Rigid-body dynamics step, histogram `sim_stage_dynamics_seconds`.
+    stage_dynamics: imufit_obs::Timer,
 }
 
 impl SimMetrics {
@@ -77,6 +88,15 @@ impl SimMetrics {
             tick: imufit_obs::timer("sim_tick"),
             ekf: imufit_obs::timer("ekf_update"),
             inject: imufit_obs::timer("fault_injector"),
+            // Child stages of `sim_tick`; together with the injector and
+            // estimator timers above they tile the tick, so `/metrics`
+            // shows where the ~4 µs goes. The injector and estimator
+            // stages reuse `fault_injector`/`ekf_update` rather than
+            // double-timing them under a second name.
+            stage_sensors: imufit_obs::timer("sim_stage_sensors"),
+            stage_voter: imufit_obs::timer("sim_stage_voter"),
+            stage_control: imufit_obs::timer("sim_stage_control"),
+            stage_dynamics: imufit_obs::timer("sim_stage_dynamics"),
         }
     }
 }
@@ -539,6 +559,7 @@ impl FlightSimulator {
         // paper's all-instances assumption every instance carries the same
         // corruption, the voter sees perfect agreement, and the merged
         // stream is identical to corrupting the primary directly.
+        let sensors_span = self.metrics.stage_sensors.enter();
         let true_force = self.quad.specific_force_body();
         let true_rate = self.quad.angular_rate_body();
         let mut samples = self
@@ -550,6 +571,7 @@ impl FlightSimulator {
             self.trace_clean.clear();
             self.trace_clean.extend_from_slice(&samples);
         }
+        drop(sensors_span);
         {
             let _inject_span = self.metrics.inject.enter();
             self.injector.apply_bank(&mut samples, &mut self.rng_fault);
@@ -605,6 +627,7 @@ impl FlightSimulator {
             self.trace_attack_was = attack_active;
         }
 
+        let voter_span = self.metrics.stage_voter.enter();
         let primary = self.imu_bank.primary();
         let report = self.voter.vote(&samples, primary);
         let corrupted = report.merged;
@@ -680,6 +703,7 @@ impl FlightSimulator {
             primary_excluded: report.primary_excluded,
             switched,
         };
+        drop(voter_span);
 
         // --- Estimation ---
         let ekf_span = self.metrics.ekf.enter();
@@ -744,6 +768,7 @@ impl FlightSimulator {
         drop(ekf_span);
 
         // --- Control ---
+        let control_span = self.metrics.stage_control.enter();
         let rejecting = self.estimator.health().any_rejecting();
         let nav = *self.estimator.state();
 
@@ -877,7 +902,10 @@ impl FlightSimulator {
             self.failsafe_was_active = true;
         }
 
+        drop(control_span);
+
         // --- Physics ---
+        let dynamics_span = self.metrics.stage_dynamics.enter();
         self.quad.step_with_wind(out.throttles, wind, dt);
         let s = *self.quad.state();
         self.distance_true += s.position.distance(self.last_true_position);
@@ -886,6 +914,7 @@ impl FlightSimulator {
         if !self.airborne && s.altitude() > 1.5 {
             self.airborne = true;
         }
+        drop(dynamics_span);
 
         // --- Tracking, bubble, telemetry ---
         if self.every(self.config.tracking_rate) && self.airborne {

@@ -13,15 +13,40 @@
 //! IMUFIT_BENCH_ESTIMATES=bench_estimates.jsonl \
 //!     cargo bench -p imufit-bench --bench components
 //! cargo run --bin bench_summary -- bench_estimates.jsonl BENCH_campaign.json
+//! cargo run --bin bench_summary -- --gate OLD.json bench_estimates.jsonl NEW.json
 //! ```
+//!
+//! `--gate OLD.json` additionally compares the fresh medians against a
+//! previously committed summary and prints a `::warning::` line (the
+//! GitHub Actions annotation format) for every gated bench that regressed
+//! by more than 10%. The gate is soft: regressions warn, they never fail
+//! the build, because CI runners have noisy clocks.
 
 use std::io::Write as _;
 
 use imufit_obs::{info, warn};
 
+/// Benches held to the soft perf-regression gate. Kept short and stable:
+/// the closed-loop step is the product's hot path, the trace-off tick
+/// guards the observability layer's zero-cost claim.
+const GATED_BENCHES: [&str; 2] = ["sim/closed_loop_step", "trace/tick_off"];
+
+/// Regression threshold for the soft gate.
+const GATE_TOLERANCE: f64 = 0.10;
+
 fn main() {
     imufit_obs::log::init();
-    let mut args = std::env::args().skip(1);
+    let mut raw_args: Vec<String> = std::env::args().skip(1).collect();
+    let mut gate: Option<String> = None;
+    if raw_args.first().map(String::as_str) == Some("--gate") {
+        if raw_args.len() < 2 {
+            warn!("--gate requires a baseline summary path");
+            std::process::exit(2);
+        }
+        gate = Some(raw_args.remove(1));
+        raw_args.remove(0);
+    }
+    let mut args = raw_args.into_iter();
     let input = args
         .next()
         .or_else(|| std::env::var("IMUFIT_BENCH_ESTIMATES").ok())
@@ -48,6 +73,61 @@ fn main() {
     f.write_all(json.as_bytes())
         .unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
     info!("wrote {} ({} benches)", output, estimates.len());
+
+    if let Some(baseline_path) = gate {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(baseline) => check_gate(&parse_summary(&baseline), &estimates),
+            Err(e) => warn!("perf gate: cannot read baseline {baseline_path}: {e} (skipping)"),
+        }
+    }
+}
+
+/// Parses a committed `BENCH_campaign.json` back into (name, median_ns)
+/// pairs. Reuses the line-oriented extractors: the renderer emits one
+/// bench per line.
+fn parse_summary(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(colon) = line.find("\": {") else {
+            continue;
+        };
+        let Some(name) = line.strip_prefix('"').map(|s| s[..colon - 1].to_string()) else {
+            continue;
+        };
+        if let Some(median_ns) = extract_number(line, "median_ns") {
+            out.push((name, median_ns));
+        }
+    }
+    out
+}
+
+/// Compares fresh medians against the committed baseline for the gated
+/// benches, printing GitHub annotation warnings for >10% regressions.
+/// Soft by design: never exits non-zero for a regression.
+fn check_gate(baseline: &[(String, f64)], fresh: &[(String, f64)]) {
+    for name in GATED_BENCHES {
+        let old = baseline.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        let new = fresh.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+        match (old, new) {
+            (Some(old), Some(new)) if old > 0.0 => {
+                let ratio = new / old;
+                if ratio > 1.0 + GATE_TOLERANCE {
+                    println!(
+                        "::warning::perf gate: {name} regressed {:.1}% \
+                         ({old:.1} ns -> {new:.1} ns)",
+                        (ratio - 1.0) * 100.0
+                    );
+                } else {
+                    info!(
+                        "perf gate: {name} ok ({old:.1} ns -> {new:.1} ns, {:+.1}%)",
+                        (ratio - 1.0) * 100.0
+                    );
+                }
+            }
+            _ => warn!("perf gate: {name} missing from baseline or fresh run (skipping)"),
+        }
+    }
 }
 
 /// Parses the JSONL estimates and reduces them to sorted (name, median_ns)
@@ -103,7 +183,7 @@ fn extract_string(line: &str, key: &str) -> Option<String> {
 fn extract_number(line: &str, key: &str) -> Option<f64> {
     let marker = format!("\"{key}\":");
     let start = line.find(&marker)? + marker.len();
-    let rest = &line[start..];
+    let rest = line[start..].trim_start();
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
         .unwrap_or(rest.len());
@@ -173,6 +253,16 @@ mod tests {
             parse_line("{\"name\":\"a\\\"b\\\\c\",\"median_ns\":2e3,\"samples\":1}").unwrap();
         assert_eq!(name, "a\"b\\c");
         assert_eq!(ns, 2000.0);
+    }
+
+    #[test]
+    fn summary_parses_back_for_the_gate() {
+        let estimates = vec![
+            ("sim/closed_loop_step".to_string(), 4321.0),
+            ("trace/tick_off".to_string(), 123.5),
+        ];
+        let json = render(&estimates);
+        assert_eq!(parse_summary(&json), estimates);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! ```text
 //! fleet run [--scenario FILE|PRESET] [--workers N] [--out DIR]
 //!           [--seed N] [--missions M] [--quick] [--trace-dir DIR]
-//!           [--resume] [--no-spawn]
+//!           [--resume] [--no-spawn] [--serve-metrics ADDR]
 //! fleet worker --connect ADDR [--id N]
 //! ```
 //!
@@ -26,7 +26,7 @@ use imufit_scenario::{ScenarioSpec, PRESET_NAMES};
 
 const USAGE: &str = "usage: fleet run [--scenario FILE|PRESET] [--workers N] [--out DIR]
                  [--seed N] [--missions M] [--quick] [--trace-dir DIR]
-                 [--resume] [--no-spawn] [--metrics]
+                 [--resume] [--no-spawn] [--metrics] [--serve-metrics ADDR]
        fleet worker --connect ADDR [--id N]
 
   run                 coordinate a distributed campaign
@@ -44,6 +44,9 @@ const USAGE: &str = "usage: fleet run [--scenario FILE|PRESET] [--workers N] [--
     --no-spawn        don't spawn local workers; wait for external
                       `fleet worker --connect` processes
     --metrics         write campaign_metrics.json next to the CSV
+    --serve-metrics A serve live /metrics, /status, and /healthz on address A
+                      (merged across workers, labeled worker=\"N\") and record
+                      a metric time-series to OUT/campaign_metrics.ifms
   worker              serve one worker process
     --connect ADDR    coordinator address (host:port)
     --id N            worker id reported to the coordinator (default 0)";
@@ -74,6 +77,7 @@ struct RunArgs {
     resume: bool,
     spawn: bool,
     metrics: bool,
+    serve_metrics: Option<String>,
 }
 
 fn parse_run_args(mut it: std::env::Args) -> RunArgs {
@@ -88,6 +92,7 @@ fn parse_run_args(mut it: std::env::Args) -> RunArgs {
         resume: false,
         spawn: true,
         metrics: false,
+        serve_metrics: None,
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -111,6 +116,12 @@ fn parse_run_args(mut it: std::env::Args) -> RunArgs {
             "--resume" => args.resume = true,
             "--no-spawn" => args.spawn = false,
             "--metrics" => args.metrics = true,
+            "--serve-metrics" => {
+                args.serve_metrics = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("missing value for --serve-metrics")),
+                )
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -155,6 +166,15 @@ fn run_coordinator(args: RunArgs) {
     if args.trace_dir.is_some() {
         spec.trace.enabled = true;
     }
+    if let Some(addr) = &args.serve_metrics {
+        spec.obs.serve = true;
+        spec.obs.addr = addr.clone();
+    }
+    // With `--no-default-features` every metric hook is a no-op, so a
+    // requested plane would silently serve nothing. Refuse instead.
+    if spec.obs.serve && !cfg!(feature = "obs") {
+        die("--serve-metrics (or [obs] serve = true) requires the 'obs' feature; rebuild without --no-default-features");
+    }
     if let Err(e) = spec.validate() {
         die(&format!("invalid scenario: {e}"));
     }
@@ -188,6 +208,33 @@ fn run_coordinator(args: RunArgs) {
         coordinator.resumed_units()
     );
 
+    // The plane scrapes merged per-worker snapshots via the coordinator's
+    // aggregate, so one /metrics endpoint covers the whole fleet.
+    let plane = if spec.obs.serve {
+        match imufit_obs::plane::Plane::start(
+            &spec.obs.addr,
+            std::time::Duration::from_secs_f64(spec.obs.sample_interval_s),
+            spec.obs.series_capacity,
+            Some(coordinator.aggregate()),
+        ) {
+            Ok(plane) => {
+                if let Some(addr) = plane.addr() {
+                    info!("serving /metrics, /status, /healthz on http://{addr}");
+                }
+                plane
+            }
+            Err(e) => {
+                eprintln!(
+                    "error: cannot start metrics server on {}: {e}",
+                    spec.obs.addr
+                );
+                std::process::exit(1);
+            }
+        }
+    } else {
+        imufit_obs::plane::Plane::off()
+    };
+
     let mut children = Vec::new();
     if args.spawn {
         let exe = std::env::current_exe()
@@ -213,6 +260,11 @@ fn run_coordinator(args: RunArgs) {
     });
     for child in &mut children {
         let _ = child.wait();
+    }
+    match plane.finish(&out.join("campaign_metrics.ifms")) {
+        Ok(Some(path)) => info!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: cannot write metrics series: {e}"),
     }
     info!(
         "fleet campaign finished in {:.0} s wall-clock; faulty completion {:.1}%",

@@ -8,7 +8,7 @@
 //! ```text
 //! cargo run --release --bin reproduce \
 //!     [-- --seed N --missions M --out DIR --quick --metrics --no-metrics \
-//!         --scenario FILE|PRESET --dump-scenario]
+//!         --scenario FILE|PRESET --dump-scenario --serve-metrics ADDR]
 //! ```
 //!
 //! `--quick` runs a scaled campaign (3 missions, durations 2 s and 30 s)
@@ -37,7 +37,8 @@ const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--q
                  [--scenario FILE|PRESET] [--dump-scenario]
                  [--trace-dir DIR] [--trace-window PRE:POST]
                  [--trace-triggers A,B,...] [--fleet-workers N]
-                 [--no-extras] [--metrics] [--no-metrics]
+                 [--serve-metrics ADDR] [--no-extras] [--metrics]
+                 [--no-metrics]
 
   --seed N            campaign master seed (default 2024)
   --missions M        fly only the first M study missions (default 10)
@@ -58,6 +59,10 @@ const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--q
                       localhost TCP (see the `fleet` binary); 0 = one per
                       CPU, clamped to the number of runs. The merged CSV
                       is byte-identical to the single-process campaign
+  --serve-metrics A   serve live /metrics, /status, and /healthz over HTTP on
+                      address A (e.g. 127.0.0.1:9469) while the campaign runs,
+                      and record a metric time-series to
+                      OUT/campaign_metrics.ifms (read it with `triage metrics`)
   --no-extras         skip the beyond-the-paper sections
   --metrics           also write Prometheus text exposition
   --no-metrics        suppress the campaign_metrics.json snapshot";
@@ -92,6 +97,8 @@ struct Args {
     trace_triggers: Option<Vec<imufit_trace::TraceTrigger>>,
     /// Distribute the campaign over N worker processes (0 = auto).
     fleet_workers: Option<usize>,
+    /// Live observability plane listen address (`--serve-metrics`).
+    serve_metrics: Option<String>,
 }
 
 /// Parses `--trace-window PRE:POST`, dying on anything malformed.
@@ -156,6 +163,7 @@ fn parse_args() -> Args {
         trace_window: None,
         trace_triggers: None,
         fleet_workers: None,
+        serve_metrics: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -170,6 +178,12 @@ fn parse_args() -> Args {
             "--trace-triggers" => args.trace_triggers = Some(parse_trace_triggers(it.next())),
             "--fleet-workers" => {
                 args.fleet_workers = Some(parse_value("--fleet-workers", it.next()))
+            }
+            "--serve-metrics" => {
+                args.serve_metrics = Some(
+                    it.next()
+                        .unwrap_or_else(|| die("missing value for --serve-metrics")),
+                )
             }
             "--seed" => args.seed = Some(parse_value("--seed", it.next())),
             "--missions" => args.missions = Some(parse_value("--missions", it.next())),
@@ -351,6 +365,9 @@ fn run_fleet_campaign(
         eprintln!("error: cannot start fleet coordinator: {e}");
         std::process::exit(1);
     });
+    // The plane scrapes merged per-worker snapshots via the coordinator's
+    // aggregate, so one /metrics endpoint covers the whole fleet.
+    let plane = start_plane(spec, Some(coordinator.aggregate()));
     let exe =
         std::env::current_exe().unwrap_or_else(|e| panic!("cannot locate own executable: {e}"));
     let cmd = vec![exe.display().to_string(), "--fleet-worker".to_string()];
@@ -366,7 +383,48 @@ fn run_fleet_campaign(
     for child in &mut children {
         let _ = child.wait();
     }
+    finish_plane(plane, out);
     results
+}
+
+/// Starts the live observability plane when the scenario asks for it;
+/// an unrequested plane is inert.
+fn start_plane(
+    spec: &ScenarioSpec,
+    aggregate: Option<std::sync::Arc<imufit_obs::snapshot::Aggregate>>,
+) -> imufit_obs::plane::Plane {
+    if !spec.obs.serve {
+        return imufit_obs::plane::Plane::off();
+    }
+    match imufit_obs::plane::Plane::start(
+        &spec.obs.addr,
+        std::time::Duration::from_secs_f64(spec.obs.sample_interval_s),
+        spec.obs.series_capacity,
+        aggregate,
+    ) {
+        Ok(plane) => {
+            if let Some(addr) = plane.addr() {
+                info!("serving /metrics, /status, /healthz on http://{addr}");
+            }
+            plane
+        }
+        Err(e) => {
+            eprintln!(
+                "error: cannot start metrics server on {}: {e}",
+                spec.obs.addr
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Flushes the plane's recorded series to `OUT/campaign_metrics.ifms`.
+fn finish_plane(plane: imufit_obs::plane::Plane, out: &std::path::Path) {
+    match plane.finish(&out.join("campaign_metrics.ifms")) {
+        Ok(Some(path)) => info!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("warning: cannot write metrics series: {e}"),
+    }
 }
 
 fn main() {
@@ -397,6 +455,16 @@ fn main() {
     }
     if let Some(n) = args.fleet_workers {
         spec.fleet.workers = n;
+    }
+    if let Some(addr) = &args.serve_metrics {
+        spec.obs.serve = true;
+        spec.obs.addr = addr.clone();
+    }
+    // Serving live metrics requires the observability layer; with
+    // `--no-default-features` every hook is a no-op, so a requested
+    // plane would silently serve nothing. Refuse instead.
+    if spec.obs.serve && !cfg!(feature = "obs") {
+        die("--serve-metrics (or [obs] serve = true) requires the 'obs' feature; rebuild without --no-default-features");
     }
     // Trace overrides: `--trace-dir` arms the collector, the window and
     // trigger flags tune it; a window deeper than the ring grows the ring.
@@ -468,6 +536,7 @@ fn main() {
     let run_hist = imufit_obs::timer_with("campaign_run", imufit_obs::buckets::RUN_S);
     let progress = move |done: usize, _total: usize| {
         reporter.record(done, run_hist.histogram().sum());
+        imufit_obs::status::board().set_progress(done as u64);
     };
     let started = std::time::Instant::now();
     let results = if let Some(procs) = fleet_procs {
@@ -479,7 +548,14 @@ fn main() {
             &progress,
         )
     } else {
-        Campaign::new(config).run_with_progress(Some(&progress))
+        imufit_obs::status::board().begin_campaign(&spec.name, total as u64, 0);
+        let out_dir = std::path::Path::new(&args.out);
+        std::fs::create_dir_all(out_dir)
+            .unwrap_or_else(|e| panic!("cannot create output dir {}: {e}", out_dir.display()));
+        let plane = start_plane(&spec, None);
+        let r = Campaign::new(config).run_with_progress(Some(&progress));
+        finish_plane(plane, out_dir);
+        r
     };
     info!(
         "campaign finished in {:.0} s wall-clock; faulty completion {:.1}%",

@@ -11,7 +11,12 @@
 //!
 //! ```text
 //! cargo run --release --bin triage -- [--diff] PATH [PATH ...]
+//! cargo run --release --bin triage -- metrics SERIES.ifms [SERIES.ifms ...]
 //! ```
+//!
+//! The `metrics` subcommand reads the metric time-series a campaign
+//! records with `--serve-metrics` (`campaign_metrics.ifms`) and renders
+//! per-sample throughput, lease expiries, and tick-latency quantiles.
 //!
 //! Exit status: 0 when every input decoded, 1 when any file was unreadable
 //! or corrupt (the survivors are still analyzed), 2 on usage errors.
@@ -24,13 +29,39 @@ use imufit_trace::triage::{
 use imufit_trace::BlackBox;
 
 const USAGE: &str = "usage: triage [--diff] PATH [PATH ...]
+       triage metrics SERIES.ifms [SERIES.ifms ...]
 
 Reads imufit black-box flight traces (.ifbb files, or directories scanned
 for them) and prints per-run causal timelines plus per-cell
 fault-to-detection / detection-to-mitigation latency tables.
 
+`triage metrics` instead reads metric time-series files recorded by
+`reproduce`/`fleet` with `--serve-metrics` and renders run throughput,
+lease expiries, and tick-latency quantiles over the campaign's lifetime.
+
   --diff      also diff each faulty run against its mission's gold run
   --help, -h  this text";
+
+/// The `metrics` subcommand: render each `.ifms` series as a rate table.
+fn run_metrics(paths: &[PathBuf]) -> ! {
+    if paths.is_empty() {
+        die("triage metrics: no input files");
+    }
+    let mut failures = 0usize;
+    for path in paths {
+        match imufit_obs::timeseries::TimeSeries::read(path) {
+            Ok(series) => {
+                println!("=== {} ===", path.display());
+                println!("{}", imufit_obs::timeseries::render_rates(&series));
+            }
+            Err(e) => {
+                eprintln!("triage: {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    std::process::exit(if failures > 0 { 1 } else { 0 });
+}
 
 /// Prints an argument error plus usage to stderr and exits 2.
 fn die(msg: &str) -> ! {
@@ -62,6 +93,13 @@ fn collect_files(paths: &[PathBuf]) -> Vec<PathBuf> {
 }
 
 fn main() {
+    // The metrics subcommand short-circuits before flat-flag parsing: its
+    // inputs are .ifms series, not black boxes.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("metrics") {
+        let paths: Vec<PathBuf> = raw[1..].iter().map(PathBuf::from).collect();
+        run_metrics(&paths);
+    }
     let mut diff = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     for arg in std::env::args().skip(1) {

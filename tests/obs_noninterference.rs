@@ -7,10 +7,21 @@
 //! additionally rebuilds with `--no-default-features` (compile-time off)
 //! and compares the CSVs across binaries.
 
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
 use imufit_core::{Campaign, CampaignConfig};
+use imufit_obs::snapshot::SnapshotValue;
+
+/// Both tests flip the global runtime kill-switch; they must not overlap.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 #[test]
 fn campaign_csv_identical_with_obs_on_and_off() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let config = || CampaignConfig::scaled(1, vec![2.0], 77);
 
     imufit_obs::set_runtime_enabled(false);
@@ -44,4 +55,96 @@ fn campaign_csv_identical_with_obs_on_and_off() {
             "prometheus export missing campaign_runs_total"
         );
     }
+}
+
+/// One blocking HTTP/1.1 GET against the embedded server.
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    let mut body = String::new();
+    stream.read_to_string(&mut body).expect("read response");
+    body
+}
+
+/// The stronger form of the contract: the whole live plane — HTTP server,
+/// concurrent scrapes, and the time-series recorder — running *during*
+/// the golden campaign must not move a single byte of the CSV.
+#[test]
+fn campaign_csv_identical_with_live_metrics_plane() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    imufit_obs::set_runtime_enabled(true);
+    // A stale gauge from a "previous campaign" in the same process: the
+    // campaign start must reset it rather than let it leak into scrapes.
+    imufit_obs::gauge("fleet_units_total").set(999.0);
+
+    let plane = imufit_obs::plane::Plane::start("127.0.0.1:0", Duration::from_millis(40), 64, None)
+        .expect("bind live plane on an ephemeral port");
+    let addr = plane.addr().expect("live plane has an address");
+
+    // Scrape continuously while the campaign runs, keeping the responses
+    // observed strictly mid-run.
+    let stop = Arc::new(AtomicBool::new(false));
+    let seen = Arc::new(Mutex::new(Vec::<String>::new()));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let seen = Arc::clone(&seen);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let metrics = http_get(addr, "/metrics");
+                assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
+                let status = http_get(addr, "/status");
+                assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+                seen.lock().unwrap().push(metrics);
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
+
+    let results = Campaign::new(CampaignConfig::scaled(1, vec![2.0, 30.0], 2024)).run();
+    stop.store(true, Ordering::SeqCst);
+    scraper.join().expect("scraper thread");
+
+    let golden = include_str!("golden/campaign_small.csv");
+    assert_eq!(
+        results.to_csv(),
+        golden,
+        "campaign CSV must stay byte-identical with the live plane scraping mid-run"
+    );
+
+    let scrapes = seen.lock().unwrap();
+    assert!(!scrapes.is_empty(), "at least one mid-run scrape");
+    if cfg!(feature = "obs") {
+        assert!(
+            scrapes.last().unwrap().contains("campaign_runs_total"),
+            "mid-run scrape missing campaign metrics: {}",
+            scrapes.last().unwrap()
+        );
+        // The stale fleet gauge was zeroed at campaign start, not served.
+        let snap = imufit_obs::snapshot::capture();
+        let gauge = snap
+            .metrics
+            .iter()
+            .find(|m| m.name == "fleet_units_total")
+            .expect("fleet_units_total registered");
+        match gauge.value {
+            SnapshotValue::Gauge(bits) => assert_eq!(
+                f64::from_bits(bits),
+                0.0,
+                "stale fleet_units_total must be reset at campaign start"
+            ),
+            ref other => panic!("fleet_units_total is not a gauge: {other:?}"),
+        }
+    }
+
+    // The recorder flushed a decodable series covering the run.
+    let out = std::env::temp_dir().join("imufit_noninterference.ifms");
+    let written = plane.finish(&out).expect("flush series");
+    assert_eq!(written.as_deref(), Some(out.as_path()));
+    let series = imufit_obs::timeseries::TimeSeries::read(&out).expect("series decodes");
+    assert!(!series.frames.is_empty(), "series has samples");
+    let _ = std::fs::remove_file(&out);
 }
