@@ -10,7 +10,7 @@ use imufit_math::rng::Pcg;
 use imufit_math::Vec3;
 use imufit_missions::all_missions;
 use imufit_sensors::{GpsSample, ImuSample, ImuSpec};
-use imufit_uav::{FlightSimulator, SimConfig};
+use imufit_uav::{BatchSimulator, FlightSimulator, SimConfig};
 
 fn bench_dynamics_step(c: &mut Criterion) {
     let mut quad = Quadrotor::new(QuadrotorParams::default_airframe());
@@ -106,6 +106,60 @@ fn bench_sim_step(c: &mut Criterion) {
         b.iter(|| {
             sim.step();
             black_box(sim.time())
+        })
+    });
+}
+
+/// The batched tick at 1, 4, and 8 lanes: `sim/batch_step{N}` measures one
+/// `step_all` call (N lane-ticks), so per-lane cost is `median / N` and is
+/// compared directly against `sim/closed_loop_step`.
+fn bench_batch_step(c: &mut Criterion) {
+    let missions = all_missions();
+    let mission = &missions[0];
+    for lanes in [1usize, 4, 8] {
+        let mut batch = BatchSimulator::new();
+        for lane in 0..lanes {
+            // Distinct seeds keep the lanes from pathologically sharing
+            // every branch; all fly the same mission airborne.
+            let mut sim = FlightSimulator::new(
+                mission,
+                Vec::new(),
+                SimConfig::default_for(mission, 1 + lane as u64),
+            );
+            for _ in 0..5000 {
+                sim.step();
+            }
+            batch.load(sim);
+        }
+        c.bench_function(&format!("sim/batch_step{lanes}"), |b| {
+            b.iter(|| {
+                batch.step_all();
+                black_box(batch.running_lanes())
+            })
+        });
+    }
+}
+
+/// Whole-run throughput: one short fault-to-crash experiment per
+/// iteration through the campaign's scalar isolated harness. This is the
+/// denominator the batched dispatch is judged against
+/// (`campaign/runs_per_sec` in BENCH_campaign.json is derived from it).
+fn bench_campaign_run(c: &mut Criterion) {
+    use imufit_core::{Campaign, CampaignConfig};
+
+    let mut config = CampaignConfig::scaled(1, vec![2.0], 7);
+    config.faults.kinds = vec![FaultKind::Max];
+    config.faults.targets = vec![FaultTarget::Gyrometer];
+    let spec = config.matrix()[1];
+    assert!(spec.fault.is_some(), "run must exercise the fault path");
+    let mut vehicle = None;
+    c.bench_function("campaign/run_experiment", |b| {
+        b.iter(|| {
+            black_box(Campaign::run_experiment_isolated_into(
+                &config,
+                black_box(spec),
+                &mut vehicle,
+            ))
         })
     });
 }
@@ -268,6 +322,8 @@ criterion_group!(
     bench_injector,
     bench_controller,
     bench_sim_step,
+    bench_batch_step,
+    bench_campaign_run,
     bench_trace,
     bench_fleet,
     bench_wire

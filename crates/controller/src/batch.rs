@@ -1,0 +1,102 @@
+//! Batched (structure-of-arrays) controller stage.
+//!
+//! One `FlightController` per lane. The update stage walks the active-lane
+//! list and runs the exact scalar `update_with_redundancy` call on each
+//! lane's slot; controllers consume no RNG, so lockstep batching cannot
+//! perturb any lane's control trajectory.
+
+use imufit_estimator::NavState;
+use imufit_math::lanes::for_each_lane;
+use imufit_sensors::ImuSample;
+
+use crate::mitigation::RedundancyStatus;
+use crate::{ControlOutput, FlightController};
+
+/// Runs every lane's controller for one tick, writing the rotor demands
+/// (and the failsafe's IMU-rotation request) into `outs`.
+#[allow(clippy::too_many_arguments)]
+pub fn update_all(
+    active: &[usize],
+    poisoned: &mut [bool],
+    controllers: &mut [FlightController],
+    times: &[f64],
+    dts: &[f64],
+    navs: &[NavState],
+    imus: &[ImuSample],
+    rejecting: &[bool],
+    redundancy: &[RedundancyStatus],
+    outs: &mut [ControlOutput],
+) {
+    for_each_lane(active, poisoned, |lane| {
+        outs[lane] = controllers[lane].update_with_redundancy(
+            times[lane],
+            dts[lane],
+            &navs[lane],
+            &imus[lane],
+            rejecting[lane],
+            redundancy[lane],
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ControllerParams, FlightPlan, Waypoint};
+    use imufit_math::Vec3;
+
+    fn mk_controller() -> FlightController {
+        let plan = FlightPlan::new(
+            Vec3::ZERO,
+            30.0,
+            vec![Waypoint::new(Vec3::new(10.0, 0.0, -30.0))],
+            3.0,
+        );
+        FlightController::new(ControllerParams::for_vehicle(1.5, 30.0), plan)
+    }
+
+    /// A lane's control outputs must be bit-identical to a scalar
+    /// controller fed the same inputs.
+    #[test]
+    fn lane_update_matches_scalar_bitwise() {
+        let mut lanes = vec![mk_controller(), mk_controller()];
+        let mut scalar = mk_controller();
+        let mut poisoned = vec![false; 2];
+        let mut outs = vec![ControlOutput::default(), ControlOutput::default()];
+        let status = RedundancyStatus {
+            instances: 3,
+            excluded: 0,
+            primary_excluded: false,
+            switched: false,
+        };
+        for tick in 1..=500u64 {
+            let t = tick as f64 * 0.004;
+            let nav = NavState::default();
+            let imu = ImuSample {
+                accel: Vec3::new(0.0, 0.0, -9.81),
+                gyro: Vec3::ZERO,
+                time: t,
+            };
+            update_all(
+                &[0, 1],
+                &mut poisoned,
+                &mut lanes,
+                &[t, t],
+                &[0.004, 0.004],
+                &[nav, nav],
+                &[imu, imu],
+                &[false, false],
+                &[status, status],
+                &mut outs,
+            );
+            let want = scalar.update_with_redundancy(t, 0.004, &nav, &imu, false, status);
+            for axis in 0..4 {
+                assert_eq!(
+                    outs[1].throttles[axis].to_bits(),
+                    want.throttles[axis].to_bits()
+                );
+            }
+            assert_eq!(outs[1].rotate_imu, want.rotate_imu);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Batched (structure-of-arrays) estimator stages.
+//!
+//! One boxed backend per lane; the predict stage walks the active-lane
+//! list and propagates each lane's filter with its own merged IMU sample.
+//! Sensor fusion (GPS/baro/mag) stays in the vehicle layer, because the
+//! aiding samples are drawn, attacked, and monitor-gated there — but the
+//! per-tick propagation, the hot half of the estimation stage, is lane-wise
+//! here.
+
+use imufit_math::lanes::for_each_lane;
+use imufit_sensors::ImuSample;
+
+use crate::backend::BoxedEstimator;
+
+/// Propagates every lane's filter with its merged sample over its own
+/// `dt`, exactly as the scalar `AttitudeEstimator::predict` call does.
+pub fn predict_all(
+    active: &[usize],
+    poisoned: &mut [bool],
+    estimators: &mut [BoxedEstimator],
+    merged: &[ImuSample],
+    dts: &[f64],
+) {
+    for_each_lane(active, poisoned, |lane| {
+        estimators[lane].predict(&merged[lane], dts[lane]);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ekf::{Ekf, EkfParams};
+    use imufit_math::Vec3;
+
+    /// A lane's propagated state must be bit-identical to a scalar filter
+    /// fed the same samples, regardless of batch neighbors.
+    #[test]
+    fn lane_predict_matches_scalar_bitwise() {
+        let mk = || -> BoxedEstimator {
+            let mut e = Box::new(Ekf::new(EkfParams::default()));
+            e.initialize(Vec3::ZERO, Vec3::ZERO, 0.0);
+            e
+        };
+        let mut lanes: Vec<BoxedEstimator> = vec![mk(), mk()];
+        let mut scalar = mk();
+        let mut poisoned = vec![false; 2];
+        for tick in 1..=200u64 {
+            let t = tick as f64 * 0.004;
+            let sample = ImuSample {
+                accel: Vec3::new(0.02, -0.01, -9.81),
+                gyro: Vec3::new(0.001, 0.002, -0.001),
+                time: t,
+            };
+            predict_all(
+                &[0, 1],
+                &mut poisoned,
+                &mut lanes,
+                &[sample, sample],
+                &[0.004, 0.004],
+            );
+            scalar.predict(&sample, 0.004);
+        }
+        let lane_state = lanes[1].state();
+        let scalar_state = scalar.state();
+        assert_eq!(
+            lane_state.position.x.to_bits(),
+            scalar_state.position.x.to_bits()
+        );
+        assert_eq!(
+            lane_state.velocity.z.to_bits(),
+            scalar_state.velocity.z.to_bits()
+        );
+        assert_eq!(
+            lane_state.attitude.to_euler().2.to_bits(),
+            scalar_state.attitude.to_euler().2.to_bits()
+        );
+    }
+}

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod backend;
+pub mod batch;
 pub mod complementary;
 pub mod ekf;
 pub mod health;

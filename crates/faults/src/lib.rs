@@ -49,6 +49,7 @@
 //! ```
 
 pub mod attack;
+pub mod batch;
 pub mod catalog;
 pub mod injector;
 pub mod kind;

@@ -16,9 +16,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use imufit_core::{Campaign, CampaignConfig};
+use imufit_core::{Campaign, CampaignConfig, ExperimentSpec};
 use imufit_math::rng::Pcg;
 use imufit_scenario::ScenarioSpec;
+use imufit_uav::BatchSimulator;
 
 use crate::protocol::{encode_msg, read_msg, write_msg, FleetError, FleetMsg};
 
@@ -168,39 +169,137 @@ fn serve_session(mut stream: TcpStream, worker_id: u32) -> Result<WorkerExit, Fl
         })
     };
 
-    // Vehicle slot recycled across units, exactly like the in-process
-    // worker threads in `Campaign::run_specs_with_progress`.
-    let mut vehicle = None;
-    let result = loop {
-        {
-            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-            if let Err(e) = write_msg(&mut *w, &FleetMsg::Request) {
-                break Err(e);
-            }
-        }
-        match read_msg(&mut stream) {
-            Ok((FleetMsg::Assign { unit, spec }, _)) => {
-                let record =
-                    Campaign::run_experiment_isolated_into(&ctx.config, spec, &mut vehicle);
-                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-                if let Err(e) = write_msg(&mut *w, &FleetMsg::Result { unit, record }) {
-                    break Err(e);
-                }
-            }
-            Ok((FleetMsg::NoWork, _)) => {
-                // Other workers hold the remaining leases; poll gently.
-                std::thread::sleep(Duration::from_millis(50));
-            }
-            Ok((FleetMsg::Done, _)) => break Ok(WorkerExit::CampaignComplete),
-            Ok(_) => break Err(FleetError::Malformed("unexpected message in work loop")),
-            Err(e) => break Err(e),
-        }
+    let result = if Campaign::uses_batch_dispatch(&ctx.config) {
+        batched_work_loop(&ctx, &mut stream, &writer)
+    } else {
+        scalar_work_loop(&ctx, &mut stream, &writer)
     };
 
     stop.store(true, Ordering::SeqCst);
     let _ = stream.shutdown(std::net::Shutdown::Both);
     let _ = beat.join();
     result
+}
+
+/// The classic one-run-at-a-time work loop: request, fly, report.
+fn scalar_work_loop(
+    ctx: &WorkerContext,
+    stream: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> Result<WorkerExit, FleetError> {
+    // Vehicle slot recycled across units, exactly like the in-process
+    // worker threads in `Campaign::run_specs_with_progress`.
+    let mut vehicle = None;
+    loop {
+        {
+            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            write_msg(&mut *w, &FleetMsg::Request)?;
+        }
+        match read_msg(stream)? {
+            (FleetMsg::Assign { unit, spec }, _) => {
+                let record =
+                    Campaign::run_experiment_isolated_into(&ctx.config, spec, &mut vehicle);
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                write_msg(&mut *w, &FleetMsg::Result { unit, record })?;
+            }
+            (FleetMsg::NoWork, _) => {
+                // Other workers hold the remaining leases; poll gently.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            (FleetMsg::Done, _) => return Ok(WorkerExit::CampaignComplete),
+            _ => return Err(FleetError::Malformed("unexpected message in work loop")),
+        }
+    }
+}
+
+/// The batched work loop: keep up to `campaign.batch` lockstep lanes of a
+/// [`BatchSimulator`] leased from the coordinator, step them together, and
+/// report each lane the tick it finishes. Lane records are bit-identical
+/// to the scalar loop's (each lane owns its RNG streams), so the merged
+/// CSV cannot tell the two loops apart.
+///
+/// `NoWork` throttles further lease requests for ~50 ms but never stalls
+/// the simulator: a partially-filled batch keeps flying while the
+/// coordinator waits on other workers' leases. After `Done` the worker
+/// stops requesting and drains its remaining lanes before disconnecting.
+fn batched_work_loop(
+    ctx: &WorkerContext,
+    stream: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> Result<WorkerExit, FleetError> {
+    let batch = ctx.config.batch.max(1);
+    let mut sim = BatchSimulator::new();
+    // lane index -> the coordinator unit flying in it.
+    let mut lane_unit: Vec<Option<(u32, ExperimentSpec)>> = Vec::new();
+    let mut done_seen = false;
+    let mut next_request = std::time::Instant::now();
+    loop {
+        while !done_seen
+            && sim.occupied_lanes() < batch
+            && std::time::Instant::now() >= next_request
+        {
+            {
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                write_msg(&mut *w, &FleetMsg::Request)?;
+            }
+            match read_msg(stream)? {
+                (FleetMsg::Assign { unit, spec }, _) => {
+                    imufit_obs::counter("campaign_runs_total").inc();
+                    imufit_obs::counter("batch_lane_refills_total").inc();
+                    match Campaign::build_vehicle(&ctx.config, &spec) {
+                        Ok(vehicle) => {
+                            let lane = sim.load(vehicle);
+                            if lane >= lane_unit.len() {
+                                lane_unit.resize(lane + 1, None);
+                            }
+                            lane_unit[lane] = Some((unit, spec));
+                            imufit_obs::gauge("campaign_batch_lanes")
+                                .set(sim.occupied_lanes() as f64);
+                        }
+                        Err(_) => {
+                            // A spec that cannot build collapses straight to
+                            // the aborted record, exactly like the scalar
+                            // path — no lane is consumed.
+                            imufit_obs::counter("campaign_runs_aborted_total").inc();
+                            let record = Campaign::aborted_record_for(&ctx.config, spec);
+                            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                            write_msg(&mut *w, &FleetMsg::Result { unit, record })?;
+                        }
+                    }
+                }
+                (FleetMsg::NoWork, _) => {
+                    // Leased-out units may come back; retry shortly, but
+                    // keep stepping whatever lanes we already hold.
+                    next_request = std::time::Instant::now() + Duration::from_millis(50);
+                }
+                (FleetMsg::Done, _) => done_seen = true,
+                _ => return Err(FleetError::Malformed("unexpected message in work loop")),
+            }
+        }
+        if sim.occupied_lanes() == 0 {
+            if done_seen {
+                return Ok(WorkerExit::CampaignComplete);
+            }
+            // Nothing to fly and nothing assignable yet: idle politely.
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+        sim.step_all();
+        for lane in sim.finished_lanes() {
+            let summary = sim.retire(lane);
+            imufit_obs::gauge("campaign_batch_lanes").set(sim.occupied_lanes() as f64);
+            let Some((unit, spec)) = lane_unit[lane].take() else {
+                continue;
+            };
+            if matches!(summary.outcome, imufit_uav::FlightOutcome::Aborted) {
+                imufit_obs::counter("campaign_panics_caught_total").inc();
+                imufit_obs::counter("campaign_runs_aborted_total").inc();
+            }
+            let record = Campaign::record_from_summary(&ctx.config, spec, &summary);
+            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            write_msg(&mut *w, &FleetMsg::Result { unit, record })?;
+        }
+    }
 }
 
 /// Spawns `count` local worker processes running `worker_cmd` (argv,

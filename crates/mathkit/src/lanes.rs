@@ -1,0 +1,73 @@
+//! Lane iteration for batched (structure-of-arrays) simulation.
+//!
+//! A batch simulator steps N independent runs in lockstep; every pipeline
+//! stage walks the same list of active lane indices over its own per-field
+//! arrays. [`for_each_lane`] is that walk, with per-lane panic isolation:
+//! a lane whose stage closure unwinds is marked poisoned and skipped by
+//! every later stage, so one diverging run aborts one lane — never the
+//! batch.
+//!
+//! Kept in the math crate because every stage crate (sensors, faults,
+//! estimator, controller, dynamics) already depends on it and the helper
+//! must be shared without introducing new edges in the dependency graph.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Runs `f` once per lane in `active`, skipping lanes already flagged in
+/// `poisoned` and flagging any lane whose closure panics.
+///
+/// The closure runs under [`catch_unwind`]; a panic poisons exactly the
+/// lane that raised it and iteration continues with the next lane. Callers
+/// own the decision of what a poisoned lane means (the batch simulator
+/// retires it as an aborted run).
+///
+/// # Panics
+///
+/// Panics if an index in `active` is out of bounds for `poisoned` — lane
+/// lists and flag arrays must always be sized together.
+pub fn for_each_lane<F: FnMut(usize)>(active: &[usize], poisoned: &mut [bool], mut f: F) {
+    for &lane in active {
+        if poisoned[lane] {
+            continue;
+        }
+        if catch_unwind(AssertUnwindSafe(|| f(lane))).is_err() {
+            poisoned[lane] = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn visits_every_active_lane_in_order() {
+        let mut poisoned = vec![false; 5];
+        let mut seen = Vec::new();
+        for_each_lane(&[0, 2, 4], &mut poisoned, |lane| seen.push(lane));
+        assert_eq!(seen, vec![0, 2, 4]);
+        assert!(poisoned.iter().all(|p| !p));
+    }
+
+    #[test]
+    fn panicking_lane_is_poisoned_and_the_rest_continue() {
+        let mut poisoned = vec![false; 3];
+        let mut seen = Vec::new();
+        for_each_lane(&[0, 1, 2], &mut poisoned, |lane| {
+            if lane == 1 {
+                panic!("lane 1 diverged");
+            }
+            seen.push(lane);
+        });
+        assert_eq!(seen, vec![0, 2]);
+        assert_eq!(poisoned, vec![false, true, false]);
+    }
+
+    #[test]
+    fn poisoned_lanes_are_skipped_by_later_stages() {
+        let mut poisoned = vec![false, true, false];
+        let mut seen = Vec::new();
+        for_each_lane(&[0, 1, 2], &mut poisoned, |lane| seen.push(lane));
+        assert_eq!(seen, vec![0, 2]);
+    }
+}

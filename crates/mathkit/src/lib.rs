@@ -29,6 +29,7 @@
 pub mod angles;
 pub mod filter;
 pub mod geo;
+pub mod lanes;
 pub mod mat3;
 pub mod matrix;
 pub mod quat;

@@ -293,6 +293,11 @@ pub struct CampaignSettings {
     pub injection_start: f64,
     /// Worker threads; 0 = one per available core.
     pub threads: usize,
+    /// Lockstep lanes per worker; 1 = the scalar per-run path. Any batch
+    /// size produces bit-identical records (each lane owns its RNG
+    /// streams), so this is purely a throughput knob. Incompatible with
+    /// black-box tracing.
+    pub batch: usize,
 }
 
 impl Default for CampaignSettings {
@@ -303,6 +308,7 @@ impl Default for CampaignSettings {
             durations: vec![2.0, 5.0, 10.0, 30.0],
             injection_start: 90.0,
             threads: 0,
+            batch: 1,
         }
     }
 }
@@ -540,6 +546,18 @@ impl ScenarioSpec {
                 value: 0.0,
             });
         }
+        if self.campaign.batch == 0 {
+            return Err(ScenarioError::BadNumber {
+                field: "campaign.batch",
+                value: 0.0,
+            });
+        }
+        if self.campaign.batch > 1 && self.trace.enabled {
+            return Err(ScenarioError::Trace(
+                "black-box tracing requires campaign.batch = 1 (the batched tick carries no tracer)"
+                    .to_string(),
+            ));
+        }
         self.trace.validate().map_err(ScenarioError::Trace)?;
         Ok(())
     }
@@ -654,6 +672,7 @@ impl ScenarioSpec {
             Value::Float(self.campaign.injection_start),
         );
         campaign.set("threads", Value::Int(self.campaign.threads as u64));
+        campaign.set("batch", Value::Int(self.campaign.batch as u64));
 
         let mut fleet = Value::table();
         fleet.set("workers", Value::Int(self.fleet.workers as u64));
@@ -866,7 +885,9 @@ impl ScenarioSpec {
         }
 
         let campaign = section(root, "campaign")?;
-        expect_keys(
+        // `batch` is optional so pre-batching scenario files keep parsing;
+        // an absent key means the scalar path (batch = 1).
+        expect_keys_with_optional(
             campaign,
             "campaign",
             &[
@@ -876,12 +897,16 @@ impl ScenarioSpec {
                 "injection_start",
                 "threads",
             ],
+            &["batch"],
         )?;
         spec.campaign.seed = get_u64(campaign, "campaign", "seed")?;
         spec.campaign.missions = get_usize(campaign, "campaign", "missions")?;
         spec.campaign.durations = get_f64s(campaign, "campaign", "durations")?;
         spec.campaign.injection_start = get_f64(campaign, "campaign", "injection_start")?;
         spec.campaign.threads = get_usize(campaign, "campaign", "threads")?;
+        if campaign.get("batch").is_some() {
+            spec.campaign.batch = get_usize(campaign, "campaign", "batch")?;
+        }
 
         let fleet = section(root, "fleet")?;
         expect_keys(fleet, "fleet", &["workers", "lease_timeout_s", "retry_cap"])?;
@@ -1009,8 +1034,20 @@ fn section<'a>(root: &'a Value, name: &str) -> Result<&'a Value, ScenarioError> 
 }
 
 fn expect_keys(table: &Value, section: &str, known: &[&str]) -> Result<(), ScenarioError> {
+    expect_keys_with_optional(table, section, known, &[])
+}
+
+/// [`expect_keys`] with a second list of keys that may be absent — used for
+/// fields added after scenario files were already in the wild, so old
+/// documents keep strict-parsing while new keys stay typo-checked.
+fn expect_keys_with_optional(
+    table: &Value,
+    section: &str,
+    known: &[&str],
+    optional: &[&str],
+) -> Result<(), ScenarioError> {
     for (key, _) in table.entries() {
-        if !known.contains(&key.as_str()) {
+        if !known.contains(&key.as_str()) && !optional.contains(&key.as_str()) {
             return Err(DocError::new(format!("unknown key '{section}.{key}'")).into());
         }
     }
@@ -1199,6 +1236,45 @@ mod tests {
         let mut spec = ScenarioSpec::paper_default();
         spec.campaign.durations = vec![2.0, -1.0];
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn batch_knob_round_trips_validates_and_defaults() {
+        let mut spec = ScenarioSpec::paper_default();
+        spec.campaign.batch = 8;
+        assert!(spec.validate().is_ok());
+        assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+
+        // Zero lanes can't run anything: rejected up front.
+        spec.campaign.batch = 0;
+        assert_eq!(
+            spec.validate(),
+            Err(ScenarioError::BadNumber {
+                field: "campaign.batch",
+                value: 0.0,
+            })
+        );
+
+        // The batched tick carries no tracer, so tracing demands batch = 1.
+        let mut spec = ScenarioSpec::paper_default();
+        spec.campaign.batch = 4;
+        spec.trace.enabled = true;
+        assert!(matches!(spec.validate(), Err(ScenarioError::Trace(_))));
+        spec.campaign.batch = 1;
+        assert!(spec.validate().is_ok());
+
+        // Scenario files written before the knob existed have no `batch`
+        // key; they must keep parsing and mean the scalar path.
+        let text = ScenarioSpec::paper_default()
+            .to_toml()
+            .lines()
+            .filter(|l| !l.starts_with("batch"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = ScenarioSpec::from_toml(&text).unwrap();
+        assert_eq!(parsed.campaign.batch, 1);
+        assert_eq!(parsed, ScenarioSpec::paper_default());
     }
 
     #[test]

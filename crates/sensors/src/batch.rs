@@ -1,0 +1,177 @@
+//! Batched (structure-of-arrays) sensor stages.
+//!
+//! A `BatchSimulator` holds one `RedundantImu`, one `ImuVoter`, one RNG
+//! stream, and one sample buffer *per lane*, each in its own parallel
+//! array. The stages here walk the active-lane list and run the exact
+//! scalar sampling/voting code on each lane's slot, so a lane's sensor
+//! draws are bit-identical to the single-vehicle pipeline: per-lane RNG
+//! streams mean cross-lane iteration order cannot leak into any lane's
+//! noise sequence.
+
+use imufit_math::lanes::for_each_lane;
+use imufit_math::rng::Pcg;
+use imufit_math::Vec3;
+
+use crate::imu::{ImuSample, RedundantImu};
+use crate::voter::ImuVoter;
+
+/// What the vote stage leaves behind per lane: the merged sample the
+/// flight stack consumes plus the redundancy bookkeeping the controller's
+/// `RedundancyStatus` is built from. (That type lives in the controller
+/// crate, which this crate cannot depend on, so the vehicle layer does the
+/// final conversion.)
+#[derive(Debug, Clone, Copy)]
+pub struct VoteOutcome {
+    /// The merged sample selected by the voter.
+    pub merged: ImuSample,
+    /// Number of instances in the lane's bank.
+    pub instances: usize,
+    /// Instances currently excluded from consensus.
+    pub excluded: usize,
+    /// Whether the primary instance is among the excluded.
+    pub primary_excluded: bool,
+    /// Whether this tick switched the bank's primary to a healthier
+    /// instance.
+    pub switched: bool,
+}
+
+impl Default for VoteOutcome {
+    fn default() -> Self {
+        VoteOutcome {
+            merged: ImuSample::zero(),
+            instances: 0,
+            excluded: 0,
+            primary_excluded: false,
+            switched: false,
+        }
+    }
+}
+
+/// Samples every lane's IMU bank into its reusable sample buffer, exactly
+/// as the scalar `RedundantImu::sample_all` would (same instance order,
+/// same per-lane RNG draw sequence).
+#[allow(clippy::too_many_arguments)]
+pub fn sample_banks(
+    active: &[usize],
+    poisoned: &mut [bool],
+    banks: &mut [RedundantImu],
+    forces: &[Vec3],
+    rates: &[Vec3],
+    dts: &[f64],
+    rngs: &mut [Pcg],
+    samples: &mut [Vec<ImuSample>],
+) {
+    for_each_lane(active, poisoned, |lane| {
+        banks[lane].sample_all_into(
+            forces[lane],
+            rates[lane],
+            dts[lane],
+            &mut rngs[lane],
+            &mut samples[lane],
+        );
+    });
+}
+
+/// Runs the consensus voter on every lane and applies the primary switch
+/// the scalar pipeline performs when the voter excludes the primary. The
+/// voter's own obs counters (exclusions, reinstatements) fire inside
+/// `ImuVoter::vote`, so batched lanes feed the same fleet totals.
+pub fn vote_banks(
+    active: &[usize],
+    poisoned: &mut [bool],
+    voters: &mut [ImuVoter],
+    banks: &mut [RedundantImu],
+    samples: &[Vec<ImuSample>],
+    votes: &mut [VoteOutcome],
+) {
+    for_each_lane(active, poisoned, |lane| {
+        let bank = &mut banks[lane];
+        let primary = bank.primary();
+        let report = voters[lane].vote(&samples[lane], primary);
+        let mut switched = false;
+        if report.primary_excluded && report.selected != primary {
+            bank.switch_primary(report.selected);
+            switched = true;
+        }
+        votes[lane] = VoteOutcome {
+            merged: report.merged,
+            instances: bank.count(),
+            excluded: report.health.iter().filter(|h| h.excluded).count(),
+            primary_excluded: report.primary_excluded,
+            switched,
+        };
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imu::ImuSpec;
+    use crate::voter::VoterConfig;
+
+    /// Lane 1 of a 3-lane batch must draw exactly what a scalar bank with
+    /// the same stream draws, regardless of its neighbors.
+    #[test]
+    fn lanes_match_scalar_sampling_bitwise() {
+        let spec = ImuSpec::default();
+        let mk_bank = |seed: u64| RedundantImu::new(spec, 3, &mut Pcg::seed_from(seed));
+        let mut banks = vec![mk_bank(10), mk_bank(11), mk_bank(12)];
+        let mut rngs = vec![Pcg::seed_from(20), Pcg::seed_from(21), Pcg::seed_from(22)];
+        let mut samples = vec![Vec::new(), Vec::new(), Vec::new()];
+        let mut poisoned = vec![false; 3];
+
+        let mut scalar_bank = mk_bank(11);
+        let mut scalar_rng = Pcg::seed_from(21);
+
+        let force = Vec3::new(0.1, -0.2, -9.7);
+        let rate = Vec3::new(0.01, 0.02, -0.03);
+        for _ in 0..32 {
+            sample_banks(
+                &[0, 1, 2],
+                &mut poisoned,
+                &mut banks,
+                &[force; 3],
+                &[rate; 3],
+                &[0.004; 3],
+                &mut rngs,
+                &mut samples,
+            );
+            let scalar = scalar_bank.sample_all(force, rate, 0.004, &mut scalar_rng);
+            assert_eq!(samples[1], scalar);
+        }
+    }
+
+    #[test]
+    fn vote_switches_primary_off_an_outlier() {
+        let spec = ImuSpec::default();
+        let mut banks = vec![RedundantImu::new(spec, 3, &mut Pcg::seed_from(1))];
+        let mut voters = vec![ImuVoter::new(VoterConfig::default(), 3)];
+        let mut votes = vec![VoteOutcome::default()];
+        let mut poisoned = vec![false];
+        let mk = |gx: f64| ImuSample {
+            accel: Vec3::new(0.0, 0.0, -9.8),
+            gyro: Vec3::new(gx, 0.0, 0.0),
+            time: 0.0,
+        };
+        // Persistently deviant primary: feed until the voter excludes it.
+        let samples = vec![vec![mk(50.0), mk(0.01), mk(0.012)]];
+        for _ in 0..64 {
+            vote_banks(
+                &[0],
+                &mut poisoned,
+                &mut voters,
+                &mut banks,
+                &samples,
+                &mut votes,
+            );
+            if votes[0].switched {
+                break;
+            }
+        }
+        assert!(votes[0].primary_excluded);
+        assert!(votes[0].switched);
+        assert_ne!(banks[0].primary(), 0);
+        assert_eq!(votes[0].instances, 3);
+        assert!(votes[0].excluded >= 1);
+    }
+}

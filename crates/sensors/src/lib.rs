@@ -28,6 +28,7 @@
 
 pub mod accel;
 pub mod baro;
+pub mod batch;
 pub mod gps;
 pub mod gyro;
 pub mod imu;
@@ -36,6 +37,7 @@ pub mod voter;
 
 pub use accel::Accelerometer;
 pub use baro::{BaroSample, BaroSpec, Barometer};
+pub use batch::VoteOutcome;
 pub use gps::{Gps, GpsSample, GpsSpec};
 pub use gyro::Gyroscope;
 pub use imu::{

@@ -1,0 +1,694 @@
+//! The batched flight simulator: N independent runs stepped in lockstep
+//! over structure-of-arrays state.
+//!
+//! # Layout
+//!
+//! Where [`FlightSimulator`] owns one of everything, [`BatchSimulator`]
+//! owns one *array* of everything: `quads[lane]`, `imu_banks[lane]`,
+//! `rng_imu[lane]`, ... — per-field `Vec`s, never a `Vec<Vehicle>`. Each
+//! pipeline stage (wind → sensors → injection → vote → estimation →
+//! control → physics) then runs as a tight loop over the active-lane list,
+//! so a campaign worker amortizes per-tick overhead (observability spans,
+//! telemetry plumbing, dispatch) across the whole batch instead of paying
+//! it once per run.
+//!
+//! # Bit compatibility with the scalar path
+//!
+//! Every lane carries its own seven RNG streams (imu/gps/baro/compass/
+//! wind/fault/attack), derived from the run's seed exactly as
+//! [`FlightSimulator::reset`] derives them — lanes are in fact *loaded
+//! from* a scalar `FlightSimulator`, so initialization is shared code, not
+//! a reimplementation. Because no stage reads another lane's state or
+//! stream, the lockstep stage-major iteration order cannot leak into any
+//! lane's noise sequence: each lane's flight is byte-for-byte the flight
+//! the scalar pipeline produces for the same spec, at any batch size.
+//!
+//! The batched tick drops only the write-only sinks (flight recorder,
+//! telemetry brokers, black-box tracer) — nothing that feeds back into
+//! flight state. Batched campaigns therefore refuse to run with tracing
+//! armed; the scenario layer validates that combination up front.
+//!
+//! # Lane lifecycle
+//!
+//! `load` fills the lowest free slot (growing the arrays when none is
+//! free), `step_all` advances every running lane one tick, finished lanes
+//! keep their state until `retire` harvests the [`FlightSummary`] and
+//! frees the slot for the next run. A panic inside any stage poisons just
+//! the offending lane ([`imufit_math::lanes::for_each_lane`]); the lane is
+//! skipped by every later stage and retired as
+//! [`FlightOutcome::Aborted`], while its batch neighbors fly on
+//! undisturbed.
+
+use imufit_bubble::BubbleTracker;
+use imufit_controller::{ControlOutput, FlightController, RedundancyStatus};
+use imufit_dynamics::{Quadrotor, WindModel};
+use imufit_estimator::{BoxedEstimator, DegradationMonitors, NavState};
+use imufit_faults::{AttackInjector, FaultInjector, FaultTarget};
+use imufit_math::lanes::for_each_lane;
+use imufit_math::rng::Pcg;
+use imufit_math::Vec3;
+use imufit_sensors::{
+    yaw_from_mag, Barometer, Gps, ImuSample, ImuVoter, Magnetometer, RedundantImu, VoteOutcome,
+};
+
+use crate::config::SimConfig;
+use crate::mitigation::MitigationStage;
+use crate::outcome::{FlightOutcome, FlightSummary};
+use crate::sim::{classify_end, due, FlightSimulator};
+
+/// The per-lane state a [`FlightSimulator`] decomposes into when it is
+/// loaded into a batch slot. Produced only by
+/// `FlightSimulator::into_lane`, so lane initialization is the scalar
+/// construction path by construction.
+pub(crate) struct LaneParts {
+    pub(crate) config: SimConfig,
+    pub(crate) dt: f64,
+    pub(crate) time: f64,
+    pub(crate) tick: u64,
+    pub(crate) quad: Quadrotor,
+    pub(crate) imu_bank: RedundantImu,
+    pub(crate) voter: ImuVoter,
+    pub(crate) baro: Barometer,
+    pub(crate) gps: Gps,
+    pub(crate) mag: Magnetometer,
+    pub(crate) injector: FaultInjector,
+    pub(crate) attack_injector: AttackInjector,
+    pub(crate) estimator: BoxedEstimator,
+    pub(crate) controller: FlightController,
+    pub(crate) wind: WindModel,
+    pub(crate) bubble: BubbleTracker,
+    pub(crate) mitigation: MitigationStage,
+    pub(crate) monitors: Option<DegradationMonitors>,
+    pub(crate) rng_imu: Pcg,
+    pub(crate) rng_gps: Pcg,
+    pub(crate) rng_baro: Pcg,
+    pub(crate) rng_compass: Pcg,
+    pub(crate) rng_wind: Pcg,
+    pub(crate) rng_fault: Pcg,
+    pub(crate) rng_attack: Pcg,
+    pub(crate) dead_reckon_since: Option<f64>,
+    pub(crate) airborne: bool,
+    pub(crate) distance_true: f64,
+    pub(crate) last_true_position: Vec3,
+    pub(crate) outcome: Option<FlightOutcome>,
+}
+
+/// N independent flights stepped in lockstep over structure-of-arrays
+/// state. See the module docs for layout, reproducibility, and lane
+/// lifecycle.
+#[derive(Default)]
+pub struct BatchSimulator {
+    // Lane occupancy.
+    occupied: Vec<bool>,
+    poisoned: Vec<bool>,
+
+    // Persistent per-lane flight state, one parallel array per field.
+    configs: Vec<SimConfig>,
+    dts: Vec<f64>,
+    times: Vec<f64>,
+    ticks: Vec<u64>,
+    quads: Vec<Quadrotor>,
+    imu_banks: Vec<RedundantImu>,
+    voters: Vec<ImuVoter>,
+    baros: Vec<Barometer>,
+    gpss: Vec<Gps>,
+    mags: Vec<Magnetometer>,
+    injectors: Vec<FaultInjector>,
+    attack_injectors: Vec<AttackInjector>,
+    estimators: Vec<BoxedEstimator>,
+    controllers: Vec<FlightController>,
+    winds: Vec<WindModel>,
+    bubbles: Vec<BubbleTracker>,
+    mitigations: Vec<MitigationStage>,
+    monitors: Vec<Option<DegradationMonitors>>,
+    rng_imu: Vec<Pcg>,
+    rng_gps: Vec<Pcg>,
+    rng_baro: Vec<Pcg>,
+    rng_compass: Vec<Pcg>,
+    rng_wind: Vec<Pcg>,
+    rng_fault: Vec<Pcg>,
+    rng_attack: Vec<Pcg>,
+    dead_reckon_since: Vec<Option<f64>>,
+    airborne: Vec<bool>,
+    distance_true: Vec<f64>,
+    last_true_position: Vec<Vec3>,
+    outcomes: Vec<Option<FlightOutcome>>,
+
+    // Per-tick scratch, reused across the whole campaign so the steady
+    // state allocates nothing.
+    active: Vec<usize>,
+    samples: Vec<Vec<ImuSample>>,
+    wind_vecs: Vec<Vec3>,
+    forces: Vec<Vec3>,
+    rates: Vec<Vec3>,
+    votes: Vec<VoteOutcome>,
+    merged: Vec<ImuSample>,
+    navs: Vec<NavState>,
+    rejecting: Vec<bool>,
+    redundancy: Vec<RedundancyStatus>,
+    throttles: Vec<[f64; 4]>,
+    outs: Vec<ControlOutput>,
+}
+
+impl BatchSimulator {
+    /// An empty batch; lanes appear as vehicles are loaded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lane slots (occupied or free).
+    pub fn lane_count(&self) -> usize {
+        self.occupied.len()
+    }
+
+    /// Number of occupied lanes (running or finished-but-unretired).
+    pub fn occupied_lanes(&self) -> usize {
+        self.occupied.iter().filter(|o| **o).count()
+    }
+
+    /// Number of lanes still flying: occupied, no outcome yet.
+    pub fn running_lanes(&self) -> usize {
+        (0..self.occupied.len())
+            .filter(|&l| self.occupied[l] && self.outcomes[l].is_none())
+            .count()
+    }
+
+    /// The lane's outcome, once its flight ended.
+    pub fn outcome(&self, lane: usize) -> Option<FlightOutcome> {
+        self.outcomes[lane]
+    }
+
+    /// Occupied lanes whose flight has ended, ready to [`Self::retire`].
+    pub fn finished_lanes(&self) -> Vec<usize> {
+        (0..self.occupied.len())
+            .filter(|&l| self.occupied[l] && self.outcomes[l].is_some())
+            .collect()
+    }
+
+    /// Loads a vehicle into the lowest free lane (growing the batch when
+    /// every lane is occupied) and returns the lane index.
+    pub fn load(&mut self, sim: FlightSimulator) -> usize {
+        let lane = (0..self.occupied.len())
+            .find(|&l| !self.occupied[l])
+            .unwrap_or(self.occupied.len());
+        self.store(lane, sim.into_lane());
+        lane
+    }
+
+    /// Harvests a finished (or still-flying) lane's summary and frees the
+    /// slot. Poisoned lanes report [`FlightOutcome::Aborted`] with zeroed
+    /// metrics — their stage state is not trusted after a panic, matching
+    /// the scalar campaign's aborted-record semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane is not occupied.
+    pub fn retire(&mut self, lane: usize) -> FlightSummary {
+        assert!(self.occupied[lane], "retiring an empty lane");
+        let outcome = self.outcomes[lane].unwrap_or(FlightOutcome::Aborted);
+        let summary = if self.poisoned[lane] || outcome.is_aborted() {
+            FlightSummary {
+                outcome: FlightOutcome::Aborted,
+                duration: 0.0,
+                distance_est: 0.0,
+                distance_true: 0.0,
+                violations: Default::default(),
+                ekf_resets: 0,
+            }
+        } else {
+            FlightSummary {
+                outcome,
+                duration: self.times[lane],
+                distance_est: self.estimators[lane].distance_traveled(),
+                distance_true: self.distance_true[lane],
+                violations: self.bubbles[lane].counts(),
+                ekf_resets: self.estimators[lane].health().reset_count,
+            }
+        };
+        self.occupied[lane] = false;
+        self.poisoned[lane] = false;
+        summary
+    }
+
+    /// Advances every running lane by one physics tick, stage-major: each
+    /// pipeline stage sweeps the whole batch before the next stage starts.
+    /// The per-lane work and ordering are exactly the scalar
+    /// [`FlightSimulator::step`] minus the write-only sinks.
+    pub fn step_all(&mut self) {
+        // Destructure once so each stage closure borrows only the arrays
+        // it touches.
+        let BatchSimulator {
+            occupied,
+            poisoned,
+            configs,
+            dts,
+            times,
+            ticks,
+            quads,
+            imu_banks,
+            voters,
+            baros,
+            gpss,
+            mags,
+            injectors,
+            attack_injectors,
+            estimators,
+            controllers,
+            winds,
+            bubbles,
+            mitigations,
+            monitors,
+            rng_imu,
+            rng_gps,
+            rng_baro,
+            rng_compass,
+            rng_wind,
+            rng_fault,
+            rng_attack,
+            dead_reckon_since,
+            airborne,
+            distance_true,
+            last_true_position,
+            outcomes,
+            active,
+            samples,
+            wind_vecs,
+            forces,
+            rates,
+            votes,
+            merged,
+            navs,
+            rejecting,
+            redundancy,
+            throttles,
+            outs,
+        } = self;
+
+        active.clear();
+        active.extend(
+            (0..occupied.len()).filter(|&l| occupied[l] && !poisoned[l] && outcomes[l].is_none()),
+        );
+        if active.is_empty() {
+            return;
+        }
+
+        // --- Clock ---
+        for &l in active.iter() {
+            ticks[l] += 1;
+            times[l] += dts[l];
+        }
+
+        // --- Environment ---
+        imufit_dynamics::batch::step_winds(active, poisoned, winds, dts, rng_wind, wind_vecs);
+
+        // --- Sensors: per-instance injection before the merge ---
+        imufit_dynamics::batch::read_body_truth(active, poisoned, quads, forces, rates);
+        imufit_sensors::batch::sample_banks(
+            active, poisoned, imu_banks, forces, rates, dts, rng_imu, samples,
+        );
+        imufit_faults::batch::inject_banks(active, poisoned, injectors, samples, rng_fault);
+
+        // --- Sensor attacks: window phases advance once per tick ---
+        imufit_faults::batch::advance_attacks(
+            active,
+            poisoned,
+            attack_injectors,
+            times,
+            rng_attack,
+        );
+
+        // --- Vote + primary switch ---
+        imufit_sensors::batch::vote_banks(active, poisoned, voters, imu_banks, samples, votes);
+        for &l in active.iter() {
+            if !poisoned[l] {
+                merged[l] = votes[l].merged;
+            }
+        }
+
+        // --- Estimation ---
+        imufit_estimator::batch::predict_all(active, poisoned, estimators, merged, dts);
+        for_each_lane(active, poisoned, |l| {
+            let time = times[l];
+            let config = &configs[l];
+            let estimator = &mut estimators[l];
+            if due(ticks[l], config.physics_rate, config.gps_rate) {
+                let mut fix = gpss[l].sample(
+                    quads[l].state().position,
+                    quads[l].state().velocity,
+                    1.0 / config.gps_rate,
+                    &mut rng_gps[l],
+                );
+                attack_injectors[l].apply_gps(&mut fix, time);
+                if monitors[l].as_ref().is_none_or(|m| m.gps.allows_fusion()) {
+                    estimator.fuse_gps(&fix);
+                    let health = estimator.health();
+                    observe_monitor(
+                        &mut monitors[l],
+                        FaultTarget::Gps,
+                        health.pos_test_ratio.max(health.vel_test_ratio),
+                    );
+                }
+            }
+            if due(ticks[l], config.physics_rate, config.baro_rate) {
+                let mut sample = baros[l].sample(
+                    quads[l].state().altitude(),
+                    1.0 / config.baro_rate,
+                    &mut rng_baro[l],
+                );
+                attack_injectors[l].apply_baro(&mut sample, time);
+                if monitors[l].as_ref().is_none_or(|m| m.baro.allows_fusion()) {
+                    estimator.fuse_baro(&sample);
+                    let ratio = estimator.health().hgt_test_ratio;
+                    observe_monitor(&mut monitors[l], FaultTarget::Barometer, ratio);
+                }
+            }
+            if due(ticks[l], config.physics_rate, config.compass_rate) {
+                let mut sample = mags[l].sample(quads[l].state().attitude, &mut rng_compass[l]);
+                attack_injectors[l].apply_mag(&mut sample, time);
+                if monitors[l].as_ref().is_none_or(|m| m.mag.allows_fusion()) {
+                    let (est_roll, est_pitch, _) = estimator.state().attitude.to_euler();
+                    let yaw =
+                        yaw_from_mag(&sample, est_roll, est_pitch, mags[l].spec().declination);
+                    estimator.fuse_yaw(yaw);
+                    let ratio = estimator.health().yaw_test_ratio;
+                    observe_monitor(&mut monitors[l], FaultTarget::Magnetometer, ratio);
+                }
+            }
+            if let Some(kick) = attack_injectors[l].take_state_glitch(time) {
+                estimator.perturb_velocity(kick);
+            }
+        });
+
+        // --- Control prep: nav snapshot, mitigation, dead-reckon rung ---
+        for_each_lane(active, poisoned, |l| {
+            rejecting[l] = estimators[l].health().any_rejecting();
+            navs[l] = *estimators[l].state();
+            redundancy[l] = RedundancyStatus {
+                instances: votes[l].instances,
+                excluded: votes[l].excluded,
+                primary_excluded: votes[l].primary_excluded,
+                switched: votes[l].switched,
+            };
+            let time = times[l];
+            if mitigations[l].observe(&merged[l], dts[l], time, airborne[l]) {
+                controllers[l].trigger_external_failsafe(time, &navs[l]);
+            }
+            if monitors[l].as_ref().is_some_and(|m| m.dead_reckoning()) {
+                let since = *dead_reckon_since[l].get_or_insert(time);
+                let failsafe_after = monitors[l]
+                    .as_ref()
+                    .map(|m| m.gps.params())
+                    .unwrap_or_default()
+                    .failsafe_after_s;
+                if airborne[l] && time - since >= failsafe_after {
+                    controllers[l].trigger_external_failsafe(time, &navs[l]);
+                }
+            } else {
+                dead_reckon_since[l] = None;
+            }
+        });
+
+        // --- Control ---
+        imufit_controller::batch::update_all(
+            active,
+            poisoned,
+            controllers,
+            times,
+            dts,
+            navs,
+            merged,
+            rejecting,
+            redundancy,
+            outs,
+        );
+        for_each_lane(active, poisoned, |l| {
+            if outs[l].rotate_imu {
+                imu_banks[l].rotate_primary();
+            }
+            // Drain the cascade transition log (flight-log material in the
+            // scalar path) so it cannot grow unbounded.
+            controllers[l].take_cascade_transitions();
+            throttles[l] = outs[l].throttles;
+        });
+
+        // --- Physics ---
+        imufit_dynamics::batch::step_bodies(active, poisoned, quads, throttles, wind_vecs, dts);
+
+        // --- Tracking, bubble, end conditions ---
+        for_each_lane(active, poisoned, |l| {
+            let s = *quads[l].state();
+            distance_true[l] += s.position.distance(last_true_position[l]);
+            last_true_position[l] = s.position;
+            if !airborne[l] && s.altitude() > 1.5 {
+                airborne[l] = true;
+            }
+            if due(ticks[l], configs[l].physics_rate, configs[l].tracking_rate) && airborne[l] {
+                bubbles[l].observe(s.position, s.velocity.norm());
+            }
+            if let Some(outcome) = classify_end(
+                &s,
+                times[l],
+                configs[l].max_sim_time,
+                airborne[l],
+                &controllers[l],
+            ) {
+                outcomes[l] = Some(outcome);
+            }
+        });
+
+        // A lane that panicked anywhere this tick aborts; its neighbors
+        // never noticed.
+        for &l in active.iter() {
+            if poisoned[l] && outcomes[l].is_none() {
+                outcomes[l] = Some(FlightOutcome::Aborted);
+            }
+        }
+    }
+
+    /// Writes `parts` into `lane`, growing every parallel array by one
+    /// slot when the lane is the current length.
+    fn store(&mut self, lane: usize, parts: LaneParts) {
+        if lane == self.occupied.len() {
+            self.occupied.push(true);
+            self.poisoned.push(false);
+            self.configs.push(parts.config);
+            self.dts.push(parts.dt);
+            self.times.push(parts.time);
+            self.ticks.push(parts.tick);
+            self.quads.push(parts.quad);
+            self.imu_banks.push(parts.imu_bank);
+            self.voters.push(parts.voter);
+            self.baros.push(parts.baro);
+            self.gpss.push(parts.gps);
+            self.mags.push(parts.mag);
+            self.injectors.push(parts.injector);
+            self.attack_injectors.push(parts.attack_injector);
+            self.estimators.push(parts.estimator);
+            self.controllers.push(parts.controller);
+            self.winds.push(parts.wind);
+            self.bubbles.push(parts.bubble);
+            self.mitigations.push(parts.mitigation);
+            self.monitors.push(parts.monitors);
+            self.rng_imu.push(parts.rng_imu);
+            self.rng_gps.push(parts.rng_gps);
+            self.rng_baro.push(parts.rng_baro);
+            self.rng_compass.push(parts.rng_compass);
+            self.rng_wind.push(parts.rng_wind);
+            self.rng_fault.push(parts.rng_fault);
+            self.rng_attack.push(parts.rng_attack);
+            self.dead_reckon_since.push(parts.dead_reckon_since);
+            self.airborne.push(parts.airborne);
+            self.distance_true.push(parts.distance_true);
+            self.last_true_position.push(parts.last_true_position);
+            self.outcomes.push(parts.outcome);
+            self.samples.push(Vec::new());
+            self.wind_vecs.push(Vec3::ZERO);
+            self.forces.push(Vec3::ZERO);
+            self.rates.push(Vec3::ZERO);
+            self.votes.push(VoteOutcome::default());
+            self.merged.push(ImuSample::zero());
+            self.navs.push(NavState::default());
+            self.rejecting.push(false);
+            self.redundancy.push(RedundancyStatus {
+                instances: 0,
+                excluded: 0,
+                primary_excluded: false,
+                switched: false,
+            });
+            self.throttles.push([0.0; 4]);
+            self.outs.push(ControlOutput::default());
+            return;
+        }
+        assert!(!self.occupied[lane], "loading into an occupied lane");
+        self.occupied[lane] = true;
+        self.poisoned[lane] = false;
+        self.configs[lane] = parts.config;
+        self.dts[lane] = parts.dt;
+        self.times[lane] = parts.time;
+        self.ticks[lane] = parts.tick;
+        self.quads[lane] = parts.quad;
+        self.imu_banks[lane] = parts.imu_bank;
+        self.voters[lane] = parts.voter;
+        self.baros[lane] = parts.baro;
+        self.gpss[lane] = parts.gps;
+        self.mags[lane] = parts.mag;
+        self.injectors[lane] = parts.injector;
+        self.attack_injectors[lane] = parts.attack_injector;
+        self.estimators[lane] = parts.estimator;
+        self.controllers[lane] = parts.controller;
+        self.winds[lane] = parts.wind;
+        self.bubbles[lane] = parts.bubble;
+        self.mitigations[lane] = parts.mitigation;
+        self.monitors[lane] = parts.monitors;
+        self.rng_imu[lane] = parts.rng_imu;
+        self.rng_gps[lane] = parts.rng_gps;
+        self.rng_baro[lane] = parts.rng_baro;
+        self.rng_compass[lane] = parts.rng_compass;
+        self.rng_wind[lane] = parts.rng_wind;
+        self.rng_fault[lane] = parts.rng_fault;
+        self.rng_attack[lane] = parts.rng_attack;
+        self.dead_reckon_since[lane] = parts.dead_reckon_since;
+        self.airborne[lane] = parts.airborne;
+        self.distance_true[lane] = parts.distance_true;
+        self.last_true_position[lane] = parts.last_true_position;
+        self.outcomes[lane] = parts.outcome;
+    }
+}
+
+/// Feeds one innovation test ratio to a lane's monitor for `sensor` and
+/// counts the degradation edge — the batched twin of the scalar
+/// `observe_monitor`, minus the flight-log and black-box sinks.
+fn observe_monitor(monitors: &mut Option<DegradationMonitors>, sensor: FaultTarget, ratio: f64) {
+    let Some(monitors) = monitors.as_mut() else {
+        return;
+    };
+    let monitor = match sensor {
+        FaultTarget::Gps => &mut monitors.gps,
+        FaultTarget::Barometer => &mut monitors.baro,
+        FaultTarget::Magnetometer => &mut monitors.mag,
+        FaultTarget::Accelerometer
+        | FaultTarget::Gyrometer
+        | FaultTarget::Imu
+        | FaultTarget::EstimatorState => return,
+    };
+    if monitor.observe(ratio).is_some() {
+        imufit_obs::counter_labeled("sensor_degradations_total", "sensor", sensor.label()).inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imufit_faults::{FaultKind, FaultSpec, InjectionWindow};
+    use imufit_math::Vec3;
+    use imufit_missions::{DroneSpec, Mission, CRUISE_ALTITUDE};
+
+    /// A short mission so closed-loop tests stay fast: ~200 m at 12 km/h.
+    fn short_mission() -> Mission {
+        Mission {
+            drone: DroneSpec {
+                id: 99,
+                name: "test".into(),
+                cruise_speed_kmh: 12.0,
+                payload_kg: 0.2,
+                dimension_m: 0.6,
+                safety_distance_m: 2.0,
+            },
+            home: Vec3::ZERO,
+            waypoints: vec![Vec3::new(200.0, 0.0, -CRUISE_ALTITUDE)],
+            direction: "S-N".into(),
+        }
+    }
+
+    fn gyro_fault(kind: FaultKind, start: f64, dur: f64) -> Vec<FaultSpec> {
+        vec![FaultSpec::new(
+            kind,
+            imufit_faults::FaultTarget::Gyrometer,
+            InjectionWindow::new(start, dur),
+        )]
+    }
+
+    fn scalar_summary(seed: u64, faults: Vec<FaultSpec>) -> FlightSummary {
+        let mission = short_mission();
+        let config = SimConfig::default_for(&mission, seed);
+        FlightSimulator::new(&mission, faults, config).run_summary()
+    }
+
+    fn assert_summaries_bit_identical(a: &FlightSummary, b: &FlightSummary) {
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.duration.to_bits(), b.duration.to_bits());
+        assert_eq!(a.distance_est.to_bits(), b.distance_est.to_bits());
+        assert_eq!(a.distance_true.to_bits(), b.distance_true.to_bits());
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.ekf_resets, b.ekf_resets);
+    }
+
+    /// Heterogeneous lanes (gold run, Min fault, Freeze fault, different
+    /// seeds) must each reproduce their scalar run bit-for-bit, retiring
+    /// independently as they finish.
+    #[test]
+    fn lanes_reproduce_scalar_flights_bitwise() {
+        let mission = short_mission();
+        let cells: Vec<(u64, Vec<FaultSpec>)> = vec![
+            (2024, Vec::new()),
+            (2024, gyro_fault(FaultKind::Min, 90.0, 5.0)),
+            (7, gyro_fault(FaultKind::Freeze, 90.0, 30.0)),
+        ];
+        let mut batch = BatchSimulator::new();
+        for (seed, faults) in &cells {
+            let config = SimConfig::default_for(&mission, *seed);
+            batch.load(FlightSimulator::new(&mission, faults.clone(), config));
+        }
+        assert_eq!(batch.lane_count(), 3);
+        while batch.running_lanes() > 0 {
+            batch.step_all();
+        }
+        for (lane, (seed, faults)) in cells.iter().enumerate() {
+            let got = batch.retire(lane);
+            let want = scalar_summary(*seed, faults.clone());
+            assert_summaries_bit_identical(&got, &want);
+        }
+        assert_eq!(batch.occupied_lanes(), 0);
+    }
+
+    /// Retiring a finished lane frees its slot for a refill, and the
+    /// refilled lane still reproduces its scalar run exactly.
+    #[test]
+    fn retired_lane_refills_and_stays_bit_identical() {
+        let mission = short_mission();
+        let mut batch = BatchSimulator::new();
+        // A fault that downs the vehicle early shares the batch with a
+        // gold run that flies the full mission.
+        let crash = gyro_fault(FaultKind::Min, 20.0, 30.0);
+        batch.load(FlightSimulator::new(
+            &mission,
+            crash.clone(),
+            SimConfig::default_for(&mission, 2024),
+        ));
+        batch.load(FlightSimulator::new(
+            &mission,
+            Vec::new(),
+            SimConfig::default_for(&mission, 2024),
+        ));
+        // Step until the faulted lane retires while the gold lane flies.
+        while batch.finished_lanes().is_empty() {
+            batch.step_all();
+        }
+        let finished = batch.finished_lanes();
+        assert_eq!(finished, vec![0], "faulted lane should finish first");
+        let early = batch.retire(0);
+        assert_summaries_bit_identical(&early, &scalar_summary(2024, crash));
+        // Refill slot 0 with a different seed mid-batch.
+        let lane = batch.load(FlightSimulator::new(
+            &mission,
+            Vec::new(),
+            SimConfig::default_for(&mission, 5),
+        ));
+        assert_eq!(lane, 0, "retired slot should be reused");
+        while batch.running_lanes() > 0 {
+            batch.step_all();
+        }
+        assert_summaries_bit_identical(&batch.retire(0), &scalar_summary(5, Vec::new()));
+        assert_summaries_bit_identical(&batch.retire(1), &scalar_summary(2024, Vec::new()));
+    }
+}

@@ -28,8 +28,15 @@ use imufit_obs::{info, warn};
 
 /// Benches held to the soft perf-regression gate. Kept short and stable:
 /// the closed-loop step is the product's hot path, the trace-off tick
-/// guards the observability layer's zero-cost claim.
-const GATED_BENCHES: [&str; 2] = ["sim/closed_loop_step", "trace/tick_off"];
+/// guards the observability layer's zero-cost claim, the 8-lane batch
+/// step guards the SoA pipeline, and the whole-run experiment guards
+/// campaign throughput end to end.
+const GATED_BENCHES: [&str; 4] = [
+    "sim/closed_loop_step",
+    "trace/tick_off",
+    "sim/batch_step8",
+    "campaign/run_experiment",
+];
 
 /// Regression threshold for the soft gate.
 const GATE_TOLERANCE: f64 = 0.10;
@@ -190,6 +197,35 @@ fn extract_number(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Metrics computed from the raw medians rather than measured directly:
+/// whole-campaign throughput (`campaign/runs_per_sec`, per core — one
+/// scalar worker flying back-to-back runs) and the batched tick's
+/// per-lane cost and speedup against the scalar step. Emitted in their
+/// own `derived` section so the gate's median-based parser ignores them.
+fn derived(estimates: &[(String, f64)]) -> Vec<(String, f64)> {
+    let get = |name: &str| estimates.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    let mut out = Vec::new();
+    if let Some(ns) = get("campaign/run_experiment") {
+        if ns > 0.0 {
+            out.push(("campaign/runs_per_sec".to_string(), 1e9 / ns));
+        }
+    }
+    let scalar = get("sim/closed_loop_step");
+    for lanes in [1usize, 4, 8] {
+        let Some(ns) = get(&format!("sim/batch_step{lanes}")) else {
+            continue;
+        };
+        let per_lane = ns / lanes as f64;
+        out.push((format!("sim/batch_step{lanes}_per_lane_ns"), per_lane));
+        if let Some(scalar) = scalar {
+            if per_lane > 0.0 {
+                out.push((format!("sim/batch_step{lanes}_speedup"), scalar / per_lane));
+            }
+        }
+    }
+    out
+}
+
 /// Renders the summary object with escaped names, sorted by name.
 fn render(estimates: &[(String, f64)]) -> String {
     let mut out = String::from("{\n  \"benches\": {\n");
@@ -199,6 +235,20 @@ fn render(estimates: &[(String, f64)]) -> String {
             escape_json(name),
             median_ns,
             if i + 1 < estimates.len() { "," } else { "" }
+        ));
+    }
+    let derived = derived(estimates);
+    if derived.is_empty() {
+        out.push_str("  }\n}\n");
+        return out;
+    }
+    out.push_str("  },\n  \"derived\": {\n");
+    for (i, (name, value)) in derived.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {:.3}{}\n",
+            escape_json(name),
+            value,
+            if i + 1 < derived.len() { "," } else { "" }
         ));
     }
     out.push_str("  }\n}\n");
@@ -262,6 +312,32 @@ mod tests {
             ("trace/tick_off".to_string(), 123.5),
         ];
         let json = render(&estimates);
+        assert_eq!(parse_summary(&json), estimates);
+    }
+
+    #[test]
+    fn derived_metrics_fold_into_the_summary() {
+        let estimates = vec![
+            ("campaign/run_experiment".to_string(), 2_000_000.0),
+            ("sim/batch_step8".to_string(), 32_000.0),
+            ("sim/closed_loop_step".to_string(), 4_800.0),
+        ];
+        let json = render(&estimates);
+        // 1e9 / 2ms = 500 runs/sec/core.
+        assert!(
+            json.contains("\"campaign/runs_per_sec\": 500.000"),
+            "{json}"
+        );
+        // 32us / 8 lanes = 4us per lane; 4800/4000 = 1.2x.
+        assert!(
+            json.contains("\"sim/batch_step8_per_lane_ns\": 4000.000"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"sim/batch_step8_speedup\": 1.200"),
+            "{json}"
+        );
+        // The gate's parser must only see the measured medians.
         assert_eq!(parse_summary(&json), estimates);
     }
 

@@ -34,7 +34,7 @@ use imufit_scenario::{ScenarioSpec, PRESET_NAMES};
 use imufit_uav::{FlightSimulator, SimConfig};
 
 const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--quick]
-                 [--scenario FILE|PRESET] [--dump-scenario]
+                 [--batch N] [--scenario FILE|PRESET] [--dump-scenario]
                  [--trace-dir DIR] [--trace-window PRE:POST]
                  [--trace-triggers A,B,...] [--fleet-workers N]
                  [--serve-metrics ADDR] [--no-extras] [--metrics]
@@ -44,6 +44,9 @@ const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--q
   --missions M        fly only the first M study missions (default 10)
   --out DIR           output directory (default .)
   --quick             scaled smoke campaign: 3 missions, durations 2 s / 30 s
+  --batch N           lockstep lanes per worker (default 1 = scalar path).
+                      Records are bit-identical at any batch size; batching
+                      is incompatible with black-box tracing
   --scenario X        scenario document (TOML/JSON path) or preset name:
                       paper-default, quick, redundancy-ablation,
                       mitigation-on, attack-sweep
@@ -97,6 +100,8 @@ struct Args {
     trace_triggers: Option<Vec<imufit_trace::TraceTrigger>>,
     /// Distribute the campaign over N worker processes (0 = auto).
     fleet_workers: Option<usize>,
+    /// Explicit `--batch`, overriding the scenario's lockstep lane count.
+    batch: Option<usize>,
     /// Live observability plane listen address (`--serve-metrics`).
     serve_metrics: Option<String>,
 }
@@ -163,6 +168,7 @@ fn parse_args() -> Args {
         trace_window: None,
         trace_triggers: None,
         fleet_workers: None,
+        batch: None,
         serve_metrics: None,
     };
     let mut it = std::env::args().skip(1);
@@ -179,6 +185,7 @@ fn parse_args() -> Args {
             "--fleet-workers" => {
                 args.fleet_workers = Some(parse_value("--fleet-workers", it.next()))
             }
+            "--batch" => args.batch = Some(parse_value("--batch", it.next())),
             "--serve-metrics" => {
                 args.serve_metrics = Some(
                     it.next()
@@ -456,6 +463,9 @@ fn main() {
     if let Some(n) = args.fleet_workers {
         spec.fleet.workers = n;
     }
+    if let Some(n) = args.batch {
+        spec.campaign.batch = n;
+    }
     if let Some(addr) = &args.serve_metrics {
         spec.obs.serve = true;
         spec.obs.addr = addr.clone();
@@ -501,6 +511,14 @@ fn main() {
     }
 
     let total = config.matrix().len();
+    // Lanes that can never fill are a usage error, not a silent idle: catch
+    // `--batch 64` against a 22-run quick campaign up front.
+    if spec.campaign.batch > total.max(1) {
+        die(&format!(
+            "campaign.batch ({}) exceeds the {} runs in the matrix; lower --batch or widen the campaign",
+            spec.campaign.batch, total
+        ));
+    }
     // With `--fleet-workers` the unit of parallelism is a worker process
     // (scenario `[fleet] workers`, 0 = auto); otherwise it is an
     // in-process thread (`campaign.threads`, same auto rule).

@@ -1,0 +1,74 @@
+//! Batched-dispatch parity: every lane of a batched campaign must produce
+//! a record bit-identical to the scalar per-run harness
+//! (`Campaign::run_experiment_isolated_into`), float fields compared as
+//! raw IEEE-754 bits. Batching is a throughput knob only — any divergence,
+//! even in the last ulp, means the lockstep pipeline drifted from the
+//! scalar tick and fails here before it can corrupt a reproduction.
+
+use imufit::core::{Campaign, CampaignConfig};
+use imufit::prelude::{FaultKind, FaultTarget};
+
+/// A narrowed-but-real campaign: mission 0, one 2 s duration, two fault
+/// kinds on the gyro -> 1 gold + 2 faulty runs. Small enough to fly many
+/// times, wide enough to exercise clean, degraded, and crashed lanes.
+fn narrow_config(seed: u64, batch: usize) -> CampaignConfig {
+    let mut config = CampaignConfig::scaled(1, vec![2.0], seed);
+    config.faults.kinds = vec![FaultKind::Min, FaultKind::Freeze];
+    config.faults.targets = vec![FaultTarget::Gyrometer];
+    config.batch = batch;
+    config
+}
+
+#[test]
+fn every_lane_matches_the_scalar_harness_bitwise() {
+    for seed in [7u64, 99] {
+        let config = narrow_config(seed, 1);
+        let specs = config.matrix();
+        assert_eq!(specs.len(), 3, "1 gold + 2 gyro kinds");
+
+        // The reference: each spec through the scalar isolated harness,
+        // with the recycled-vehicle slot the in-process workers use.
+        let mut vehicle = None;
+        let scalar: Vec<_> = specs
+            .iter()
+            .map(|&s| Campaign::run_experiment_isolated_into(&config, s, &mut vehicle))
+            .collect();
+
+        // Batch sizes below, at, and above the matrix size: 4 > 3 runs
+        // leaves a lane permanently idle, which must change nothing.
+        for batch in [2usize, 3, 4] {
+            let batched = Campaign::new(narrow_config(seed, batch)).run();
+            assert_eq!(batched.records().len(), scalar.len());
+            for (want, got) in scalar.iter().zip(batched.records()) {
+                let cell = format!("seed={seed} batch={batch} spec={:?}", want.spec);
+                assert_eq!(want.spec, got.spec, "{cell}");
+                assert_eq!(want.drone_id, got.drone_id, "{cell}");
+                assert_eq!(want.outcome, got.outcome, "{cell}");
+                assert_eq!(
+                    want.flight_duration.to_bits(),
+                    got.flight_duration.to_bits(),
+                    "{cell}: duration {} vs {}",
+                    want.flight_duration,
+                    got.flight_duration
+                );
+                assert_eq!(
+                    want.distance_est.to_bits(),
+                    got.distance_est.to_bits(),
+                    "{cell}: distance_est {} vs {}",
+                    want.distance_est,
+                    got.distance_est
+                );
+                assert_eq!(
+                    want.distance_true.to_bits(),
+                    got.distance_true.to_bits(),
+                    "{cell}: distance_true {} vs {}",
+                    want.distance_true,
+                    got.distance_true
+                );
+                assert_eq!(want.inner_violations, got.inner_violations, "{cell}");
+                assert_eq!(want.outer_violations, got.outer_violations, "{cell}");
+                assert_eq!(want.ekf_resets, got.ekf_resets, "{cell}");
+            }
+        }
+    }
+}
