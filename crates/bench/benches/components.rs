@@ -140,6 +140,72 @@ fn bench_batch_step(c: &mut Criterion) {
     }
 }
 
+/// The tick-stage profiler's cost at the batch-4 pipeline: the same
+/// warmed-up batch stepped with the profiler disarmed
+/// (`sim/unprofiled_tick`) and armed at the default 1-in-64 sampling
+/// period (`sim/profiled_tick`). The ratio of the two medians is the
+/// profiler overhead `bench_summary --gate` holds under 2%.
+fn bench_profiled_tick(c: &mut Criterion) {
+    use imufit_obs::profile;
+
+    let missions = all_missions();
+    let mission = &missions[0];
+    let mut batch = BatchSimulator::new();
+    for lane in 0..4 {
+        let mut sim = FlightSimulator::new(
+            mission,
+            Vec::new(),
+            SimConfig::default_for(mission, 1 + lane as u64),
+        );
+        for _ in 0..5000 {
+            sim.step();
+        }
+        batch.load(sim);
+    }
+
+    profile::set_enabled(false);
+    c.bench_function("sim/unprofiled_tick", |b| {
+        b.iter(|| {
+            batch.step_all();
+            black_box(batch.running_lanes())
+        })
+    });
+
+    profile::reset();
+    profile::set_sample_period(imufit_obs::profile::DEFAULT_SAMPLE_PERIOD);
+    profile::set_enabled(true);
+    c.bench_function("sim/profiled_tick", |b| {
+        b.iter(|| {
+            batch.step_all();
+            black_box(batch.running_lanes())
+        })
+    });
+    profile::set_enabled(false);
+}
+
+/// The coordinator's span-journal write path minus the filesystem: frame
+/// one Executed event (the largest kind — it carries the stage table) as
+/// it would be appended to `campaign_spans.ifsp`.
+fn bench_span_record(c: &mut Criterion) {
+    use imufit_obs::spans::{SpanEvent, SpanKind};
+
+    let mut event = SpanEvent::new(42, SpanKind::Executed);
+    event.t_offset_ms = 12_345;
+    event.worker = 3;
+    event.span = 7;
+    event.ticks = 45_062;
+    event.exec_nanos = 81_000_000;
+    event.stages = vec![
+        ("estimator".to_string(), 40_000_000),
+        ("dynamics".to_string(), 20_000_000),
+        ("controller".to_string(), 12_000_000),
+        ("sensors".to_string(), 6_000_000),
+    ];
+    c.bench_function("obs/span_record", |b| {
+        b.iter(|| black_box(event.encode_frame()).len())
+    });
+}
+
 /// Whole-run throughput: one short fault-to-crash experiment per
 /// iteration through the campaign's scalar isolated harness. This is the
 /// denominator the batched dispatch is judged against
@@ -266,7 +332,12 @@ fn bench_fleet(c: &mut Criterion) {
     // it as the worker would.
     c.bench_function("fleet/dispatch_unit", |b| {
         b.iter(|| {
-            let frame = encode_msg(&FleetMsg::Assign { unit: 42, spec });
+            let frame = encode_msg(&FleetMsg::Assign {
+                unit: 42,
+                spec,
+                campaign_fp: 0xABCD_EF01_2345_6789,
+                span: 7,
+            });
             black_box(decode_msg(black_box(&frame)).unwrap())
         })
     });
@@ -284,12 +355,24 @@ fn bench_fleet(c: &mut Criterion) {
         outer_violations: 0,
         ekf_resets: 1,
     };
-    let frame = encode_msg(&FleetMsg::Result { unit: 42, record });
+    let frame = encode_msg(&FleetMsg::Result {
+        unit: 42,
+        record,
+        span: 7,
+        exec: imufit_fleet::ExecReport {
+            ticks: 45_062,
+            exec_nanos: 81_000_000,
+            stages: vec![
+                ("estimator".to_string(), 40_000_000),
+                ("dynamics".to_string(), 20_000_000),
+            ],
+        },
+    });
     let mut slots: Vec<Option<ExperimentRecord>> = vec![None; 64];
     c.bench_function("fleet/merge_row", |b| {
         b.iter(|| {
             let msg = decode_msg(black_box(&frame)).unwrap();
-            if let FleetMsg::Result { unit, record } = msg {
+            if let FleetMsg::Result { unit, record, .. } = msg {
                 let entry = checkpoint::CheckpointEntry { unit, record };
                 black_box(checkpoint::encode_entry(&entry).len());
                 slots[unit as usize] = Some(entry.record);
@@ -323,6 +406,8 @@ criterion_group!(
     bench_controller,
     bench_sim_step,
     bench_batch_step,
+    bench_profiled_tick,
+    bench_span_record,
     bench_campaign_run,
     bench_trace,
     bench_fleet,

@@ -10,12 +10,13 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use imufit_core::{Campaign, CampaignConfig, CampaignResults, ExperimentRecord, ExperimentSpec};
 use imufit_obs::snapshot::{Aggregate, Snapshot};
+use imufit_obs::spans::{SpanEvent, SpanJournal, SpanKind, NO_WORKER};
 use imufit_scenario::ScenarioSpec;
 
 use crate::checkpoint::{
@@ -55,6 +56,9 @@ impl CoordinatorConfig {
 struct Lease {
     worker_id: u32,
     deadline: Instant,
+    /// Span id stamped at dispatch, carried through requeue events so a
+    /// lost attempt's trace chain stays attributable.
+    span: u64,
 }
 
 /// Cross-connection scheduler state.
@@ -72,6 +76,9 @@ struct Sched {
     assigned_at: HashMap<u32, Instant>,
     /// Units completed per worker, for the live status board.
     done_by: HashMap<u32, u64>,
+    /// The `.ifsp` execution span journal (absent only when its file
+    /// could not be created; the campaign itself never depends on it).
+    spans: Option<SpanJournal>,
 }
 
 impl Sched {
@@ -79,10 +86,21 @@ impl Sched {
         self.done >= self.results.len()
     }
 
+    /// Appends one event to the span journal, if armed. A write failure
+    /// is counted, not fatal — execution tracing must never take down a
+    /// campaign.
+    fn span_event(&self, event: SpanEvent) {
+        if let Some(journal) = &self.spans {
+            if journal.record(event).is_err() {
+                imufit_obs::counter("fleet_span_write_errors_total").inc();
+            }
+        }
+    }
+
     /// Stores a unit's record (idempotently — a re-dispatched unit can
     /// legitimately complete twice; the first result wins so the journal
     /// and CSV never disagree) and journals first-time completions.
-    fn complete(&mut self, unit: u32, record: ExperimentRecord) {
+    fn complete(&mut self, unit: u32, record: ExperimentRecord, span: u64, worker: u32) {
         let slot = &mut self.results[unit as usize];
         if slot.is_some() {
             return;
@@ -103,12 +121,25 @@ impl Sched {
         *slot = Some(record);
         self.done += 1;
         imufit_obs::counter("fleet_units_completed_total").inc();
+        self.span_event(SpanEvent {
+            worker,
+            span,
+            ..SpanEvent::new(unit, SpanKind::Merged)
+        });
     }
 
     /// Returns a unit to the queue after a lost lease (worker death or
     /// timeout); units past the retry cap are stamped aborted like the
-    /// panic path.
-    fn requeue(&mut self, unit: u32, retry_cap: usize, config: &CampaignConfig) {
+    /// panic path. `span` is the lost dispatch's span id and `reason`
+    /// lands in the journal's requeue edge.
+    fn requeue(
+        &mut self,
+        unit: u32,
+        span: u64,
+        retry_cap: usize,
+        config: &CampaignConfig,
+        reason: &str,
+    ) {
         if self.results[unit as usize].is_some() {
             return;
         }
@@ -118,25 +149,30 @@ impl Sched {
         if *tries as usize > retry_cap {
             imufit_obs::counter("fleet_units_aborted_total").inc();
             let record = Campaign::aborted_record_for(config, self.specs[unit as usize]);
-            self.complete(unit, record);
+            self.complete(unit, record, span, NO_WORKER);
         } else {
             self.pending.push_back(unit);
             imufit_obs::counter("fleet_units_requeued_total").inc();
+            self.span_event(SpanEvent {
+                span,
+                detail: reason.to_string(),
+                ..SpanEvent::new(unit, SpanKind::Requeued)
+            });
         }
     }
 
     /// Drops every lease held by `worker_id`, requeueing the units.
     fn release_worker(&mut self, worker_id: u32, retry_cap: usize, config: &CampaignConfig) {
-        let units: Vec<u32> = self
+        let units: Vec<(u32, u64)> = self
             .leases
             .iter()
             .filter(|(_, l)| l.worker_id == worker_id)
-            .map(|(&u, _)| u)
+            .map(|(&u, l)| (u, l.span))
             .collect();
-        for unit in units {
+        for (unit, span) in units {
             self.leases.remove(&unit);
             self.assigned_at.remove(&unit);
-            self.requeue(unit, retry_cap, config);
+            self.requeue(unit, span, retry_cap, config, "worker disconnected");
         }
     }
 }
@@ -157,6 +193,12 @@ pub struct Coordinator {
     /// Latest metric snapshot per worker (heartbeat piggybacks), merged
     /// into the coordinator's `/metrics` scrape.
     aggregate: Arc<Aggregate>,
+    /// Campaign fingerprint hash propagated in every `Assign` trace
+    /// context and stamped on the span journal header.
+    campaign_fp: u64,
+    /// Monotone span-id source; each dispatch (including redeliveries)
+    /// draws a fresh id.
+    next_span: AtomicU64,
 }
 
 impl Coordinator {
@@ -227,6 +269,29 @@ impl Coordinator {
 
         imufit_obs::status::board().begin_campaign(&config.spec.name, total as u64, done as u64);
 
+        // The `.ifsp` execution span journal rides next to the checkpoint.
+        // Creation failure degrades to an untraced campaign, never a dead
+        // one.
+        let span_path = config.checkpoint.with_file_name("campaign_spans.ifsp");
+        let spans = match SpanJournal::create(&span_path, fingerprint.spec_hash, total as u32) {
+            Ok(journal) => {
+                for &unit in &pending {
+                    let event = SpanEvent {
+                        detail: specs[unit as usize].label(),
+                        ..SpanEvent::new(unit, SpanKind::Enqueued)
+                    };
+                    if journal.record(event).is_err() {
+                        imufit_obs::counter("fleet_span_write_errors_total").inc();
+                    }
+                }
+                Some(journal)
+            }
+            Err(_) => {
+                imufit_obs::counter("fleet_span_write_errors_total").inc();
+                None
+            }
+        };
+
         Ok(Coordinator {
             listener,
             addr,
@@ -243,6 +308,7 @@ impl Coordinator {
                 busy: HashMap::new(),
                 assigned_at: HashMap::new(),
                 done_by: HashMap::new(),
+                spans,
             })),
             done_flag: Arc::new(AtomicBool::new(false)),
             lease_timeout,
@@ -250,6 +316,8 @@ impl Coordinator {
             total,
             resumed: done,
             aggregate: Arc::new(Aggregate::new()),
+            campaign_fp: fingerprint.spec_hash,
+            next_span: AtomicU64::new(1),
         })
     }
 
@@ -364,17 +432,23 @@ impl Coordinator {
     fn sweep_leases(&self) {
         let now = Instant::now();
         let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
-        let expired: Vec<u32> = sched
+        let expired: Vec<(u32, u64)> = sched
             .leases
             .iter()
             .filter(|(_, l)| l.deadline <= now)
-            .map(|(&u, _)| u)
+            .map(|(&u, l)| (u, l.span))
             .collect();
-        for unit in expired {
+        for (unit, span) in expired {
             sched.leases.remove(&unit);
             sched.assigned_at.remove(&unit);
             imufit_obs::counter("fleet_lease_expiries_total").inc();
-            sched.requeue(unit, self.retry_cap, &self.campaign_config);
+            sched.requeue(
+                unit,
+                span,
+                self.retry_cap,
+                &self.campaign_config,
+                "lease expired",
+            );
         }
     }
 
@@ -411,11 +485,20 @@ impl Coordinator {
                         let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
                         let deadline = Instant::now() + self.lease_timeout;
                         let mut held = 0u64;
-                        for lease in sched.leases.values_mut() {
+                        let mut renewed: Vec<(u32, u64)> = Vec::new();
+                        for (&unit, lease) in sched.leases.iter_mut() {
                             if lease.worker_id == worker_id {
                                 lease.deadline = deadline;
                                 held += 1;
+                                renewed.push((unit, lease.span));
                             }
+                        }
+                        for (unit, span) in renewed {
+                            sched.span_event(SpanEvent {
+                                worker: worker_id,
+                                span,
+                                ..SpanEvent::new(unit, SpanKind::LeaseRenewed)
+                            });
                         }
                         let units_done = sched.done_by.get(&worker_id).copied().unwrap_or(0);
                         let busy_ms = sched
@@ -450,11 +533,13 @@ impl Coordinator {
                     }
                     match sched.pending.pop_front() {
                         Some(unit) => {
+                            let span = self.next_span.fetch_add(1, Ordering::Relaxed);
                             sched.leases.insert(
                                 unit,
                                 Lease {
                                     worker_id,
                                     deadline: Instant::now() + self.lease_timeout,
+                                    span,
                                 },
                             );
                             sched.assigned_at.insert(unit, Instant::now());
@@ -465,21 +550,46 @@ impl Coordinator {
                                 &worker_id.to_string(),
                             )
                             .inc();
+                            sched.span_event(SpanEvent {
+                                worker: worker_id,
+                                span,
+                                ..SpanEvent::new(unit, SpanKind::Dispatched)
+                            });
                             let spec = sched.specs[unit as usize];
-                            Some(FleetMsg::Assign { unit, spec })
+                            Some(FleetMsg::Assign {
+                                unit,
+                                spec,
+                                campaign_fp: self.campaign_fp,
+                                span,
+                            })
                         }
                         None => Some(FleetMsg::NoWork),
                     }
                 }
-                FleetMsg::Result { unit, record } => {
+                FleetMsg::Result {
+                    unit,
+                    record,
+                    span,
+                    exec,
+                } => {
                     let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
                     if (unit as usize) < sched.results.len() {
                         sched.leases.remove(&unit);
                         if let Some(at) = sched.assigned_at.remove(&unit) {
                             *sched.busy.entry(worker_id).or_default() += at.elapsed();
                         }
+                        if sched.results[unit as usize].is_none() {
+                            sched.span_event(SpanEvent {
+                                worker: worker_id,
+                                span,
+                                ticks: exec.ticks,
+                                exec_nanos: exec.exec_nanos,
+                                stages: exec.stages,
+                                ..SpanEvent::new(unit, SpanKind::Executed)
+                            });
+                        }
                         let was_done = sched.done;
-                        sched.complete(unit, record);
+                        sched.complete(unit, record, span, worker_id);
                         if sched.done > was_done {
                             *sched.done_by.entry(worker_id).or_default() += 1;
                             imufit_obs::status::board().set_progress(sched.done as u64);
@@ -538,6 +648,7 @@ mod tests {
             busy: HashMap::new(),
             assigned_at: HashMap::new(),
             done_by: HashMap::new(),
+            spans: None,
         };
         (sched, config, path)
     }
@@ -554,13 +665,13 @@ mod tests {
         // The same unit loses its lease `cap` times: re-queued each time.
         for round in 1..=cap {
             sched.pending.retain(|&u| u != unit);
-            sched.requeue(unit, cap, &config);
+            sched.requeue(unit, 1, cap, &config, "lease expired");
             assert_eq!(sched.pending.len(), before, "round {round} should requeue");
             assert!(sched.results[unit as usize].is_none());
         }
         // One more lost lease crosses the cap: aborted, not requeued.
         sched.pending.retain(|&u| u != unit);
-        sched.requeue(unit, cap, &config);
+        sched.requeue(unit, 1, cap, &config, "lease expired");
         assert_eq!(sched.pending.len(), before - 1);
         let record = sched.results[unit as usize].as_ref().expect("stamped");
         assert_eq!(record.outcome, FlightOutcome::Aborted);
@@ -580,6 +691,7 @@ mod tests {
                 Lease {
                     worker_id: 7,
                     deadline,
+                    span: 1,
                 },
             );
         }
@@ -588,6 +700,7 @@ mod tests {
             Lease {
                 worker_id: 8,
                 deadline,
+                span: 2,
             },
         );
         sched.pending.retain(|&u| u != 3);
@@ -609,8 +722,8 @@ mod tests {
         let first = Campaign::aborted_record_for(&config, sched.specs[0]);
         let mut second = first.clone();
         second.flight_duration = 99.0;
-        sched.complete(0, first.clone());
-        sched.complete(0, second);
+        sched.complete(0, first.clone(), 1, 7);
+        sched.complete(0, second, 2, 8);
         assert_eq!(sched.done, 1);
         assert_eq!(sched.results[0].as_ref().unwrap(), &first);
         let _ = std::fs::remove_file(path);

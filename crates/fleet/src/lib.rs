@@ -36,5 +36,5 @@ pub mod worker;
 
 pub use checkpoint::{CampaignFingerprint, Checkpoint, CheckpointEntry, CheckpointWriter};
 pub use coordinator::{Coordinator, CoordinatorConfig};
-pub use protocol::{decode_msg, encode_msg, read_msg, write_msg, FleetError, FleetMsg};
+pub use protocol::{decode_msg, encode_msg, read_msg, write_msg, ExecReport, FleetError, FleetMsg};
 pub use worker::{run_worker, spawn_local_workers, WorkerExit, MAX_CONNECT_ATTEMPTS};

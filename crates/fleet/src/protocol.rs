@@ -32,8 +32,14 @@ pub const MAGIC: u8 = 0xF1;
 /// Current protocol version. A coordinator and worker must agree exactly;
 /// version skew is a typed error, not silent misinterpretation. Version 2
 /// added the attack field to the experiment-spec codec; version 3 added
-/// the optional metric-snapshot payload piggybacked on heartbeats.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// the optional metric-snapshot payload piggybacked on heartbeats;
+/// version 4 added the run-span trace context on `Assign` and the
+/// execution report (ticks, wall time, per-stage self-time) on `Result`.
+pub const PROTOCOL_VERSION: u8 = 4;
+
+/// Upper bound on per-stage entries in an execution report (mirrors the
+/// span journal's stage cap).
+pub const MAX_EXEC_STAGES: usize = 64;
 
 /// Upper bound on a frame payload. The largest legitimate message is a
 /// `Welcome` carrying a scenario document (a few KiB); anything claiming
@@ -93,6 +99,19 @@ impl From<std::io::Error> for FleetError {
     }
 }
 
+/// Per-unit execution report a worker attaches to its `Result`: the raw
+/// material for the coordinator's `executed` span event.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExecReport {
+    /// Simulation ticks the unit consumed.
+    pub ticks: u64,
+    /// Wall-clock nanoseconds the worker spent executing the unit.
+    pub exec_nanos: u64,
+    /// Per-stage self-time attribution `(stage name, nanoseconds)` from
+    /// the tick profiler; empty when instrumentation is compiled out.
+    pub stages: Vec<(String, u64)>,
+}
+
 /// Messages exchanged between the coordinator and its workers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FleetMsg {
@@ -120,6 +139,14 @@ pub enum FleetMsg {
         unit: u32,
         /// The experiment to run.
         spec: ExperimentSpec,
+        /// Trace context: the campaign fingerprint this dispatch belongs
+        /// to (FNV-1a over the scenario + matrix, the same value the
+        /// checkpoint journal carries).
+        campaign_fp: u64,
+        /// Trace context: the span id of this dispatch. Fresh per
+        /// delivery, so a redelivered unit's retry chain stays
+        /// distinguishable in the span journal.
+        span: u64,
     },
     /// Coordinator → worker: nothing to hand out right now, but the
     /// campaign is still in flight (leased units may yet be re-queued) —
@@ -133,6 +160,10 @@ pub enum FleetMsg {
         unit: u32,
         /// The measured record, bit-exact (floats travel as raw bits).
         record: ExperimentRecord,
+        /// The span id echoed from the `Assign` that triggered this run.
+        span: u64,
+        /// Execution report for the span journal.
+        exec: ExecReport,
     },
     /// Worker → coordinator: still alive, extend my leases. Optionally
     /// carries the worker's encoded metric-registry snapshot
@@ -254,6 +285,39 @@ fn put_str(buf: &mut BytesMut, s: &str) {
 }
 
 // --- Experiment spec / record codecs -------------------------------------
+
+fn put_exec(buf: &mut BytesMut, exec: &ExecReport) {
+    buf.put_u64_le(exec.ticks);
+    buf.put_u64_le(exec.exec_nanos);
+    let n = exec.stages.len().min(MAX_EXEC_STAGES);
+    buf.put_u8(n as u8);
+    for (name, nanos) in exec.stages.iter().take(n) {
+        put_str(buf, name);
+        buf.put_u64_le(*nanos);
+    }
+}
+
+fn get_exec(r: &mut Reader) -> Result<ExecReport, FleetError> {
+    let ticks = r.u64()?;
+    let exec_nanos = r.u64()?;
+    let n = r.u8()? as usize;
+    if n > MAX_EXEC_STAGES {
+        return Err(FleetError::Malformed("too many exec stages"));
+    }
+    let mut stages = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        if name.len() > 256 {
+            return Err(FleetError::Malformed("oversized stage name"));
+        }
+        stages.push((name, r.u64()?));
+    }
+    Ok(ExecReport {
+        ticks,
+        exec_nanos,
+        stages,
+    })
+}
 
 fn put_spec(buf: &mut BytesMut, spec: &ExperimentSpec) {
     buf.put_u32_le(spec.mission_index as u32);
@@ -472,13 +536,27 @@ pub fn encode_msg(msg: &FleetMsg) -> Vec<u8> {
                 payload.put_slice(bytes);
             }
         },
-        FleetMsg::Assign { unit, spec } => {
+        FleetMsg::Assign {
+            unit,
+            spec,
+            campaign_fp,
+            span,
+        } => {
             payload.put_u32_le(*unit);
             put_spec(&mut payload, spec);
+            payload.put_u64_le(*campaign_fp);
+            payload.put_u64_le(*span);
         }
-        FleetMsg::Result { unit, record } => {
+        FleetMsg::Result {
+            unit,
+            record,
+            span,
+            exec,
+        } => {
             payload.put_u32_le(*unit);
             put_record(&mut payload, record);
+            payload.put_u64_le(*span);
+            put_exec(&mut payload, exec);
         }
     }
 
@@ -517,12 +595,16 @@ fn decode_payload(msg_id: u8, payload: Bytes) -> Result<FleetMsg, FleetError> {
         4 => FleetMsg::Assign {
             unit: r.u32()?,
             spec: get_spec(&mut r)?,
+            campaign_fp: r.u64()?,
+            span: r.u64()?,
         },
         5 => FleetMsg::NoWork,
         6 => FleetMsg::Done,
         7 => FleetMsg::Result {
             unit: r.u32()?,
             record: get_record(&mut r)?,
+            span: r.u64()?,
+            exec: get_exec(&mut r)?,
         },
         8 => {
             let snapshot = match r.u8()? {
@@ -681,10 +763,14 @@ mod tests {
         round_trip(FleetMsg::Assign {
             unit: 17,
             spec: ExperimentSpec::gold(4),
+            campaign_fp: 0xDEAD_BEEF_CAFE_F00D,
+            span: 1,
         });
         round_trip(FleetMsg::Assign {
             unit: 18,
             spec: sample_record().spec,
+            campaign_fp: 0,
+            span: u64::MAX,
         });
         // Attack cells: kind, scope, window, and intensity all survive.
         round_trip(FleetMsg::Assign {
@@ -695,6 +781,8 @@ mod tests {
                     .with_scope(FaultScope::Instance(0))
                     .with_intensity(0.75),
             ),
+            campaign_fp: 7,
+            span: 7,
         });
         for kind in AttackKind::all() {
             round_trip(FleetMsg::Assign {
@@ -703,6 +791,8 @@ mod tests {
                     0,
                     AttackSpec::new(kind, InjectionWindow::new(90.0, 10.0)),
                 ),
+                campaign_fp: 1,
+                span: kind.id(),
             });
         }
         round_trip(FleetMsg::NoWork);
@@ -710,6 +800,22 @@ mod tests {
         round_trip(FleetMsg::Result {
             unit: 844,
             record: sample_record(),
+            span: 99,
+            exec: ExecReport::default(),
+        });
+        round_trip(FleetMsg::Result {
+            unit: 845,
+            record: sample_record(),
+            span: 100,
+            exec: ExecReport {
+                ticks: 132_500,
+                exec_nanos: 987_654_321,
+                stages: vec![
+                    ("sensors".to_string(), 1_000),
+                    ("estimator".to_string(), 5_000),
+                    ("dynamics".to_string(), 3_000),
+                ],
+            },
         });
         round_trip(FleetMsg::Heartbeat { snapshot: None });
         round_trip(FleetMsg::Heartbeat {
@@ -722,7 +828,12 @@ mod tests {
         let mut record = sample_record();
         record.flight_duration = f64::from_bits(0x400921FB54442D18); // pi
         record.distance_est = -0.0;
-        let msg = FleetMsg::Result { unit: 0, record };
+        let msg = FleetMsg::Result {
+            unit: 0,
+            record,
+            span: 0,
+            exec: ExecReport::default(),
+        };
         let back = decode_msg(&encode_msg(&msg)).unwrap();
         let FleetMsg::Result { record: r, .. } = back else {
             panic!("wrong message")
@@ -736,6 +847,8 @@ mod tests {
         let bytes = encode_msg(&FleetMsg::Result {
             unit: 1,
             record: sample_record(),
+            span: 5,
+            exec: ExecReport::default(),
         });
         for cut in [0, 1, 5, 8, bytes.len() - 1] {
             assert_eq!(
@@ -774,6 +887,25 @@ mod tests {
         let n = v.len();
         v[n - 2..].copy_from_slice(&crc.to_le_bytes());
         assert_eq!(decode_msg(&v), Err(FleetError::UnknownMessage(99)));
+    }
+
+    #[test]
+    fn exec_report_stage_list_is_capped_on_encode() {
+        let exec = ExecReport {
+            ticks: 1,
+            exec_nanos: 2,
+            stages: (0..100).map(|i| (format!("s{i}"), i)).collect(),
+        };
+        let msg = FleetMsg::Result {
+            unit: 0,
+            record: sample_record(),
+            span: 1,
+            exec,
+        };
+        let FleetMsg::Result { exec, .. } = decode_msg(&encode_msg(&msg)).unwrap() else {
+            panic!("wrong message")
+        };
+        assert_eq!(exec.stages.len(), MAX_EXEC_STAGES);
     }
 
     #[test]

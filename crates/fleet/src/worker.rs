@@ -13,15 +13,16 @@ use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use imufit_core::{Campaign, CampaignConfig, ExperimentSpec};
 use imufit_math::rng::Pcg;
+use imufit_obs::profile;
 use imufit_scenario::ScenarioSpec;
 use imufit_uav::BatchSimulator;
 
-use crate::protocol::{encode_msg, read_msg, write_msg, FleetError, FleetMsg};
+use crate::protocol::{encode_msg, read_msg, write_msg, ExecReport, FleetError, FleetMsg};
 
 /// Reconnect attempts before a worker gives up on the coordinator.
 pub const MAX_CONNECT_ATTEMPTS: u32 = 8;
@@ -67,6 +68,66 @@ fn connect_with_backoff(addr: SocketAddr, worker_id: u32) -> Result<TcpStream, F
         }
     }
     unreachable!("loop returns on the final attempt")
+}
+
+/// Execution accounting for one assigned unit: wall-clock plus the tick
+/// profiler's per-stage self-time delta over the unit's window. Under the
+/// batched loop several lanes share ticks, so stage deltas are a
+/// statistical attribution, not an exact per-unit split — which is all the
+/// span journal's profiler columns claim to be.
+struct ExecWindow {
+    started: Instant,
+    stage_base: [u64; profile::STAGE_COUNT],
+}
+
+impl ExecWindow {
+    fn open() -> ExecWindow {
+        ExecWindow {
+            started: Instant::now(),
+            stage_base: profile::stage_nanos(),
+        }
+    }
+
+    fn close(&self, ticks: u64) -> ExecReport {
+        let now = profile::stage_nanos();
+        let stages = profile::STAGE_NAMES
+            .iter()
+            .zip(now.iter().zip(self.stage_base.iter()))
+            .filter_map(|(name, (a, b))| {
+                let delta = a.saturating_sub(*b);
+                (delta > 0).then(|| (name.to_string(), delta))
+            })
+            .collect();
+        ExecReport {
+            ticks,
+            exec_nanos: self.started.elapsed().as_nanos() as u64,
+            stages,
+        }
+    }
+}
+
+/// Simulator ticks a finished unit consumed (flight seconds × physics
+/// rate).
+fn ticks_for(config: &CampaignConfig, flight_duration: f64) -> u64 {
+    (flight_duration * config.flight.physics_rate)
+        .round()
+        .max(0.0) as u64
+}
+
+/// Test/CI hook: with `IMUFIT_FLEET_FLAKY_UNIT=<idx>` set, the first
+/// assignment of unit `<idx>` to this worker process drops the connection
+/// once, forcing the coordinator down its disconnect-requeue path. The
+/// record stream stays untouched (the unit reruns after reconnect), so
+/// `campaign_results.csv` is unaffected.
+fn flaky_unit_should_drop(unit: u32) -> bool {
+    static TARGET: OnceLock<Option<u32>> = OnceLock::new();
+    static TRIPPED: AtomicBool = AtomicBool::new(false);
+    let target = *TARGET.get_or_init(|| {
+        std::env::var("IMUFIT_FLEET_FLAKY_UNIT")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    target == Some(unit) && !TRIPPED.swap(true, Ordering::SeqCst)
 }
 
 /// The campaign context a worker rebuilds from the coordinator's
@@ -196,11 +257,29 @@ fn scalar_work_loop(
             write_msg(&mut *w, &FleetMsg::Request)?;
         }
         match read_msg(stream)? {
-            (FleetMsg::Assign { unit, spec }, _) => {
+            (
+                FleetMsg::Assign {
+                    unit, spec, span, ..
+                },
+                _,
+            ) => {
+                if flaky_unit_should_drop(unit) {
+                    return Err(FleetError::Io("flaky-unit test hook tripped".into()));
+                }
+                let window = ExecWindow::open();
                 let record =
                     Campaign::run_experiment_isolated_into(&ctx.config, spec, &mut vehicle);
+                let exec = window.close(ticks_for(&ctx.config, record.flight_duration));
                 let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-                write_msg(&mut *w, &FleetMsg::Result { unit, record })?;
+                write_msg(
+                    &mut *w,
+                    &FleetMsg::Result {
+                        unit,
+                        record,
+                        span,
+                        exec,
+                    },
+                )?;
             }
             (FleetMsg::NoWork, _) => {
                 // Other workers hold the remaining leases; poll gently.
@@ -229,8 +308,9 @@ fn batched_work_loop(
 ) -> Result<WorkerExit, FleetError> {
     let batch = ctx.config.batch.max(1);
     let mut sim = BatchSimulator::new();
-    // lane index -> the coordinator unit flying in it.
-    let mut lane_unit: Vec<Option<(u32, ExperimentSpec)>> = Vec::new();
+    // lane index -> the coordinator unit flying in it, its trace span, and
+    // its execution window (opened at lane load).
+    let mut lane_unit: Vec<Option<(u32, ExperimentSpec, u64, ExecWindow)>> = Vec::new();
     let mut done_seen = false;
     let mut next_request = std::time::Instant::now();
     loop {
@@ -243,16 +323,24 @@ fn batched_work_loop(
                 write_msg(&mut *w, &FleetMsg::Request)?;
             }
             match read_msg(stream)? {
-                (FleetMsg::Assign { unit, spec }, _) => {
+                (
+                    FleetMsg::Assign {
+                        unit, spec, span, ..
+                    },
+                    _,
+                ) => {
+                    if flaky_unit_should_drop(unit) {
+                        return Err(FleetError::Io("flaky-unit test hook tripped".into()));
+                    }
                     imufit_obs::counter("campaign_runs_total").inc();
                     imufit_obs::counter("batch_lane_refills_total").inc();
                     match Campaign::build_vehicle(&ctx.config, &spec) {
                         Ok(vehicle) => {
                             let lane = sim.load(vehicle);
                             if lane >= lane_unit.len() {
-                                lane_unit.resize(lane + 1, None);
+                                lane_unit.resize_with(lane + 1, || None);
                             }
-                            lane_unit[lane] = Some((unit, spec));
+                            lane_unit[lane] = Some((unit, spec, span, ExecWindow::open()));
                             imufit_obs::gauge("campaign_batch_lanes")
                                 .set(sim.occupied_lanes() as f64);
                         }
@@ -263,7 +351,15 @@ fn batched_work_loop(
                             imufit_obs::counter("campaign_runs_aborted_total").inc();
                             let record = Campaign::aborted_record_for(&ctx.config, spec);
                             let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-                            write_msg(&mut *w, &FleetMsg::Result { unit, record })?;
+                            write_msg(
+                                &mut *w,
+                                &FleetMsg::Result {
+                                    unit,
+                                    record,
+                                    span,
+                                    exec: ExecReport::default(),
+                                },
+                            )?;
                         }
                     }
                 }
@@ -288,7 +384,7 @@ fn batched_work_loop(
         for lane in sim.finished_lanes() {
             let summary = sim.retire(lane);
             imufit_obs::gauge("campaign_batch_lanes").set(sim.occupied_lanes() as f64);
-            let Some((unit, spec)) = lane_unit[lane].take() else {
+            let Some((unit, spec, span, window)) = lane_unit[lane].take() else {
                 continue;
             };
             if matches!(summary.outcome, imufit_uav::FlightOutcome::Aborted) {
@@ -296,8 +392,17 @@ fn batched_work_loop(
                 imufit_obs::counter("campaign_runs_aborted_total").inc();
             }
             let record = Campaign::record_from_summary(&ctx.config, spec, &summary);
+            let exec = window.close(ticks_for(&ctx.config, record.flight_duration));
             let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
-            write_msg(&mut *w, &FleetMsg::Result { unit, record })?;
+            write_msg(
+                &mut *w,
+                &FleetMsg::Result {
+                    unit,
+                    record,
+                    span,
+                    exec,
+                },
+            )?;
         }
     }
 }

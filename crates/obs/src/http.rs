@@ -1,4 +1,5 @@
-//! The embedded metrics HTTP server: `/metrics`, `/status`, `/healthz`.
+//! The embedded metrics HTTP server: `/metrics`, `/status`, `/alerts`,
+//! `/healthz`.
 //!
 //! Hand-rolled HTTP/1.1 over `std::net`, in the same zero-dependency
 //! style as the fleet crate's TCP protocol: a single accept thread, short
@@ -112,6 +113,18 @@ fn handle_connection(mut stream: TcpStream, aggregate: Option<&Aggregate>) -> st
             "application/json",
             &crate::status::board().render_json(),
         ),
+        "/alerts" => {
+            // Evaluate against the same merged view a /metrics scrape
+            // sees, so a rule over fleet-wide counters fires on the
+            // coordinator even though workers own the series.
+            let mut snap = capture();
+            if let Some(agg) = aggregate {
+                snap.merge(&agg.merged());
+            }
+            let board = crate::alerts::board();
+            board.evaluate(&snap);
+            write_response(&mut stream, 200, "application/json", &board.render_json())
+        }
         "/healthz" => write_response(&mut stream, 200, "text/plain", "ok\n"),
         _ => write_response(&mut stream, 404, "text/plain", "not found\n"),
     }

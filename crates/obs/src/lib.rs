@@ -69,7 +69,14 @@
 //!   `/status`;
 //! * [`timeseries`] — a bounded-ring snapshot recorder flushed to a
 //!   CRC-framed `.ifms` file, decoded by `triage metrics`;
-//! * [`plane`] — server + recorder assembled for the binaries.
+//! * [`plane`] — server + recorder assembled for the binaries;
+//! * [`spans`] — the CRC-framed `.ifsp` execution span journal giving
+//!   every campaign work unit an `enqueued → dispatched → executed →
+//!   merged` trace, decoded by `triage spans`;
+//! * [`profile`] — a counting-sampled tick-stage profiler attributing
+//!   self-time to the sensors/faults/estimator/controller/dynamics seams;
+//! * [`alerts`] — declarative SLO rules (`[obs.alerts]`) with
+//!   firing/resolved state behind `/alerts`.
 //!
 //! These modules are pure codecs and servers, compiled unconditionally;
 //! only [`snapshot::capture`] touches the registry, and without the
@@ -79,11 +86,14 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+pub mod alerts;
 pub mod http;
 pub mod log;
 pub mod plane;
+pub mod profile;
 pub mod progress;
 pub mod snapshot;
+pub mod spans;
 pub mod status;
 pub mod timeseries;
 

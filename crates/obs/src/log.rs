@@ -1,17 +1,61 @@
-//! A tiny stderr log shim for campaign tooling.
+//! A tiny leveled stderr log shim for campaign tooling.
 //!
 //! Replaces scattered `eprintln!` diagnostics: every line is written under
 //! a single process-wide lock (worker threads cannot interleave partial
 //! lines) and carries a monotonic elapsed-time prefix. The shim exists in
 //! every build — metrics can be compiled out, diagnostics stay — and never
 //! touches simulation state, so it preserves bit-reproducibility.
+//!
+//! Verbosity is runtime-tunable without recompiling: `IMUFIT_LOG` picks
+//! the maximum emitted level (`error`, `warn`, `info`, `debug`; default
+//! `info`), so span/alert chatter can be silenced (`IMUFIT_LOG=warn`) or
+//! wire-level detail surfaced (`IMUFIT_LOG=debug`) per invocation.
 
 use std::fmt;
 use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
 use parking_lot::Mutex;
+
+/// Log severity, ordered most- to least-severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions.
+    Error = 0,
+    /// Degraded-but-continuing conditions (lease expiry, alert firing).
+    Warn = 1,
+    /// Campaign lifecycle landmarks. The default threshold.
+    Info = 2,
+    /// Per-frame / per-unit chatter.
+    Debug = 3,
+}
+
+impl Level {
+    fn label(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses an `IMUFIT_LOG` value. Unknown strings yield `None` (the
+    /// caller falls back to the default rather than crashing a campaign
+    /// over a typo).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
 
 fn start() -> Instant {
     static START: OnceLock<Instant> = OnceLock::new();
@@ -23,28 +67,68 @@ fn sink() -> &'static Mutex<()> {
     SINK.get_or_init(|| Mutex::new(()))
 }
 
+/// Current threshold, encoded as `Level as u8`. Initialised lazily from
+/// `IMUFIT_LOG` on first use; [`set_level`] overrides it at runtime.
+fn threshold() -> &'static AtomicU8 {
+    static THRESHOLD: OnceLock<AtomicU8> = OnceLock::new();
+    THRESHOLD.get_or_init(|| {
+        let level = std::env::var("IMUFIT_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Info);
+        AtomicU8::new(level as u8)
+    })
+}
+
+/// The active maximum emitted level.
+pub fn level() -> Level {
+    match threshold().load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Overrides the threshold (wins over `IMUFIT_LOG`); used by tools that
+/// expose a verbosity flag and by tests.
+pub fn set_level(level: Level) {
+    threshold().store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a line at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    level <= self::level()
+}
+
 /// Writes one complete, atomically-emitted line to stderr:
-/// `[  12.3s level] message`. Prefer the [`crate::info!`] / [`crate::warn!`]
-/// macros.
-pub fn write_line(level: &str, args: fmt::Arguments<'_>) {
+/// `[  12.3s level] message` — if `level` passes the threshold. Prefer
+/// the [`crate::error!`] / [`crate::warn!`] / [`crate::info!`] /
+/// [`crate::debug!`] macros.
+pub fn write_line(level: Level, args: fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
     let elapsed = start().elapsed().as_secs_f64();
     let _guard = sink().lock();
     let mut err = std::io::stderr().lock();
     // A failed diagnostic write (closed stderr) must never abort a run.
-    let _ = writeln!(err, "[{elapsed:7.1}s {level}] {args}");
+    let _ = writeln!(err, "[{elapsed:7.1}s {}] {args}", level.label());
 }
 
-/// Initialises the elapsed-time origin; call early in `main` so prefixes
-/// measure from process start rather than from the first log line.
+/// Initialises the elapsed-time origin and the `IMUFIT_LOG` threshold;
+/// call early in `main` so prefixes measure from process start rather
+/// than from the first log line.
 pub fn init() {
     let _ = start();
+    let _ = threshold();
 }
 
-/// Logs an informational line through the shim.
+/// Logs an error line through the shim.
 #[macro_export]
-macro_rules! info {
+macro_rules! error {
     ($($arg:tt)*) => {
-        $crate::log::write_line("info", format_args!($($arg)*))
+        $crate::log::write_line($crate::log::Level::Error, format_args!($($arg)*))
     };
 }
 
@@ -52,16 +136,58 @@ macro_rules! info {
 #[macro_export]
 macro_rules! warn {
     ($($arg:tt)*) => {
-        $crate::log::write_line("warn", format_args!($($arg)*))
+        $crate::log::write_line($crate::log::Level::Warn, format_args!($($arg)*))
+    };
+}
+
+/// Logs an informational line through the shim.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::write_line($crate::log::Level::Info, format_args!($($arg)*))
+    };
+}
+
+/// Logs a debug line through the shim.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::write_line($crate::log::Level::Debug, format_args!($($arg)*))
     };
 }
 
 #[cfg(test)]
 mod tests {
+    use super::*;
+
     #[test]
     fn macros_expand_and_do_not_panic() {
         crate::log::init();
+        crate::error!("error line");
         crate::info!("info line {}", 42);
         crate::warn!("warn line {}", "x");
+        crate::debug!("debug line");
+    }
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse(" debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("loud"), None);
+    }
+
+    #[test]
+    fn threshold_filters() {
+        let prev = level();
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(prev);
     }
 }

@@ -46,6 +46,10 @@ impl Plane {
             if let Some(agg) = &aggregate {
                 snap.merge(&agg.merged());
             }
+            // SLO rules ride the recorder cadence, so firing/resolved
+            // edges are detected (and logged) even when nobody scrapes
+            // `/alerts`.
+            crate::alerts::board().evaluate(&snap);
             snap
         });
         let recorder = Recorder::start(sample_interval, series_capacity, sampler);

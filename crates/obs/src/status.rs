@@ -111,6 +111,10 @@ impl StatusBoard {
         out.push_str(&format!("  \"units_done\": {},\n", inner.done));
         out.push_str(&format!("  \"elapsed_s\": {elapsed_s:.1},\n"));
         out.push_str(&format!("  \"eta_s\": {eta},\n"));
+        out.push_str(&format!(
+            "  \"alerts\": {},\n",
+            crate::alerts::board().render_summary()
+        ));
         out.push_str("  \"workers\": [");
         let mut first = true;
         for (id, w) in &inner.workers {

@@ -240,6 +240,11 @@ pub struct ObsSettings {
     /// Ring capacity of the recorder: the newest N samples survive to
     /// the flushed `.ifms` file.
     pub series_capacity: usize,
+    /// Declarative SLO alert rules, one `<selector> <op> <threshold>`
+    /// line each (e.g. `fleet_lease_expiries_total > 0`). Parsed and
+    /// typo-checked at load time; evaluated live by the `/alerts`
+    /// endpoint and the recorder sampler.
+    pub alerts: Vec<String>,
 }
 
 impl Default for ObsSettings {
@@ -249,6 +254,7 @@ impl Default for ObsSettings {
             addr: "127.0.0.1:0".to_string(),
             sample_interval_s: 1.0,
             series_capacity: 600,
+            alerts: Vec::new(),
         }
     }
 }
@@ -706,6 +712,16 @@ impl ScenarioSpec {
             "series_capacity",
             Value::Int(self.obs.series_capacity as u64),
         );
+        obs.set(
+            "alerts",
+            Value::Arr(
+                self.obs
+                    .alerts
+                    .iter()
+                    .map(|rule| Value::Str(rule.clone()))
+                    .collect(),
+            ),
+        );
 
         let mut root = Value::table();
         root.set("name", Value::Str(self.name.clone()));
@@ -947,10 +963,11 @@ impl ScenarioSpec {
         match root.get("obs") {
             None => {}
             Some(obs @ Value::Table(_)) => {
-                expect_keys(
+                expect_keys_with_optional(
                     obs,
                     "obs",
                     &["serve", "addr", "sample_interval_s", "series_capacity"],
+                    &["alerts"],
                 )?;
                 spec.obs.serve = get_bool(obs, "obs", "serve")?;
                 spec.obs.addr = get_str(obs, "addr").map_err(|_| {
@@ -958,6 +975,17 @@ impl ScenarioSpec {
                 })?;
                 spec.obs.sample_interval_s = get_f64(obs, "obs", "sample_interval_s")?;
                 spec.obs.series_capacity = get_usize(obs, "obs", "series_capacity")?;
+                if obs.get("alerts").is_some() {
+                    let rules = get_strings(obs, "obs", "alerts")?;
+                    for rule in &rules {
+                        imufit_obs::alerts::parse_rule(rule).map_err(|e| {
+                            ScenarioError::Document(DocError::new(format!(
+                                "invalid obs.alerts rule: {e}"
+                            )))
+                        })?;
+                    }
+                    spec.obs.alerts = rules;
+                }
             }
             Some(_) => {
                 return Err(DocError::new("'obs' must be a section/object").into());
@@ -1406,6 +1434,40 @@ mod tests {
             .to_toml()
             .replace("sample_interval_s", "sample_intervl_s");
         assert!(ScenarioSpec::from_toml(&text).is_err());
+    }
+
+    #[test]
+    fn obs_alert_rules_round_trip_and_malformed_rules_are_rejected() {
+        let mut spec = ScenarioSpec::paper_default();
+        spec.obs.serve = true;
+        spec.obs.alerts = vec![
+            "fleet_lease_expiries_total > 0".to_string(),
+            "tick_p99_us > 10".to_string(),
+            "worker_busy_fraction < 0.5".to_string(),
+        ];
+        assert!(spec.validate().is_ok());
+        assert_eq!(ScenarioSpec::from_toml(&spec.to_toml()).unwrap(), spec);
+        assert_eq!(ScenarioSpec::from_json(&spec.to_json()).unwrap(), spec);
+
+        // A malformed rule line fails the load, naming the grammar.
+        let text = spec
+            .to_toml()
+            .replace("fleet_lease_expiries_total > 0", "fleet_lease ~~ what");
+        let err = ScenarioSpec::from_toml(&text).unwrap_err();
+        assert!(
+            err.to_string().contains("obs.alerts"),
+            "error should name the section: {err}"
+        );
+
+        // Documents predating the key still parse (alerts default empty).
+        let mut kept: Vec<String> = Vec::new();
+        for line in spec.to_toml().lines() {
+            if !line.trim_start().starts_with("alerts") {
+                kept.push(line.to_string());
+            }
+        }
+        let back = ScenarioSpec::from_toml(&kept.join("\n")).unwrap();
+        assert!(back.obs.alerts.is_empty());
     }
 
     #[test]

@@ -292,6 +292,12 @@ impl BatchSimulator {
             return;
         }
 
+        // Statistical stage profiler: one batched tick (N lane-ticks) is
+        // one sample; each `stage` call closes the previous seam with a
+        // single clock read and the guard's drop attributes the tail to
+        // Bookkeeping, so the per-stage self-times tile the tick.
+        let mut prof = imufit_obs::profile::tick_begin();
+
         // --- Clock ---
         for &l in active.iter() {
             ticks[l] += 1;
@@ -302,10 +308,12 @@ impl BatchSimulator {
         imufit_dynamics::batch::step_winds(active, poisoned, winds, dts, rng_wind, wind_vecs);
 
         // --- Sensors: per-instance injection before the merge ---
+        prof.stage(imufit_obs::profile::Stage::Sensors);
         imufit_dynamics::batch::read_body_truth(active, poisoned, quads, forces, rates);
         imufit_sensors::batch::sample_banks(
             active, poisoned, imu_banks, forces, rates, dts, rng_imu, samples,
         );
+        prof.stage(imufit_obs::profile::Stage::Faults);
         imufit_faults::batch::inject_banks(active, poisoned, injectors, samples, rng_fault);
 
         // --- Sensor attacks: window phases advance once per tick ---
@@ -318,6 +326,7 @@ impl BatchSimulator {
         );
 
         // --- Vote + primary switch ---
+        prof.stage(imufit_obs::profile::Stage::Voter);
         imufit_sensors::batch::vote_banks(active, poisoned, voters, imu_banks, samples, votes);
         for &l in active.iter() {
             if !poisoned[l] {
@@ -326,6 +335,7 @@ impl BatchSimulator {
         }
 
         // --- Estimation ---
+        prof.stage(imufit_obs::profile::Stage::Estimator);
         imufit_estimator::batch::predict_all(active, poisoned, estimators, merged, dts);
         for_each_lane(active, poisoned, |l| {
             let time = times[l];
@@ -380,6 +390,7 @@ impl BatchSimulator {
         });
 
         // --- Control prep: nav snapshot, mitigation, dead-reckon rung ---
+        prof.stage(imufit_obs::profile::Stage::Controller);
         for_each_lane(active, poisoned, |l| {
             rejecting[l] = estimators[l].health().any_rejecting();
             navs[l] = *estimators[l].state();
@@ -432,9 +443,11 @@ impl BatchSimulator {
         });
 
         // --- Physics ---
+        prof.stage(imufit_obs::profile::Stage::Dynamics);
         imufit_dynamics::batch::step_bodies(active, poisoned, quads, throttles, wind_vecs, dts);
 
         // --- Tracking, bubble, end conditions ---
+        prof.stage(imufit_obs::profile::Stage::Bookkeeping);
         for_each_lane(active, poisoned, |l| {
             let s = *quads[l].state();
             distance_true[l] += s.position.distance(last_true_position[l]);

@@ -542,6 +542,10 @@ impl FlightSimulator {
             return;
         }
         let _tick_span = self.metrics.tick.enter();
+        // Statistical stage profiler: on sampled ticks each `stage` call
+        // below closes the previous seam with a single clock read; the
+        // guard's drop attributes the tail to Bookkeeping.
+        let mut prof = imufit_obs::profile::tick_begin();
         let dt = self.dt;
         self.tick += 1;
         self.time += dt;
@@ -559,6 +563,7 @@ impl FlightSimulator {
         // paper's all-instances assumption every instance carries the same
         // corruption, the voter sees perfect agreement, and the merged
         // stream is identical to corrupting the primary directly.
+        prof.stage(imufit_obs::profile::Stage::Sensors);
         let sensors_span = self.metrics.stage_sensors.enter();
         let true_force = self.quad.specific_force_body();
         let true_rate = self.quad.angular_rate_body();
@@ -572,6 +577,7 @@ impl FlightSimulator {
             self.trace_clean.extend_from_slice(&samples);
         }
         drop(sensors_span);
+        prof.stage(imufit_obs::profile::Stage::Faults);
         {
             let _inject_span = self.metrics.inject.enter();
             self.injector.apply_bank(&mut samples, &mut self.rng_fault);
@@ -627,6 +633,7 @@ impl FlightSimulator {
             self.trace_attack_was = attack_active;
         }
 
+        prof.stage(imufit_obs::profile::Stage::Voter);
         let voter_span = self.metrics.stage_voter.enter();
         let primary = self.imu_bank.primary();
         let report = self.voter.vote(&samples, primary);
@@ -706,6 +713,7 @@ impl FlightSimulator {
         drop(voter_span);
 
         // --- Estimation ---
+        prof.stage(imufit_obs::profile::Stage::Estimator);
         let ekf_span = self.metrics.ekf.enter();
         self.estimator.predict(&corrupted, dt);
         if self.every(self.config.gps_rate) {
@@ -768,6 +776,7 @@ impl FlightSimulator {
         drop(ekf_span);
 
         // --- Control ---
+        prof.stage(imufit_obs::profile::Stage::Controller);
         let control_span = self.metrics.stage_control.enter();
         let rejecting = self.estimator.health().any_rejecting();
         let nav = *self.estimator.state();
@@ -905,6 +914,7 @@ impl FlightSimulator {
         drop(control_span);
 
         // --- Physics ---
+        prof.stage(imufit_obs::profile::Stage::Dynamics);
         let dynamics_span = self.metrics.stage_dynamics.enter();
         self.quad.step_with_wind(out.throttles, wind, dt);
         let s = *self.quad.state();
@@ -915,6 +925,7 @@ impl FlightSimulator {
             self.airborne = true;
         }
         drop(dynamics_span);
+        prof.stage(imufit_obs::profile::Stage::Bookkeeping);
 
         // --- Tracking, bubble, telemetry ---
         if self.every(self.config.tracking_rate) && self.airborne {

@@ -29,17 +29,24 @@ use imufit_obs::{info, warn};
 /// Benches held to the soft perf-regression gate. Kept short and stable:
 /// the closed-loop step is the product's hot path, the trace-off tick
 /// guards the observability layer's zero-cost claim, the 8-lane batch
-/// step guards the SoA pipeline, and the whole-run experiment guards
-/// campaign throughput end to end.
-const GATED_BENCHES: [&str; 4] = [
+/// step guards the SoA pipeline, the whole-run experiment guards
+/// campaign throughput end to end, and the profiled tick guards the
+/// tick-stage profiler's sampling overhead.
+const GATED_BENCHES: [&str; 5] = [
     "sim/closed_loop_step",
     "trace/tick_off",
     "sim/batch_step8",
     "campaign/run_experiment",
+    "sim/profiled_tick",
 ];
 
 /// Regression threshold for the soft gate.
 const GATE_TOLERANCE: f64 = 0.10;
+
+/// The tick-stage profiler's overhead budget: the profiled tick (default
+/// 1-in-64 sampling) may cost at most 2% more than the same tick with the
+/// profiler disabled.
+const PROFILER_OVERHEAD_BUDGET: f64 = 1.02;
 
 fn main() {
     imufit_obs::log::init();
@@ -135,6 +142,33 @@ fn check_gate(baseline: &[(String, f64)], fresh: &[(String, f64)]) {
             _ => warn!("perf gate: {name} missing from baseline or fresh run (skipping)"),
         }
     }
+    check_profiler_overhead(fresh);
+}
+
+/// The profiler-overhead gate rides the fresh run alone: profiled vs
+/// unprofiled medians of the same warmed batch-4 tick must stay within
+/// [`PROFILER_OVERHEAD_BUDGET`]. Soft like the regression gate.
+fn check_profiler_overhead(fresh: &[(String, f64)]) {
+    let get = |name: &str| fresh.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
+    match (get("sim/unprofiled_tick"), get("sim/profiled_tick")) {
+        (Some(off), Some(on)) if off > 0.0 => {
+            let ratio = on / off;
+            if ratio > PROFILER_OVERHEAD_BUDGET {
+                println!(
+                    "::warning::perf gate: profiler overhead {:.2}% exceeds the \
+                     {:.0}% budget ({off:.1} ns -> {on:.1} ns)",
+                    (ratio - 1.0) * 100.0,
+                    (PROFILER_OVERHEAD_BUDGET - 1.0) * 100.0
+                );
+            } else {
+                info!(
+                    "perf gate: profiler overhead ok ({off:.1} ns -> {on:.1} ns, {:+.2}%)",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+        }
+        _ => warn!("perf gate: profiler overhead pair missing from fresh run (skipping)"),
+    }
 }
 
 /// Parses the JSONL estimates and reduces them to sorted (name, median_ns)
@@ -221,6 +255,11 @@ fn derived(estimates: &[(String, f64)]) -> Vec<(String, f64)> {
             if per_lane > 0.0 {
                 out.push((format!("sim/batch_step{lanes}_speedup"), scalar / per_lane));
             }
+        }
+    }
+    if let (Some(off), Some(on)) = (get("sim/unprofiled_tick"), get("sim/profiled_tick")) {
+        if off > 0.0 {
+            out.push(("sim/profiler_overhead_ratio".to_string(), on / off));
         }
     }
     out
@@ -338,6 +377,20 @@ mod tests {
             "{json}"
         );
         // The gate's parser must only see the measured medians.
+        assert_eq!(parse_summary(&json), estimates);
+    }
+
+    #[test]
+    fn profiler_overhead_ratio_is_derived_from_the_tick_pair() {
+        let estimates = vec![
+            ("sim/profiled_tick".to_string(), 10_100.0),
+            ("sim/unprofiled_tick".to_string(), 10_000.0),
+        ];
+        let json = render(&estimates);
+        assert!(
+            json.contains("\"sim/profiler_overhead_ratio\": 1.010"),
+            "{json}"
+        );
         assert_eq!(parse_summary(&json), estimates);
     }
 

@@ -27,6 +27,7 @@ use imufit_scenario::{ScenarioSpec, PRESET_NAMES};
 const USAGE: &str = "usage: fleet run [--scenario FILE|PRESET] [--workers N] [--out DIR]
                  [--seed N] [--missions M] [--quick] [--trace-dir DIR]
                  [--resume] [--no-spawn] [--metrics] [--serve-metrics ADDR]
+                 [--alert RULE]
        fleet worker --connect ADDR [--id N]
 
   run                 coordinate a distributed campaign
@@ -44,9 +45,13 @@ const USAGE: &str = "usage: fleet run [--scenario FILE|PRESET] [--workers N] [--
     --no-spawn        don't spawn local workers; wait for external
                       `fleet worker --connect` processes
     --metrics         write campaign_metrics.json next to the CSV
-    --serve-metrics A serve live /metrics, /status, and /healthz on address A
-                      (merged across workers, labeled worker=\"N\") and record
-                      a metric time-series to OUT/campaign_metrics.ifms
+    --serve-metrics A serve live /metrics, /status, /healthz, and /alerts on
+                      address A (merged across workers, labeled worker=\"N\")
+                      and record a metric time-series to
+                      OUT/campaign_metrics.ifms
+    --alert RULE      install an SLO alert rule ('<selector> <op> <threshold>',
+                      e.g. 'lease_expiries_total > 0'); repeatable, merged
+                      with the scenario's [obs] alerts list
   worker              serve one worker process
     --connect ADDR    coordinator address (host:port)
     --id N            worker id reported to the coordinator (default 0)";
@@ -78,6 +83,8 @@ struct RunArgs {
     spawn: bool,
     metrics: bool,
     serve_metrics: Option<String>,
+    /// Extra SLO alert rules (`--alert`, repeatable).
+    alerts: Vec<String>,
 }
 
 fn parse_run_args(mut it: std::env::Args) -> RunArgs {
@@ -93,6 +100,7 @@ fn parse_run_args(mut it: std::env::Args) -> RunArgs {
         spawn: true,
         metrics: false,
         serve_metrics: None,
+        alerts: Vec::new(),
     };
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -121,6 +129,15 @@ fn parse_run_args(mut it: std::env::Args) -> RunArgs {
                     it.next()
                         .unwrap_or_else(|| die("missing value for --serve-metrics")),
                 )
+            }
+            "--alert" => {
+                let rule = it
+                    .next()
+                    .unwrap_or_else(|| die("missing value for --alert"));
+                if let Err(e) = imufit_obs::alerts::parse_rule(&rule) {
+                    die(&format!("invalid --alert rule '{rule}': {e}"));
+                }
+                args.alerts.push(rule);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -170,6 +187,7 @@ fn run_coordinator(args: RunArgs) {
         spec.obs.serve = true;
         spec.obs.addr = addr.clone();
     }
+    spec.obs.alerts.extend(args.alerts.iter().cloned());
     // With `--no-default-features` every metric hook is a no-op, so a
     // requested plane would silently serve nothing. Refuse instead.
     if spec.obs.serve && !cfg!(feature = "obs") {
@@ -177,6 +195,21 @@ fn run_coordinator(args: RunArgs) {
     }
     if let Err(e) = spec.validate() {
         die(&format!("invalid scenario: {e}"));
+    }
+    // SLO rules (scenario [obs] alerts plus --alert flags) go live before
+    // the plane starts so the first recorder sample already evaluates them.
+    if !spec.obs.alerts.is_empty() {
+        let rules: Vec<_> = spec
+            .obs
+            .alerts
+            .iter()
+            .map(|r| {
+                imufit_obs::alerts::parse_rule(r)
+                    .unwrap_or_else(|e| die(&format!("invalid obs.alerts rule '{r}': {e}")))
+            })
+            .collect();
+        info!("alerting on {} SLO rule(s)", rules.len());
+        imufit_obs::alerts::board().install(rules);
     }
 
     let out = PathBuf::from(&args.out);
@@ -219,7 +252,7 @@ fn run_coordinator(args: RunArgs) {
         ) {
             Ok(plane) => {
                 if let Some(addr) = plane.addr() {
-                    info!("serving /metrics, /status, /healthz on http://{addr}");
+                    info!("serving /metrics, /status, /healthz, /alerts on http://{addr}");
                 }
                 plane
             }

@@ -19,8 +19,13 @@
 //! `reproduce --dump-scenario > s.toml && reproduce --scenario s.toml`
 //! round-trips. `--metrics` additionally writes the metric registry as
 //! Prometheus text (`campaign_metrics.prom`); `--no-metrics` suppresses
-//! the JSON snapshot. Building with `--no-default-features` compiles the
-//! whole observability layer to no-ops — the resulting
+//! the JSON snapshot. `--alert RULE` (repeatable) installs SLO rules —
+//! `<selector> <op> <threshold>` lines like `lease_expiries_total > 0` —
+//! evaluated live on `/alerts` and at every recorder sample, merged with
+//! the scenario's `[obs] alerts` list. After an in-process campaign the
+//! tick-stage profile lands in `campaign_profile.folded` (folded-stack
+//! lines, flamegraph-ready). Building with `--no-default-features`
+//! compiles the whole observability layer to no-ops — the resulting
 //! `campaign_results.csv` is byte-identical, which CI checks.
 
 use std::io::Write as _;
@@ -37,8 +42,8 @@ const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--q
                  [--batch N] [--scenario FILE|PRESET] [--dump-scenario]
                  [--trace-dir DIR] [--trace-window PRE:POST]
                  [--trace-triggers A,B,...] [--fleet-workers N]
-                 [--serve-metrics ADDR] [--no-extras] [--metrics]
-                 [--no-metrics]
+                 [--serve-metrics ADDR] [--alert RULE] [--no-extras]
+                 [--metrics] [--no-metrics]
 
   --seed N            campaign master seed (default 2024)
   --missions M        fly only the first M study missions (default 10)
@@ -62,10 +67,14 @@ const USAGE: &str = "usage: reproduce [--seed N] [--missions M] [--out DIR] [--q
                       localhost TCP (see the `fleet` binary); 0 = one per
                       CPU, clamped to the number of runs. The merged CSV
                       is byte-identical to the single-process campaign
-  --serve-metrics A   serve live /metrics, /status, and /healthz over HTTP on
-                      address A (e.g. 127.0.0.1:9469) while the campaign runs,
+  --serve-metrics A   serve live /metrics, /status, /healthz, and /alerts over
+                      HTTP on address A (e.g. 127.0.0.1:9469) while the campaign runs,
                       and record a metric time-series to
                       OUT/campaign_metrics.ifms (read it with `triage metrics`)
+  --alert RULE        install an SLO alert rule ('<selector> <op> <threshold>',
+                      e.g. 'lease_expiries_total > 0'); repeatable, merged
+                      with the scenario's [obs] alerts list and evaluated on
+                      /alerts and at every recorder sample
   --no-extras         skip the beyond-the-paper sections
   --metrics           also write Prometheus text exposition
   --no-metrics        suppress the campaign_metrics.json snapshot";
@@ -104,6 +113,9 @@ struct Args {
     batch: Option<usize>,
     /// Live observability plane listen address (`--serve-metrics`).
     serve_metrics: Option<String>,
+    /// Extra SLO alert rules (`--alert`, repeatable), merged with the
+    /// scenario's `[obs] alerts` list.
+    alerts: Vec<String>,
 }
 
 /// Parses `--trace-window PRE:POST`, dying on anything malformed.
@@ -170,6 +182,7 @@ fn parse_args() -> Args {
         fleet_workers: None,
         batch: None,
         serve_metrics: None,
+        alerts: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -191,6 +204,15 @@ fn parse_args() -> Args {
                     it.next()
                         .unwrap_or_else(|| die("missing value for --serve-metrics")),
                 )
+            }
+            "--alert" => {
+                let rule = it
+                    .next()
+                    .unwrap_or_else(|| die("missing value for --alert"));
+                if let Err(e) = imufit_obs::alerts::parse_rule(&rule) {
+                    die(&format!("invalid --alert rule '{rule}': {e}"));
+                }
+                args.alerts.push(rule);
             }
             "--seed" => args.seed = Some(parse_value("--seed", it.next())),
             "--missions" => args.missions = Some(parse_value("--missions", it.next())),
@@ -411,7 +433,7 @@ fn start_plane(
     ) {
         Ok(plane) => {
             if let Some(addr) = plane.addr() {
-                info!("serving /metrics, /status, /healthz on http://{addr}");
+                info!("serving /metrics, /status, /healthz, /alerts on http://{addr}");
             }
             plane
         }
@@ -423,6 +445,27 @@ fn start_plane(
             std::process::exit(1);
         }
     }
+}
+
+/// Installs the scenario's SLO alert rules (including any `--alert`
+/// additions) into the global alert board. The rules were already
+/// syntax-checked at scenario load / flag parse, so a failure here is a
+/// programming error, not user input.
+fn install_alert_rules(spec: &ScenarioSpec) {
+    if spec.obs.alerts.is_empty() {
+        return;
+    }
+    let rules: Vec<_> = spec
+        .obs
+        .alerts
+        .iter()
+        .map(|r| {
+            imufit_obs::alerts::parse_rule(r)
+                .unwrap_or_else(|e| die(&format!("invalid obs.alerts rule '{r}': {e}")))
+        })
+        .collect();
+    info!("alerting on {} SLO rule(s)", rules.len());
+    imufit_obs::alerts::board().install(rules);
 }
 
 /// Flushes the plane's recorded series to `OUT/campaign_metrics.ifms`.
@@ -470,6 +513,10 @@ fn main() {
         spec.obs.serve = true;
         spec.obs.addr = addr.clone();
     }
+    // `--alert` rules stack on top of the scenario's own list, so a
+    // document's standing SLOs and a one-off CLI rule coexist (and both
+    // round-trip through `--dump-scenario`).
+    spec.obs.alerts.extend(args.alerts.iter().cloned());
     // Serving live metrics requires the observability layer; with
     // `--no-default-features` every hook is a no-op, so a requested
     // plane would silently serve nothing. Refuse instead.
@@ -496,6 +543,7 @@ fn main() {
         print!("{}", spec.to_toml());
         return;
     }
+    install_alert_rules(&spec);
     let seed = spec.campaign.seed;
     let mut config = CampaignConfig::from_scenario(&spec);
     if spec.trace.enabled {
@@ -580,6 +628,20 @@ fn main() {
         started.elapsed().as_secs_f64(),
         results.faulty_completion_pct()
     );
+    // The tick-stage profile covers the campaign only (written before the
+    // figure runs tick more). Fleet campaigns execute in worker processes,
+    // so the coordinator has no samples and writes nothing.
+    if imufit_obs::profile::sampled_ticks() > 0 {
+        write_file(
+            &std::path::Path::new(&args.out).join("campaign_profile.folded"),
+            &imufit_obs::profile::folded(),
+        );
+        info!(
+            "tick-stage profile ({} sampled ticks):\n{}",
+            imufit_obs::profile::sampled_ticks(),
+            imufit_obs::profile::render_table()
+        );
+    }
 
     info!("running figure scenarios...");
     let figure_results = figures::run_all(seed);
