@@ -337,6 +337,8 @@ fn bench_fleet(c: &mut Criterion) {
                 spec,
                 campaign_fp: 0xABCD_EF01_2345_6789,
                 span: 7,
+                campaign: 0,
+                spec_toml: None,
             });
             black_box(decode_msg(black_box(&frame)).unwrap())
         })
@@ -359,6 +361,7 @@ fn bench_fleet(c: &mut Criterion) {
         unit: 42,
         record,
         span: 7,
+        campaign: 0,
         exec: imufit_fleet::ExecReport {
             ticks: 45_062,
             exec_nanos: 81_000_000,

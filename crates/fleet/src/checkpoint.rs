@@ -352,6 +352,51 @@ mod tests {
         bytes
     }
 
+    /// The fingerprint hashes the canonical re-dump of the parsed spec,
+    /// not the submitted bytes: two documents with reordered keys,
+    /// comments, and different whitespace share a fingerprint — and so
+    /// share a result-store entry.
+    #[test]
+    fn fingerprint_is_over_canonical_dump_not_raw_bytes() {
+        let canonical = ScenarioSpec::preset("quick").unwrap().to_toml();
+        // Rebuild the document with the key lines inside each section
+        // reversed, a leading comment, and extra blank lines.
+        let mut reordered = String::from("# reordered copy of the quick preset\n");
+        let mut section: Vec<&str> = Vec::new();
+        let flush = |out: &mut String, section: &mut Vec<&str>| {
+            for kv in section.drain(..).rev() {
+                out.push_str(kv);
+                out.push('\n');
+            }
+        };
+        for line in canonical.lines() {
+            if line.starts_with('[') {
+                flush(&mut reordered, &mut section);
+                reordered.push_str("\n\n");
+                reordered.push_str(line);
+                reordered.push('\n');
+            } else if !line.trim().is_empty() {
+                section.push(line);
+            }
+        }
+        flush(&mut reordered, &mut section);
+        assert_ne!(canonical, reordered);
+
+        let a = ScenarioSpec::from_toml(&canonical).expect("canonical parses");
+        let b = ScenarioSpec::from_toml(&reordered).expect("reordered parses");
+        assert_eq!(b.to_toml(), canonical, "re-dump restores canonical form");
+        assert_eq!(
+            CampaignFingerprint::of(&a, 6),
+            CampaignFingerprint::of(&b, 6),
+            "reordered submission must hit the same cache entry"
+        );
+        // The unit count still discriminates.
+        assert_ne!(
+            CampaignFingerprint::of(&a, 6),
+            CampaignFingerprint::of(&a, 7)
+        );
+    }
+
     #[test]
     fn journal_round_trips() {
         let entries = vec![entry(0), entry(5), entry(21)];

@@ -1,28 +1,29 @@
-//! The fleet coordinator: shards a campaign into run-level work units,
-//! serves them to worker processes over localhost TCP, supervises leases,
-//! journals completed units, and merges results back into matrix order.
+//! The one-shot fleet coordinator: shards a campaign into run-level work
+//! units, serves them to worker processes over localhost TCP, supervises
+//! leases, journals completed units, and merges results back into matrix
+//! order.
 //!
-//! The merge invariant is the whole point: the coordinator's
-//! [`CampaignResults`] — and therefore `campaign_results.csv` — is
-//! byte-identical to the single-process campaign's, whatever the worker
-//! count, scheduling order, worker deaths, or resume history.
+//! The scheduling state itself lives in [`CampaignSession`]
+//! (`session.rs`), shared with the persistent multi-campaign
+//! [`WorkerPool`](crate::pool::WorkerPool); the coordinator wraps exactly
+//! one session, runs it to completion, and exits. The merge invariant is
+//! the whole point: the coordinator's [`CampaignResults`] — and therefore
+//! `campaign_results.csv` — is byte-identical to the single-process
+//! campaign's, whatever the worker count, scheduling order, worker
+//! deaths, or resume history.
 
-use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use imufit_core::{Campaign, CampaignConfig, CampaignResults, ExperimentRecord, ExperimentSpec};
+use imufit_core::CampaignResults;
 use imufit_obs::snapshot::{Aggregate, Snapshot};
-use imufit_obs::spans::{SpanEvent, SpanJournal, SpanKind, NO_WORKER};
 use imufit_scenario::ScenarioSpec;
 
-use crate::checkpoint::{
-    clean_prefix_len, CampaignFingerprint, Checkpoint, CheckpointEntry, CheckpointWriter,
-};
 use crate::protocol::{read_msg, write_msg, FleetError, FleetMsg};
+use crate::session::CampaignSession;
 
 /// Everything a coordinator needs to run one distributed campaign.
 #[derive(Debug, Clone)]
@@ -51,154 +52,39 @@ impl CoordinatorConfig {
     }
 }
 
-/// One dispatched unit's lease.
-#[derive(Debug)]
-struct Lease {
-    worker_id: u32,
-    deadline: Instant,
-    /// Span id stamped at dispatch, carried through requeue events so a
-    /// lost attempt's trace chain stays attributable.
-    span: u64,
-}
-
-/// Cross-connection scheduler state.
-struct Sched {
-    specs: Vec<ExperimentSpec>,
-    pending: VecDeque<u32>,
-    leases: HashMap<u32, Lease>,
-    /// Re-dispatch count per unit (only units that lost a lease appear).
-    retries: HashMap<u32, u32>,
-    results: Vec<Option<ExperimentRecord>>,
-    done: usize,
-    journal: CheckpointWriter,
-    /// Wall-clock busy time accumulated per worker, for utilisation.
-    busy: HashMap<u32, Duration>,
-    assigned_at: HashMap<u32, Instant>,
-    /// Units completed per worker, for the live status board.
-    done_by: HashMap<u32, u64>,
-    /// The `.ifsp` execution span journal (absent only when its file
-    /// could not be created; the campaign itself never depends on it).
-    spans: Option<SpanJournal>,
-}
-
-impl Sched {
-    fn finished(&self) -> bool {
-        self.done >= self.results.len()
-    }
-
-    /// Appends one event to the span journal, if armed. A write failure
-    /// is counted, not fatal — execution tracing must never take down a
-    /// campaign.
-    fn span_event(&self, event: SpanEvent) {
-        if let Some(journal) = &self.spans {
-            if journal.record(event).is_err() {
-                imufit_obs::counter("fleet_span_write_errors_total").inc();
-            }
-        }
-    }
-
-    /// Stores a unit's record (idempotently — a re-dispatched unit can
-    /// legitimately complete twice; the first result wins so the journal
-    /// and CSV never disagree) and journals first-time completions.
-    fn complete(&mut self, unit: u32, record: ExperimentRecord, span: u64, worker: u32) {
-        let slot = &mut self.results[unit as usize];
-        if slot.is_some() {
-            return;
-        }
-        // Journal before acknowledging: a kill after this line reruns
-        // nothing, a kill before it reruns the unit. Journal IO failure
-        // degrades to a non-resumable campaign, not a lost record.
-        if self
-            .journal
-            .record(&CheckpointEntry {
-                unit,
-                record: record.clone(),
-            })
-            .is_err()
-        {
-            imufit_obs::counter("fleet_checkpoint_write_errors_total").inc();
-        }
-        *slot = Some(record);
-        self.done += 1;
-        imufit_obs::counter("fleet_units_completed_total").inc();
-        self.span_event(SpanEvent {
-            worker,
-            span,
-            ..SpanEvent::new(unit, SpanKind::Merged)
-        });
-    }
-
-    /// Returns a unit to the queue after a lost lease (worker death or
-    /// timeout); units past the retry cap are stamped aborted like the
-    /// panic path. `span` is the lost dispatch's span id and `reason`
-    /// lands in the journal's requeue edge.
-    fn requeue(
-        &mut self,
-        unit: u32,
-        span: u64,
-        retry_cap: usize,
-        config: &CampaignConfig,
-        reason: &str,
-    ) {
-        if self.results[unit as usize].is_some() {
-            return;
-        }
-        let tries = self.retries.entry(unit).or_insert(0);
-        *tries += 1;
-        imufit_obs::counter("fleet_unit_retries_total").inc();
-        if *tries as usize > retry_cap {
-            imufit_obs::counter("fleet_units_aborted_total").inc();
-            let record = Campaign::aborted_record_for(config, self.specs[unit as usize]);
-            self.complete(unit, record, span, NO_WORKER);
-        } else {
-            self.pending.push_back(unit);
-            imufit_obs::counter("fleet_units_requeued_total").inc();
-            self.span_event(SpanEvent {
-                span,
-                detail: reason.to_string(),
-                ..SpanEvent::new(unit, SpanKind::Requeued)
-            });
-        }
-    }
-
-    /// Drops every lease held by `worker_id`, requeueing the units.
-    fn release_worker(&mut self, worker_id: u32, retry_cap: usize, config: &CampaignConfig) {
-        let units: Vec<(u32, u64)> = self
-            .leases
-            .iter()
-            .filter(|(_, l)| l.worker_id == worker_id)
-            .map(|(&u, l)| (u, l.span))
-            .collect();
-        for (unit, span) in units {
-            self.leases.remove(&unit);
-            self.assigned_at.remove(&unit);
-            self.requeue(unit, span, retry_cap, config, "worker disconnected");
-        }
-    }
-}
-
 /// The campaign coordinator. Binds an ephemeral localhost port, serves
 /// units until the matrix is complete, and returns merged results.
 pub struct Coordinator {
     listener: TcpListener,
     addr: SocketAddr,
     config: CoordinatorConfig,
-    campaign_config: CampaignConfig,
-    sched: Arc<Mutex<Sched>>,
+    session: Arc<Mutex<CampaignSession>>,
     done_flag: Arc<AtomicBool>,
     lease_timeout: Duration,
-    retry_cap: usize,
     total: usize,
     resumed: usize,
     /// Latest metric snapshot per worker (heartbeat piggybacks), merged
     /// into the coordinator's `/metrics` scrape.
     aggregate: Arc<Aggregate>,
-    /// Campaign fingerprint hash propagated in every `Assign` trace
-    /// context and stamped on the span journal header.
-    campaign_fp: u64,
-    /// Monotone span-id source; each dispatch (including redeliveries)
-    /// draws a fresh id.
-    next_span: AtomicU64,
+}
+
+/// Pre-registers the fleet counters so exports always carry them, and
+/// resets the stale worker-count gauge. Shared with the worker pool.
+pub(crate) fn register_fleet_metrics() {
+    // Back-to-back campaigns in one process must not report the
+    // previous campaign's worker count while this one spins up.
+    imufit_obs::gauge("campaign_workers").set(0.0);
+    imufit_obs::counter("fleet_units_dispatched_total");
+    imufit_obs::counter("fleet_units_completed_total");
+    imufit_obs::counter("fleet_units_requeued_total");
+    imufit_obs::counter("fleet_units_aborted_total");
+    imufit_obs::counter("fleet_unit_retries_total");
+    imufit_obs::counter("fleet_lease_expiries_total");
+    imufit_obs::counter("fleet_bytes_sent_total");
+    imufit_obs::counter("fleet_bytes_received_total");
+    imufit_obs::counter("fleet_worker_disconnects_total");
+    imufit_obs::counter("fleet_snapshots_received_total");
+    imufit_obs::counter("fleet_snapshot_decode_errors_total");
 }
 
 impl Coordinator {
@@ -210,114 +96,34 @@ impl Coordinator {
     /// Returns a typed [`FleetError`] for an unreadable or foreign journal
     /// on `--resume`, or an IO failure binding/creating files.
     pub fn bind(config: CoordinatorConfig) -> Result<Self, FleetError> {
-        let mut campaign_config = CampaignConfig::from_scenario(&config.spec);
-        campaign_config.trace_dir = config.trace_dir.clone();
-        let specs = campaign_config.matrix();
-        let total = specs.len();
-        let fingerprint = CampaignFingerprint::of(&config.spec, total);
-
-        let mut results: Vec<Option<ExperimentRecord>> = vec![None; total];
-        let mut done = 0;
-        let journal = if config.resume {
-            let bytes = std::fs::read(&config.checkpoint)?;
-            let (ck, torn) = Checkpoint::load_for_resume(&bytes, &fingerprint)?;
-            if torn {
-                imufit_obs::counter("fleet_checkpoint_torn_tails_total").inc();
-            }
-            for entry in &ck.entries {
-                let unit = entry.unit as usize;
-                if unit < total && results[unit].is_none() {
-                    results[unit] = Some(entry.record.clone());
-                    done += 1;
-                }
-            }
-            let clean = clean_prefix_len(&fingerprint, &ck.entries);
-            CheckpointWriter::append(&config.checkpoint, clean)?
-        } else {
-            if let Some(dir) = config.checkpoint.parent() {
-                let _ = std::fs::create_dir_all(dir);
-            }
-            CheckpointWriter::create(&config.checkpoint, &fingerprint)?
-        };
-
-        let pending: VecDeque<u32> = (0..total as u32)
-            .filter(|&u| results[u as usize].is_none())
-            .collect();
+        let session = CampaignSession::create(
+            config.spec.clone(),
+            config.trace_dir.clone(),
+            &config.checkpoint,
+            config.resume,
+        )?;
+        let total = session.total();
+        let resumed = session.resumed();
+        let lease_timeout = session.lease_timeout();
 
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        let lease_timeout = Duration::from_secs_f64(config.spec.fleet.lease_timeout_s.max(0.001));
-        let retry_cap = config.spec.fleet.retry_cap;
 
         imufit_obs::gauge("fleet_units_total").set(total as f64);
-        imufit_obs::gauge("fleet_units_resumed").set(done as f64);
-        // Back-to-back campaigns in one process must not report the
-        // previous campaign's worker count while this one spins up.
-        imufit_obs::gauge("campaign_workers").set(0.0);
-        // Pre-register the fleet counters so exports always carry them.
-        imufit_obs::counter("fleet_units_dispatched_total");
-        imufit_obs::counter("fleet_units_completed_total");
-        imufit_obs::counter("fleet_units_requeued_total");
-        imufit_obs::counter("fleet_units_aborted_total");
-        imufit_obs::counter("fleet_unit_retries_total");
-        imufit_obs::counter("fleet_lease_expiries_total");
-        imufit_obs::counter("fleet_bytes_sent_total");
-        imufit_obs::counter("fleet_bytes_received_total");
-        imufit_obs::counter("fleet_worker_disconnects_total");
-        imufit_obs::counter("fleet_snapshots_received_total");
-        imufit_obs::counter("fleet_snapshot_decode_errors_total");
-
-        imufit_obs::status::board().begin_campaign(&config.spec.name, total as u64, done as u64);
-
-        // The `.ifsp` execution span journal rides next to the checkpoint.
-        // Creation failure degrades to an untraced campaign, never a dead
-        // one.
-        let span_path = config.checkpoint.with_file_name("campaign_spans.ifsp");
-        let spans = match SpanJournal::create(&span_path, fingerprint.spec_hash, total as u32) {
-            Ok(journal) => {
-                for &unit in &pending {
-                    let event = SpanEvent {
-                        detail: specs[unit as usize].label(),
-                        ..SpanEvent::new(unit, SpanKind::Enqueued)
-                    };
-                    if journal.record(event).is_err() {
-                        imufit_obs::counter("fleet_span_write_errors_total").inc();
-                    }
-                }
-                Some(journal)
-            }
-            Err(_) => {
-                imufit_obs::counter("fleet_span_write_errors_total").inc();
-                None
-            }
-        };
+        imufit_obs::gauge("fleet_units_resumed").set(resumed as f64);
+        register_fleet_metrics();
+        imufit_obs::status::board().begin_campaign(&config.spec.name, total as u64, resumed as u64);
 
         Ok(Coordinator {
             listener,
             addr,
             config,
-            campaign_config,
-            sched: Arc::new(Mutex::new(Sched {
-                specs,
-                pending,
-                leases: HashMap::new(),
-                retries: HashMap::new(),
-                results,
-                done,
-                journal,
-                busy: HashMap::new(),
-                assigned_at: HashMap::new(),
-                done_by: HashMap::new(),
-                spans,
-            })),
+            session: Arc::new(Mutex::new(session)),
             done_flag: Arc::new(AtomicBool::new(false)),
             lease_timeout,
-            retry_cap,
             total,
-            resumed: done,
+            resumed,
             aggregate: Arc::new(Aggregate::new()),
-            campaign_fp: fingerprint.spec_hash,
-            next_span: AtomicU64::new(1),
         })
     }
 
@@ -366,7 +172,7 @@ impl Coordinator {
         self.listener.set_nonblocking(true)?;
 
         let welcome = FleetMsg::Welcome {
-            spec_toml: self.config.spec.to_toml(),
+            spec_toml: Some(self.config.spec.to_toml()),
             trace_dir: self
                 .config
                 .trace_dir
@@ -381,8 +187,8 @@ impl Coordinator {
         std::thread::scope(|scope| -> Result<(), FleetError> {
             loop {
                 {
-                    let sched = this.sched.lock().unwrap_or_else(|e| e.into_inner());
-                    if sched.finished() {
+                    let session = this.session.lock().unwrap_or_else(|e| e.into_inner());
+                    if session.finished() {
                         this.done_flag.store(true, Ordering::SeqCst);
                         break;
                     }
@@ -390,7 +196,8 @@ impl Coordinator {
                 // Reap expired leases.
                 if last_sweep.elapsed() >= sweep_every {
                     last_sweep = Instant::now();
-                    this.sweep_leases();
+                    let mut session = this.session.lock().unwrap_or_else(|e| e.into_inner());
+                    session.sweep_expired(Instant::now());
                 }
                 match this.listener.accept() {
                     Ok((stream, _)) => {
@@ -408,48 +215,11 @@ impl Coordinator {
             Ok(())
         })?;
 
-        let sched = Arc::try_unwrap(self.sched)
+        let session = Arc::try_unwrap(self.session)
             .map_err(|_| FleetError::Io("scheduler still shared at shutdown".into()))?
             .into_inner()
             .unwrap_or_else(|e| e.into_inner());
-        for (worker, busy) in &sched.busy {
-            imufit_obs::counter_labeled("fleet_worker_busy_ms", "worker", &worker.to_string())
-                .add(busy.as_millis() as u64);
-        }
-        let records = sched
-            .results
-            .into_iter()
-            .enumerate()
-            .map(|(i, r)| {
-                r.unwrap_or_else(|| {
-                    Campaign::aborted_record_for(&self.campaign_config, sched.specs[i])
-                })
-            })
-            .collect();
-        Ok(CampaignResults::from_records(records))
-    }
-
-    fn sweep_leases(&self) {
-        let now = Instant::now();
-        let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
-        let expired: Vec<(u32, u64)> = sched
-            .leases
-            .iter()
-            .filter(|(_, l)| l.deadline <= now)
-            .map(|(&u, l)| (u, l.span))
-            .collect();
-        for (unit, span) in expired {
-            sched.leases.remove(&unit);
-            sched.assigned_at.remove(&unit);
-            imufit_obs::counter("fleet_lease_expiries_total").inc();
-            sched.requeue(
-                unit,
-                span,
-                self.retry_cap,
-                &self.campaign_config,
-                "lease expired",
-            );
-        }
+        Ok(session.into_results())
     }
 
     /// One worker connection: handshake, then a request/assign/result loop
@@ -482,30 +252,9 @@ impl Coordinator {
                 }
                 FleetMsg::Heartbeat { snapshot } => {
                     {
-                        let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
-                        let deadline = Instant::now() + self.lease_timeout;
-                        let mut held = 0u64;
-                        let mut renewed: Vec<(u32, u64)> = Vec::new();
-                        for (&unit, lease) in sched.leases.iter_mut() {
-                            if lease.worker_id == worker_id {
-                                lease.deadline = deadline;
-                                held += 1;
-                                renewed.push((unit, lease.span));
-                            }
-                        }
-                        for (unit, span) in renewed {
-                            sched.span_event(SpanEvent {
-                                worker: worker_id,
-                                span,
-                                ..SpanEvent::new(unit, SpanKind::LeaseRenewed)
-                            });
-                        }
-                        let units_done = sched.done_by.get(&worker_id).copied().unwrap_or(0);
-                        let busy_ms = sched
-                            .busy
-                            .get(&worker_id)
-                            .map(|d| d.as_millis() as u64)
-                            .unwrap_or(0);
+                        let mut session = self.session.lock().unwrap_or_else(|e| e.into_inner());
+                        let held = session.renew_leases(worker_id);
+                        let (units_done, busy_ms) = session.worker_stats(worker_id);
                         imufit_obs::status::board()
                             .worker_seen(worker_id, held, units_done, busy_ms);
                     }
@@ -526,43 +275,20 @@ impl Coordinator {
                     None
                 }
                 FleetMsg::Request => {
-                    let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
-                    if sched.finished() || self.done_flag.load(Ordering::SeqCst) {
+                    let mut session = self.session.lock().unwrap_or_else(|e| e.into_inner());
+                    if session.finished() || self.done_flag.load(Ordering::SeqCst) {
                         let _ = write_msg(&mut stream, &FleetMsg::Done);
                         break false;
                     }
-                    match sched.pending.pop_front() {
-                        Some(unit) => {
-                            let span = self.next_span.fetch_add(1, Ordering::Relaxed);
-                            sched.leases.insert(
-                                unit,
-                                Lease {
-                                    worker_id,
-                                    deadline: Instant::now() + self.lease_timeout,
-                                    span,
-                                },
-                            );
-                            sched.assigned_at.insert(unit, Instant::now());
-                            imufit_obs::counter("fleet_units_dispatched_total").inc();
-                            imufit_obs::counter_labeled(
-                                "fleet_worker_units_dispatched",
-                                "worker",
-                                &worker_id.to_string(),
-                            )
-                            .inc();
-                            sched.span_event(SpanEvent {
-                                worker: worker_id,
-                                span,
-                                ..SpanEvent::new(unit, SpanKind::Dispatched)
-                            });
-                            let spec = sched.specs[unit as usize];
-                            Some(FleetMsg::Assign {
-                                unit,
-                                spec,
-                                campaign_fp: self.campaign_fp,
-                                span,
-                            })
-                        }
+                    match session.next_unit(worker_id) {
+                        Some(d) => Some(FleetMsg::Assign {
+                            unit: d.unit,
+                            spec: d.spec,
+                            campaign_fp: d.campaign_fp,
+                            span: d.span,
+                            campaign: 0,
+                            spec_toml: None,
+                        }),
                         None => Some(FleetMsg::NoWork),
                     }
                 }
@@ -571,31 +297,13 @@ impl Coordinator {
                     record,
                     span,
                     exec,
+                    campaign: _,
                 } => {
-                    let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
-                    if (unit as usize) < sched.results.len() {
-                        sched.leases.remove(&unit);
-                        if let Some(at) = sched.assigned_at.remove(&unit) {
-                            *sched.busy.entry(worker_id).or_default() += at.elapsed();
-                        }
-                        if sched.results[unit as usize].is_none() {
-                            sched.span_event(SpanEvent {
-                                worker: worker_id,
-                                span,
-                                ticks: exec.ticks,
-                                exec_nanos: exec.exec_nanos,
-                                stages: exec.stages,
-                                ..SpanEvent::new(unit, SpanKind::Executed)
-                            });
-                        }
-                        let was_done = sched.done;
-                        sched.complete(unit, record, span, worker_id);
-                        if sched.done > was_done {
-                            *sched.done_by.entry(worker_id).or_default() += 1;
-                            imufit_obs::status::board().set_progress(sched.done as u64);
-                            if let Some(cb) = progress {
-                                cb(sched.done, self.total);
-                            }
+                    let mut session = self.session.lock().unwrap_or_else(|e| e.into_inner());
+                    if session.handle_result(unit, record, span, exec, worker_id) {
+                        imufit_obs::status::board().set_progress(session.done() as u64);
+                        if let Some(cb) = progress {
+                            cb(session.done(), self.total);
                         }
                     }
                     None
@@ -616,116 +324,7 @@ impl Coordinator {
         if disconnect {
             imufit_obs::counter("fleet_worker_disconnects_total").inc();
         }
-        let mut sched = self.sched.lock().unwrap_or_else(|e| e.into_inner());
-        sched.release_worker(worker_id, self.retry_cap, &self.campaign_config);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use imufit_uav::FlightOutcome;
-
-    fn test_sched(tag: &str) -> (Sched, CampaignConfig, std::path::PathBuf) {
-        let config = CampaignConfig::scaled(1, vec![2.0], 2024);
-        let specs = config.matrix();
-        let total = specs.len();
-        let spec = ScenarioSpec::paper_default();
-        let fp = CampaignFingerprint::of(&spec, total);
-        let path = std::env::temp_dir().join(format!(
-            "imufit-fleet-sched-{tag}-{}.ckpt",
-            std::process::id()
-        ));
-        let journal = CheckpointWriter::create(&path, &fp).unwrap();
-        let sched = Sched {
-            pending: (0..total as u32).collect(),
-            leases: HashMap::new(),
-            retries: HashMap::new(),
-            results: vec![None; total],
-            done: 0,
-            specs,
-            journal,
-            busy: HashMap::new(),
-            assigned_at: HashMap::new(),
-            done_by: HashMap::new(),
-            spans: None,
-        };
-        (sched, config, path)
-    }
-
-    /// An expired lease re-queues its unit until the retry cap, after
-    /// which the unit is stamped aborted — the campaign always finishes.
-    #[test]
-    fn requeue_honors_retry_cap_then_aborts() {
-        let (mut sched, config, path) = test_sched("cap");
-        let cap = 2;
-        let unit = 0_u32;
-        let before = sched.pending.len();
-
-        // The same unit loses its lease `cap` times: re-queued each time.
-        for round in 1..=cap {
-            sched.pending.retain(|&u| u != unit);
-            sched.requeue(unit, 1, cap, &config, "lease expired");
-            assert_eq!(sched.pending.len(), before, "round {round} should requeue");
-            assert!(sched.results[unit as usize].is_none());
-        }
-        // One more lost lease crosses the cap: aborted, not requeued.
-        sched.pending.retain(|&u| u != unit);
-        sched.requeue(unit, 1, cap, &config, "lease expired");
-        assert_eq!(sched.pending.len(), before - 1);
-        let record = sched.results[unit as usize].as_ref().expect("stamped");
-        assert_eq!(record.outcome, FlightOutcome::Aborted);
-        assert_eq!(sched.done, 1);
-        let _ = std::fs::remove_file(path);
-    }
-
-    /// A worker's death releases every lease it held in one sweep.
-    #[test]
-    fn release_worker_requeues_all_of_its_leases() {
-        let (mut sched, config, path) = test_sched("release");
-        let deadline = Instant::now() + Duration::from_secs(60);
-        for unit in [0_u32, 1, 2] {
-            sched.pending.retain(|&u| u != unit);
-            sched.leases.insert(
-                unit,
-                Lease {
-                    worker_id: 7,
-                    deadline,
-                    span: 1,
-                },
-            );
-        }
-        sched.leases.insert(
-            3,
-            Lease {
-                worker_id: 8,
-                deadline,
-                span: 2,
-            },
-        );
-        sched.pending.retain(|&u| u != 3);
-
-        sched.release_worker(7, 3, &config);
-        assert!(sched.leases.keys().all(|&u| u == 3), "worker 8 keeps lease");
-        for unit in [0_u32, 1, 2] {
-            assert!(sched.pending.contains(&unit), "unit {unit} requeued");
-        }
-        assert!(!sched.pending.contains(&3));
-        let _ = std::fs::remove_file(path);
-    }
-
-    /// A re-dispatched unit that completes twice keeps the first record:
-    /// the journal and the merged CSV can never disagree.
-    #[test]
-    fn duplicate_completion_is_idempotent() {
-        let (mut sched, config, path) = test_sched("dup");
-        let first = Campaign::aborted_record_for(&config, sched.specs[0]);
-        let mut second = first.clone();
-        second.flight_duration = 99.0;
-        sched.complete(0, first.clone(), 1, 7);
-        sched.complete(0, second, 2, 8);
-        assert_eq!(sched.done, 1);
-        assert_eq!(sched.results[0].as_ref().unwrap(), &first);
-        let _ = std::fs::remove_file(path);
+        let mut session = self.session.lock().unwrap_or_else(|e| e.into_inner());
+        session.release_worker(worker_id);
     }
 }

@@ -31,10 +31,16 @@
 
 pub mod checkpoint;
 pub mod coordinator;
+pub mod pool;
 pub mod protocol;
+pub mod session;
 pub mod worker;
 
 pub use checkpoint::{CampaignFingerprint, Checkpoint, CheckpointEntry, CheckpointWriter};
 pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use pool::{
+    CampaignState, CampaignStatus, PoolConfig, ResultsOutcome, SubmitOutcome, WorkerPool,
+};
 pub use protocol::{decode_msg, encode_msg, read_msg, write_msg, ExecReport, FleetError, FleetMsg};
+pub use session::CampaignSession;
 pub use worker::{run_worker, spawn_local_workers, WorkerExit, MAX_CONNECT_ATTEMPTS};

@@ -35,7 +35,11 @@ pub const MAGIC: u8 = 0xF1;
 /// the optional metric-snapshot payload piggybacked on heartbeats;
 /// version 4 added the run-span trace context on `Assign` and the
 /// execution report (ticks, wall time, per-stage self-time) on `Result`.
-pub const PROTOCOL_VERSION: u8 = 4;
+/// Version 5 added multi-campaign tags: `Welcome` may omit its scenario
+/// (pool mode), `Assign` carries the campaign id plus — on a worker's
+/// first unit from that campaign — the campaign's scenario inline, and
+/// `Result` echoes the campaign id so unit indices stay campaign-local.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Upper bound on per-stage entries in an execution report (mirrors the
 /// span journal's stage cap).
@@ -124,7 +128,10 @@ pub enum FleetMsg {
     Welcome {
         /// The full scenario document (TOML) the worker must realize —
         /// the same unknown-/missing-key-rejecting codec as `--scenario`.
-        spec_toml: String,
+        /// `None` puts the worker in pool mode: campaigns arrive
+        /// dynamically, each unit's scenario delivered inline on the
+        /// first `Assign` from that campaign.
+        spec_toml: Option<String>,
         /// Black-box output directory, if tracing is armed.
         trace_dir: Option<String>,
         /// Lease timeout the coordinator enforces, seconds (workers pace
@@ -135,7 +142,7 @@ pub enum FleetMsg {
     Request,
     /// Coordinator → worker: fly this unit.
     Assign {
-        /// Matrix index of the unit (the merge key).
+        /// Matrix index of the unit within its campaign (the merge key).
         unit: u32,
         /// The experiment to run.
         spec: ExperimentSpec,
@@ -147,6 +154,14 @@ pub enum FleetMsg {
         /// delivery, so a redelivered unit's retry chain stays
         /// distinguishable in the span journal.
         span: u64,
+        /// Pool campaign id this unit belongs to (0 for the one-shot
+        /// coordinator, which serves exactly one campaign).
+        campaign: u32,
+        /// The campaign's scenario document, sent once per connection the
+        /// first time this campaign assigns a unit to the worker; the
+        /// worker caches it by campaign id. Always `None` from the
+        /// one-shot coordinator (its `Welcome` carried the scenario).
+        spec_toml: Option<String>,
     },
     /// Coordinator → worker: nothing to hand out right now, but the
     /// campaign is still in flight (leased units may yet be re-queued) —
@@ -156,7 +171,7 @@ pub enum FleetMsg {
     Done,
     /// Worker → coordinator: a finished unit's record.
     Result {
-        /// Matrix index of the unit.
+        /// Matrix index of the unit within its campaign.
         unit: u32,
         /// The measured record, bit-exact (floats travel as raw bits).
         record: ExperimentRecord,
@@ -164,6 +179,8 @@ pub enum FleetMsg {
         span: u64,
         /// Execution report for the span journal.
         exec: ExecReport,
+        /// The campaign id echoed from the `Assign`.
+        campaign: u32,
     },
     /// Worker → coordinator: still alive, extend my leases. Optionally
     /// carries the worker's encoded metric-registry snapshot
@@ -282,6 +299,25 @@ pub(crate) fn put_f64_bits(buf: &mut BytesMut, v: f64) {
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
     buf.put_slice(s.as_bytes());
+}
+
+/// Optional string: a presence flag, then the string when present.
+fn put_opt_str(buf: &mut BytesMut, s: Option<&str>) {
+    match s {
+        None => buf.put_u8(0),
+        Some(s) => {
+            buf.put_u8(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_opt_str(r: &mut Reader) -> Result<Option<String>, FleetError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.str()?)),
+        _ => Err(FleetError::Malformed("bad optional-string presence flag")),
+    }
 }
 
 // --- Experiment spec / record codecs -------------------------------------
@@ -517,14 +553,8 @@ pub fn encode_msg(msg: &FleetMsg) -> Vec<u8> {
             trace_dir,
             lease_timeout_s,
         } => {
-            put_str(&mut payload, spec_toml);
-            match trace_dir {
-                None => payload.put_u8(0),
-                Some(dir) => {
-                    payload.put_u8(1);
-                    put_str(&mut payload, dir);
-                }
-            }
+            put_opt_str(&mut payload, spec_toml.as_deref());
+            put_opt_str(&mut payload, trace_dir.as_deref());
             put_f64_bits(&mut payload, *lease_timeout_s);
         }
         FleetMsg::Request | FleetMsg::NoWork | FleetMsg::Done => {}
@@ -541,22 +571,28 @@ pub fn encode_msg(msg: &FleetMsg) -> Vec<u8> {
             spec,
             campaign_fp,
             span,
+            campaign,
+            spec_toml,
         } => {
             payload.put_u32_le(*unit);
             put_spec(&mut payload, spec);
             payload.put_u64_le(*campaign_fp);
             payload.put_u64_le(*span);
+            payload.put_u32_le(*campaign);
+            put_opt_str(&mut payload, spec_toml.as_deref());
         }
         FleetMsg::Result {
             unit,
             record,
             span,
             exec,
+            campaign,
         } => {
             payload.put_u32_le(*unit);
             put_record(&mut payload, record);
             payload.put_u64_le(*span);
             put_exec(&mut payload, exec);
+            payload.put_u32_le(*campaign);
         }
     }
 
@@ -578,12 +614,8 @@ fn decode_payload(msg_id: u8, payload: Bytes) -> Result<FleetMsg, FleetError> {
             worker_id: r.u32()?,
         },
         2 => {
-            let spec_toml = r.str()?;
-            let trace_dir = match r.u8()? {
-                0 => None,
-                1 => Some(r.str()?),
-                _ => return Err(FleetError::Malformed("bad trace-dir presence flag")),
-            };
+            let spec_toml = get_opt_str(&mut r)?;
+            let trace_dir = get_opt_str(&mut r)?;
             let lease_timeout_s = r.f64()?;
             FleetMsg::Welcome {
                 spec_toml,
@@ -597,6 +629,8 @@ fn decode_payload(msg_id: u8, payload: Bytes) -> Result<FleetMsg, FleetError> {
             spec: get_spec(&mut r)?,
             campaign_fp: r.u64()?,
             span: r.u64()?,
+            campaign: r.u32()?,
+            spec_toml: get_opt_str(&mut r)?,
         },
         5 => FleetMsg::NoWork,
         6 => FleetMsg::Done,
@@ -605,6 +639,7 @@ fn decode_payload(msg_id: u8, payload: Bytes) -> Result<FleetMsg, FleetError> {
             record: get_record(&mut r)?,
             span: r.u64()?,
             exec: get_exec(&mut r)?,
+            campaign: r.u32()?,
         },
         8 => {
             let snapshot = match r.u8()? {
@@ -750,12 +785,13 @@ mod tests {
     fn all_messages_round_trip() {
         round_trip(FleetMsg::Hello { worker_id: 42 });
         round_trip(FleetMsg::Welcome {
-            spec_toml: "name = \"quick\"\n[campaign]\nseed = 7".to_string(),
+            spec_toml: Some("name = \"quick\"\n[campaign]\nseed = 7".to_string()),
             trace_dir: Some("out/traces".to_string()),
             lease_timeout_s: 12.5,
         });
+        // Pool mode: no inline scenario in the handshake.
         round_trip(FleetMsg::Welcome {
-            spec_toml: String::new(),
+            spec_toml: None,
             trace_dir: None,
             lease_timeout_s: 30.0,
         });
@@ -765,12 +801,17 @@ mod tests {
             spec: ExperimentSpec::gold(4),
             campaign_fp: 0xDEAD_BEEF_CAFE_F00D,
             span: 1,
+            campaign: 0,
+            spec_toml: None,
         });
+        // A pool dispatch carrying the campaign scenario inline.
         round_trip(FleetMsg::Assign {
             unit: 18,
             spec: sample_record().spec,
             campaign_fp: 0,
             span: u64::MAX,
+            campaign: 3,
+            spec_toml: Some("name = \"quick\"\n[campaign]\nseed = 9".to_string()),
         });
         // Attack cells: kind, scope, window, and intensity all survive.
         round_trip(FleetMsg::Assign {
@@ -783,6 +824,8 @@ mod tests {
             ),
             campaign_fp: 7,
             span: 7,
+            campaign: 1,
+            spec_toml: None,
         });
         for kind in AttackKind::all() {
             round_trip(FleetMsg::Assign {
@@ -793,6 +836,8 @@ mod tests {
                 ),
                 campaign_fp: 1,
                 span: kind.id(),
+                campaign: 0,
+                spec_toml: None,
             });
         }
         round_trip(FleetMsg::NoWork);
@@ -802,6 +847,7 @@ mod tests {
             record: sample_record(),
             span: 99,
             exec: ExecReport::default(),
+            campaign: 0,
         });
         round_trip(FleetMsg::Result {
             unit: 845,
@@ -816,6 +862,7 @@ mod tests {
                     ("dynamics".to_string(), 3_000),
                 ],
             },
+            campaign: 7,
         });
         round_trip(FleetMsg::Heartbeat { snapshot: None });
         round_trip(FleetMsg::Heartbeat {
@@ -833,6 +880,7 @@ mod tests {
             record,
             span: 0,
             exec: ExecReport::default(),
+            campaign: 0,
         };
         let back = decode_msg(&encode_msg(&msg)).unwrap();
         let FleetMsg::Result { record: r, .. } = back else {
@@ -849,6 +897,7 @@ mod tests {
             record: sample_record(),
             span: 5,
             exec: ExecReport::default(),
+            campaign: 0,
         });
         for cut in [0, 1, 5, 8, bytes.len() - 1] {
             assert_eq!(
@@ -901,6 +950,7 @@ mod tests {
             record: sample_record(),
             span: 1,
             exec,
+            campaign: 0,
         };
         let FleetMsg::Result { exec, .. } = decode_msg(&encode_msg(&msg)).unwrap() else {
             panic!("wrong message")

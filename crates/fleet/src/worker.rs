@@ -9,6 +9,7 @@
 //! restart (e.g. a `--resume` after a crash) picks the fleet back up
 //! without respawning processes.
 
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
@@ -137,7 +138,19 @@ struct WorkerContext {
     lease_timeout: Duration,
 }
 
-fn context_from_welcome(msg: &FleetMsg) -> Result<WorkerContext, FleetError> {
+/// A batched lane's in-flight bookkeeping: the coordinator unit flying
+/// in it, its spec, trace span, campaign id, and execution window.
+type LaneUnit = (u32, ExperimentSpec, u64, u32, ExecWindow);
+
+/// What a `Welcome` put this session into: the classic one-campaign mode
+/// (scenario arrives in the handshake) or pool mode (scenarios arrive
+/// inline with the first `Assign` of each campaign).
+enum SessionMode {
+    OneShot(Box<WorkerContext>),
+    Pool { lease_timeout: Duration },
+}
+
+fn mode_from_welcome(msg: &FleetMsg) -> Result<SessionMode, FleetError> {
     let (spec_toml, trace_dir, lease_timeout_s) = match msg {
         FleetMsg::Welcome {
             spec_toml,
@@ -145,6 +158,10 @@ fn context_from_welcome(msg: &FleetMsg) -> Result<WorkerContext, FleetError> {
             lease_timeout_s,
         } => (spec_toml, trace_dir, *lease_timeout_s),
         _ => return Err(FleetError::Malformed("expected Welcome after Hello")),
+    };
+    let lease_timeout = Duration::from_secs_f64(lease_timeout_s.max(0.001));
+    let Some(spec_toml) = spec_toml else {
+        return Ok(SessionMode::Pool { lease_timeout });
     };
     let spec = ScenarioSpec::from_toml(spec_toml)
         .map_err(|e| FleetError::Io(format!("coordinator sent invalid scenario: {e}")))?;
@@ -154,10 +171,10 @@ fn context_from_welcome(msg: &FleetMsg) -> Result<WorkerContext, FleetError> {
         let _ = std::fs::create_dir_all(&dir);
         config.trace_dir = Some(dir);
     }
-    Ok(WorkerContext {
+    Ok(SessionMode::OneShot(Box::new(WorkerContext {
         config,
-        lease_timeout: Duration::from_secs_f64(lease_timeout_s.max(0.001)),
-    })
+        lease_timeout,
+    })))
 }
 
 /// Runs a worker against the coordinator at `addr` until the campaign
@@ -192,7 +209,11 @@ pub fn run_worker(addr: SocketAddr, worker_id: u32) -> Result<WorkerExit, FleetE
 fn serve_session(mut stream: TcpStream, worker_id: u32) -> Result<WorkerExit, FleetError> {
     write_msg(&mut stream, &FleetMsg::Hello { worker_id })?;
     let (welcome, _) = read_msg(&mut stream)?;
-    let ctx = context_from_welcome(&welcome)?;
+    let mode = mode_from_welcome(&welcome)?;
+    let lease_timeout = match &mode {
+        SessionMode::OneShot(ctx) => ctx.lease_timeout,
+        SessionMode::Pool { lease_timeout } => *lease_timeout,
+    };
 
     // Heartbeats ride a cloned handle so a long experiment doesn't let
     // the lease lapse. The writer mutex keeps heartbeat frames from
@@ -204,7 +225,7 @@ fn serve_session(mut stream: TcpStream, worker_id: u32) -> Result<WorkerExit, Fl
     let beat = {
         let writer = Arc::clone(&writer);
         let stop = Arc::clone(&stop);
-        let every = (ctx.lease_timeout / 3)
+        let every = (lease_timeout / 3)
             .min(Duration::from_secs(2))
             .max(Duration::from_millis(10));
         std::thread::spawn(move || {
@@ -230,10 +251,12 @@ fn serve_session(mut stream: TcpStream, worker_id: u32) -> Result<WorkerExit, Fl
         })
     };
 
-    let result = if Campaign::uses_batch_dispatch(&ctx.config) {
-        batched_work_loop(&ctx, &mut stream, &writer)
-    } else {
-        scalar_work_loop(&ctx, &mut stream, &writer)
+    let result = match &mode {
+        SessionMode::Pool { .. } => pooled_work_loop(&mut stream, &writer),
+        SessionMode::OneShot(ctx) if Campaign::uses_batch_dispatch(&ctx.config) => {
+            batched_work_loop(ctx, &mut stream, &writer)
+        }
+        SessionMode::OneShot(ctx) => scalar_work_loop(ctx, &mut stream, &writer),
     };
 
     stop.store(true, Ordering::SeqCst);
@@ -259,7 +282,11 @@ fn scalar_work_loop(
         match read_msg(stream)? {
             (
                 FleetMsg::Assign {
-                    unit, spec, span, ..
+                    unit,
+                    spec,
+                    span,
+                    campaign,
+                    ..
                 },
                 _,
             ) => {
@@ -278,11 +305,81 @@ fn scalar_work_loop(
                         record,
                         span,
                         exec,
+                        campaign,
                     },
                 )?;
             }
             (FleetMsg::NoWork, _) => {
                 // Other workers hold the remaining leases; poll gently.
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            (FleetMsg::Done, _) => return Ok(WorkerExit::CampaignComplete),
+            _ => return Err(FleetError::Malformed("unexpected message in work loop")),
+        }
+    }
+}
+
+/// The pool-mode work loop: like the scalar loop, but each `Assign`
+/// carries a campaign id, the first assignment from a campaign brings its
+/// scenario inline, and results echo the id so unit indices stay
+/// campaign-local. Runs until the pool says `Done` (shutdown).
+fn pooled_work_loop(
+    stream: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+) -> Result<WorkerExit, FleetError> {
+    // Campaign id -> its rebuilt config; the pool resends a scenario only
+    // on the first assignment to this connection, so the cache is load-
+    // bearing, not an optimisation.
+    let mut contexts: HashMap<u32, CampaignConfig> = HashMap::new();
+    // The vehicle slot is safe to recycle across campaigns: `build_into`
+    // rebuilds the vehicle from the unit's own mission/seed every run, so
+    // records can never depend on which campaign flew the slot last.
+    let mut vehicle = None;
+    loop {
+        {
+            let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+            write_msg(&mut *w, &FleetMsg::Request)?;
+        }
+        match read_msg(stream)? {
+            (
+                FleetMsg::Assign {
+                    unit,
+                    spec,
+                    span,
+                    campaign,
+                    spec_toml,
+                    ..
+                },
+                _,
+            ) => {
+                if let Some(toml) = spec_toml {
+                    let scenario = ScenarioSpec::from_toml(&toml)
+                        .map_err(|e| FleetError::Io(format!("pool sent invalid scenario: {e}")))?;
+                    contexts.insert(campaign, CampaignConfig::from_scenario(&scenario));
+                }
+                let config = contexts
+                    .get(&campaign)
+                    .ok_or(FleetError::Malformed("assign for unknown campaign"))?;
+                if flaky_unit_should_drop(unit) {
+                    return Err(FleetError::Io("flaky-unit test hook tripped".into()));
+                }
+                let window = ExecWindow::open();
+                let record = Campaign::run_experiment_isolated_into(config, spec, &mut vehicle);
+                let exec = window.close(ticks_for(config, record.flight_duration));
+                let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
+                write_msg(
+                    &mut *w,
+                    &FleetMsg::Result {
+                        unit,
+                        record,
+                        span,
+                        exec,
+                        campaign,
+                    },
+                )?;
+            }
+            (FleetMsg::NoWork, _) => {
+                // The pool may be idle between campaigns; poll gently.
                 std::thread::sleep(Duration::from_millis(50));
             }
             (FleetMsg::Done, _) => return Ok(WorkerExit::CampaignComplete),
@@ -308,9 +405,9 @@ fn batched_work_loop(
 ) -> Result<WorkerExit, FleetError> {
     let batch = ctx.config.batch.max(1);
     let mut sim = BatchSimulator::new();
-    // lane index -> the coordinator unit flying in it, its trace span, and
-    // its execution window (opened at lane load).
-    let mut lane_unit: Vec<Option<(u32, ExperimentSpec, u64, ExecWindow)>> = Vec::new();
+    // lane index -> the coordinator unit flying in it, its trace span,
+    // campaign id, and execution window (opened at lane load).
+    let mut lane_unit: Vec<Option<LaneUnit>> = Vec::new();
     let mut done_seen = false;
     let mut next_request = std::time::Instant::now();
     loop {
@@ -325,7 +422,11 @@ fn batched_work_loop(
             match read_msg(stream)? {
                 (
                     FleetMsg::Assign {
-                        unit, spec, span, ..
+                        unit,
+                        spec,
+                        span,
+                        campaign,
+                        ..
                     },
                     _,
                 ) => {
@@ -340,7 +441,8 @@ fn batched_work_loop(
                             if lane >= lane_unit.len() {
                                 lane_unit.resize_with(lane + 1, || None);
                             }
-                            lane_unit[lane] = Some((unit, spec, span, ExecWindow::open()));
+                            lane_unit[lane] =
+                                Some((unit, spec, span, campaign, ExecWindow::open()));
                             imufit_obs::gauge("campaign_batch_lanes")
                                 .set(sim.occupied_lanes() as f64);
                         }
@@ -358,6 +460,7 @@ fn batched_work_loop(
                                     record,
                                     span,
                                     exec: ExecReport::default(),
+                                    campaign,
                                 },
                             )?;
                         }
@@ -384,7 +487,7 @@ fn batched_work_loop(
         for lane in sim.finished_lanes() {
             let summary = sim.retire(lane);
             imufit_obs::gauge("campaign_batch_lanes").set(sim.occupied_lanes() as f64);
-            let Some((unit, spec, span, window)) = lane_unit[lane].take() else {
+            let Some((unit, spec, span, campaign, window)) = lane_unit[lane].take() else {
                 continue;
             };
             if matches!(summary.outcome, imufit_uav::FlightOutcome::Aborted) {
@@ -401,6 +504,7 @@ fn batched_work_loop(
                     record,
                     span,
                     exec,
+                    campaign,
                 },
             )?;
         }

@@ -1,5 +1,5 @@
-//! The embedded metrics HTTP server: `/metrics`, `/status`, `/alerts`,
-//! `/healthz`.
+//! The embedded HTTP server: `/metrics`, `/status`, `/alerts`,
+//! `/healthz`, plus pluggable routes for the campaign service.
 //!
 //! Hand-rolled HTTP/1.1 over `std::net`, in the same zero-dependency
 //! style as the fleet crate's TCP protocol: a single accept thread, short
@@ -8,6 +8,12 @@
 //! atomic loads — so a scrape can never perturb a running campaign, and a
 //! coordinator can hand the server an [`Aggregate`] so one scrape returns
 //! the merged fleet-wide view with per-worker labels.
+//!
+//! A [`Handler`] lets callers (the `imufit-serve` crate) mount extra
+//! routes — including `POST` with a request body — in front of the
+//! built-in read-only endpoints. Untrusted input is bounded twice: the
+//! request head is capped at 8 KiB and the body at a caller-chosen limit
+//! (413 on breach); nothing in this module panics on hostile bytes.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -18,23 +24,102 @@ use std::time::Duration;
 
 use crate::snapshot::{capture, Aggregate};
 
-/// Largest accepted request head (we only ever need the request line).
+/// Largest accepted request head (request line + headers).
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
-/// A running metrics server; shuts down when dropped or via
+/// Default request-body cap when the caller doesn't choose one.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request, as seen by a [`Handler`].
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method, verbatim (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path with any query string stripped.
+    pub path: String,
+    /// The raw query string (no leading `?`; empty when absent).
+    pub query: String,
+    /// The request body (empty unless a `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestError {
+    /// Not parseable as HTTP/1.1 (or the head exceeded its cap).
+    Malformed,
+    /// `Content-Length` exceeded the server's body cap → 413.
+    BodyTooLarge,
+}
+
+/// One response a [`Handler`] produces.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub code: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// An `application/json` response.
+    pub fn json(code: u16, body: impl Into<String>) -> Response {
+        Response {
+            code,
+            content_type: "application/json".to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// A `text/plain` response.
+    pub fn text(code: u16, body: impl Into<String>) -> Response {
+        Response {
+            code,
+            content_type: "text/plain".to_string(),
+            body: body.into(),
+        }
+    }
+}
+
+/// A pluggable route handler tried before the built-in endpoints;
+/// returning `None` falls through to them.
+pub type Handler = Arc<dyn Fn(&Request) -> Option<Response> + Send + Sync>;
+
+/// A running embedded server; shuts down when dropped or via
 /// [`ObsServer::shutdown`].
-#[derive(Debug)]
 pub struct ObsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for ObsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
 impl ObsServer {
     /// Binds `addr` (e.g. `"127.0.0.1:9469"`, port 0 for ephemeral) and
-    /// serves until shut down. `aggregate`, when given, is merged into
-    /// every `/metrics` response (the coordinator's fleet-wide view).
+    /// serves the built-in endpoints until shut down. `aggregate`, when
+    /// given, is merged into every `/metrics` response (the coordinator's
+    /// fleet-wide view).
     pub fn serve(addr: &str, aggregate: Option<Arc<Aggregate>>) -> std::io::Result<ObsServer> {
+        Self::serve_with(addr, aggregate, None, DEFAULT_MAX_BODY_BYTES)
+    }
+
+    /// [`ObsServer::serve`] plus a route [`Handler`] tried before the
+    /// built-in endpoints, and a request-body cap (413 on breach).
+    pub fn serve_with(
+        addr: &str,
+        aggregate: Option<Arc<Aggregate>>,
+        handler: Option<Handler>,
+        max_body_bytes: usize,
+    ) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
@@ -47,7 +132,12 @@ impl ObsServer {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             // Requests are tiny and local; serve inline.
-                            let _ = handle_connection(stream, aggregate.as_deref());
+                            let _ = handle_connection(
+                                stream,
+                                aggregate.as_deref(),
+                                handler.as_ref(),
+                                max_body_bytes,
+                            );
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                             std::thread::sleep(Duration::from_millis(25));
@@ -87,14 +177,46 @@ impl Drop for ObsServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, aggregate: Option<&Aggregate>) -> std::io::Result<()> {
+fn handle_connection(
+    mut stream: TcpStream,
+    aggregate: Option<&Aggregate>,
+    handler: Option<&Handler>,
+    max_body_bytes: usize,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    let path = match read_request_path(&mut stream) {
-        Some(path) => path,
-        None => return write_response(&mut stream, 400, "text/plain", "bad request\n"),
+    let request = match read_request(&mut stream, max_body_bytes) {
+        Ok(request) => request,
+        Err(RequestError::Malformed) => {
+            return write_response(&mut stream, 400, "text/plain", "bad request\n")
+        }
+        Err(RequestError::BodyTooLarge) => {
+            return write_response(
+                &mut stream,
+                413,
+                "application/json",
+                &format!("{{\"error\": \"request body exceeds {max_body_bytes} bytes\"}}\n"),
+            )
+        }
     };
-    match path.as_str() {
+    if let Some(handler) = handler {
+        if let Some(response) = handler(&request) {
+            return write_response(
+                &mut stream,
+                response.code,
+                &response.content_type,
+                &response.body,
+            );
+        }
+    }
+    let known = matches!(
+        request.path.as_str(),
+        "/metrics" | "/status" | "/alerts" | "/healthz"
+    );
+    if known && request.method != "GET" {
+        return write_response(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    match request.path.as_str() {
         "/metrics" => {
             let mut snap = capture();
             if let Some(agg) = aggregate {
@@ -130,36 +252,74 @@ fn handle_connection(mut stream: TcpStream, aggregate: Option<&Aggregate>) -> st
     }
 }
 
-/// Reads up to the end of the request head and returns the request-line
-/// path for well-formed `GET` requests.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// Reads and parses one request: head (capped at 8 KiB), then as much
+/// body as `Content-Length` declares (capped at `max_body_bytes`).
+fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, RequestError> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
-    loop {
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Err(RequestError::Malformed);
+        }
         match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
-                    break;
-                }
-            }
-            Err(_) => break,
+            Ok(0) => return Err(RequestError::Malformed),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(RequestError::Malformed),
+        }
+    };
+
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let request_line = head.lines().next().ok_or(RequestError::Malformed)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(RequestError::Malformed)?.to_string();
+    let target = parts.next().ok_or(RequestError::Malformed)?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let content_length: usize = head
+        .lines()
+        .skip(1)
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .unwrap_or(0);
+    if content_length > max_body_bytes {
+        return Err(RequestError::BodyTooLarge);
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(RequestError::Malformed),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return Err(RequestError::Malformed),
         }
     }
-    let head = String::from_utf8_lossy(&buf);
-    let request_line = head.lines().next()?;
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next()?;
-    let path = parts.next()?;
-    if method != "GET" {
-        return None;
-    }
-    // Strip any query string; the endpoints take no parameters.
-    Some(path.split('?').next().unwrap_or(path).to_string())
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
 }
 
-fn write_response(
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one `Connection: close` response. Public so the campaign
+/// service can reuse the exact wire format for its own routes.
+pub fn write_response(
     stream: &mut TcpStream,
     code: u16,
     content_type: &str,
@@ -167,8 +327,14 @@ fn write_response(
 ) -> std::io::Result<()> {
     let reason = match code {
         200 => "OK",
+        201 => "Created",
         400 => "Bad Request",
         404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
         _ => "Error",
     };
     let head = format!(
@@ -190,6 +356,24 @@ mod tests {
         stream
             .write_all(format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
             .unwrap();
+        read_reply(stream)
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        read_reply(stream)
+    }
+
+    fn read_reply(mut stream: TcpStream) -> (u16, String) {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         let code: u16 = response
@@ -249,6 +433,60 @@ mod tests {
         let (code, body) = get(server.addr(), "/metrics");
         assert_eq!(code, 200);
         assert!(body.contains("obs_test_http_agg_total{worker=\"3\"} 11"));
+        server.shutdown();
+    }
+
+    /// A mounted handler sees method, path, query, and body, and its
+    /// `None` falls through to the built-ins.
+    #[test]
+    fn handler_routes_post_with_body_and_falls_through() {
+        let handler: Handler = Arc::new(|req: &Request| {
+            (req.path == "/echo").then(|| {
+                Response::json(
+                    201,
+                    format!(
+                        "{{\"method\": \"{}\", \"query\": \"{}\", \"len\": {}}}",
+                        req.method,
+                        req.query,
+                        req.body.len()
+                    ),
+                )
+            })
+        });
+        let server =
+            ObsServer::serve_with("127.0.0.1:0", None, Some(handler), DEFAULT_MAX_BODY_BYTES)
+                .unwrap();
+        let addr = server.addr();
+
+        let (code, body) = post(addr, "/echo?tenant=alice", "hello world");
+        assert_eq!(code, 201);
+        assert!(body.contains("\"method\": \"POST\""));
+        assert!(body.contains("\"query\": \"tenant=alice\""));
+        assert!(body.contains("\"len\": 11"));
+
+        // Fall-through: the built-ins still answer.
+        let (code, _) = get(addr, "/healthz");
+        assert_eq!(code, 200);
+
+        server.shutdown();
+    }
+
+    /// Bodies over the cap get a 413 before any allocation of the body.
+    #[test]
+    fn oversized_body_is_413() {
+        let server = ObsServer::serve_with("127.0.0.1:0", None, None, 64).unwrap();
+        let (code, body) = post(server.addr(), "/anything", &"x".repeat(65));
+        assert_eq!(code, 413);
+        assert!(body.contains("exceeds 64 bytes"));
+        server.shutdown();
+    }
+
+    /// Non-GET on a built-in read-only endpoint is 405, not 400.
+    #[test]
+    fn post_to_builtin_is_method_not_allowed() {
+        let server = ObsServer::serve("127.0.0.1:0", None).unwrap();
+        let (code, _) = post(server.addr(), "/metrics", "");
+        assert_eq!(code, 405);
         server.shutdown();
     }
 }

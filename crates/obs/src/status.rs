@@ -59,6 +59,20 @@ impl StatusBoard {
         inner.workers.clear();
     }
 
+    /// Grows the units-total counter without resetting progress or
+    /// workers — the campaign-service pool admits campaigns while others
+    /// are still flying.
+    pub fn grow_campaign(&self, added_units: u64) {
+        if !runtime_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.total += added_units;
+        if inner.started.is_none() {
+            inner.started = Some(Instant::now());
+        }
+    }
+
     /// Updates the units-done counter.
     pub fn set_progress(&self, done: u64) {
         if !runtime_enabled() {

@@ -20,6 +20,7 @@
 
 pub mod doc;
 pub mod spec;
+pub mod submission;
 
 pub use doc::{DocError, Value};
 pub use spec::{
@@ -27,3 +28,4 @@ pub use spec::{
     FlightSettings, MitigationSettings, ObsSettings, ScenarioError, ScenarioSpec, WindSettings,
     PRESET_NAMES,
 };
+pub use submission::{SubmissionError, SubmissionRequest, MAX_PRIORITY, MAX_TENANT_LEN};

@@ -1,0 +1,244 @@
+//! The campaign-service submission codec: parses one `POST /campaigns`
+//! request — tenant id and priority from the query string, a scenario
+//! document (TOML or JSON, auto-detected) from the body — into a
+//! validated [`SubmissionRequest`].
+//!
+//! Everything here treats its input as hostile: tenant ids are
+//! length- and alphabet-checked, priority is range-checked, and the
+//! scenario goes through the same strict parser (unknown *and* missing
+//! keys rejected) plus [`ScenarioSpec::validate`] as a CLI `--scenario`
+//! file. Errors are typed so the service can map them to status codes
+//! and surface the strict parser's message verbatim in the response
+//! body.
+
+use crate::spec::{ScenarioError, ScenarioSpec};
+
+/// Longest accepted tenant id.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Highest accepted priority (fair-share weight).
+pub const MAX_PRIORITY: u32 = 100;
+
+/// One validated campaign submission.
+#[derive(Debug, Clone)]
+pub struct SubmissionRequest {
+    /// Submitting tenant (1–64 chars of `[A-Za-z0-9._-]`).
+    pub tenant: String,
+    /// Fair-share weight, 1–100 (defaults to 1 when absent).
+    pub priority: u32,
+    /// The validated scenario.
+    pub spec: ScenarioSpec,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmissionError {
+    /// No `tenant` query parameter.
+    MissingTenant,
+    /// Tenant id empty, too long, or outside `[A-Za-z0-9._-]`.
+    BadTenant(String),
+    /// Priority not an integer in `1..=100`.
+    BadPriority(String),
+    /// The scenario body failed the strict parser or validation; the
+    /// payload is the parser's message, for the response body.
+    BadScenario(String),
+}
+
+impl std::fmt::Display for SubmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmissionError::MissingTenant => {
+                write!(f, "missing required query parameter \"tenant\"")
+            }
+            SubmissionError::BadTenant(t) => write!(
+                f,
+                "tenant must be 1-{MAX_TENANT_LEN} chars of [A-Za-z0-9._-], got {t:?}"
+            ),
+            SubmissionError::BadPriority(p) => {
+                write!(
+                    f,
+                    "priority must be an integer in 1..={MAX_PRIORITY}, got {p:?}"
+                )
+            }
+            SubmissionError::BadScenario(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmissionError {}
+
+impl SubmissionRequest {
+    /// Parses a submission from a raw query string (`tenant=...` and
+    /// optional `priority=...`) and a scenario document body.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`SubmissionError`] for every way hostile input can be
+    /// refused; scenario problems carry the strict parser's message.
+    pub fn parse(query: &str, body: &str) -> Result<SubmissionRequest, SubmissionError> {
+        let mut tenant: Option<String> = None;
+        let mut priority: u32 = 1;
+        for pair in query.split('&').filter(|p| !p.is_empty()) {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            let value = percent_decode(value);
+            match key {
+                "tenant" => tenant = Some(value),
+                "priority" => {
+                    priority = value
+                        .parse::<u32>()
+                        .ok()
+                        .filter(|p| (1..=MAX_PRIORITY).contains(p))
+                        .ok_or(SubmissionError::BadPriority(value))?;
+                }
+                // Unknown query parameters are ignored (unlike scenario
+                // keys): they don't change what runs.
+                _ => {}
+            }
+        }
+        let tenant = tenant.ok_or(SubmissionError::MissingTenant)?;
+        if !valid_tenant(&tenant) {
+            return Err(SubmissionError::BadTenant(tenant));
+        }
+        let spec = ScenarioSpec::from_str_auto(body)
+            .map_err(|e: ScenarioError| SubmissionError::BadScenario(e.to_string()))?;
+        spec.validate()
+            .map_err(|e| SubmissionError::BadScenario(e.to_string()))?;
+        Ok(SubmissionRequest {
+            tenant,
+            priority,
+            spec,
+        })
+    }
+}
+
+fn valid_tenant(tenant: &str) -> bool {
+    !tenant.is_empty()
+        && tenant.len() <= MAX_TENANT_LEN
+        && tenant
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+/// Minimal percent-decoding for query values (`%XX` and `+` → space);
+/// malformed escapes pass through verbatim and fail validation
+/// downstream instead of panicking.
+fn percent_decode(value: &str) -> String {
+    let bytes = value.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => match (hex_val(bytes.get(i + 1)), hex_val(bytes.get(i + 2))) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
+                }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn hex_val(b: Option<&u8>) -> Option<u8> {
+    match b? {
+        b @ b'0'..=b'9' => Some(b - b'0'),
+        b @ b'a'..=b'f' => Some(b - b'a' + 10),
+        b @ b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_toml() -> String {
+        ScenarioSpec::preset("quick").unwrap().to_toml()
+    }
+
+    #[test]
+    fn parses_tenant_priority_and_scenario() {
+        let req = SubmissionRequest::parse("tenant=alice&priority=3", &quick_toml()).unwrap();
+        assert_eq!(req.tenant, "alice");
+        assert_eq!(req.priority, 3);
+        assert_eq!(req.spec.name, "quick");
+    }
+
+    #[test]
+    fn priority_defaults_to_one() {
+        let req = SubmissionRequest::parse("tenant=bob", &quick_toml()).unwrap();
+        assert_eq!(req.priority, 1);
+    }
+
+    #[test]
+    fn missing_tenant_is_typed() {
+        assert_eq!(
+            SubmissionRequest::parse("priority=2", &quick_toml()).unwrap_err(),
+            SubmissionError::MissingTenant
+        );
+    }
+
+    #[test]
+    fn hostile_tenants_are_refused() {
+        for bad in ["", "a b", "x/../y", &"t".repeat(MAX_TENANT_LEN + 1)] {
+            let query = format!("tenant={bad}");
+            assert!(
+                matches!(
+                    SubmissionRequest::parse(&query, &quick_toml()),
+                    Err(SubmissionError::MissingTenant | SubmissionError::BadTenant(_))
+                ),
+                "tenant {bad:?} accepted"
+            );
+        }
+        // Percent-decoding happens before validation: an encoded slash
+        // cannot sneak into a store path.
+        assert!(matches!(
+            SubmissionRequest::parse("tenant=a%2Fb", &quick_toml()),
+            Err(SubmissionError::BadTenant(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_priority_is_typed() {
+        for bad in ["0", "101", "-1", "abc"] {
+            let query = format!("tenant=alice&priority={bad}");
+            assert!(
+                matches!(
+                    SubmissionRequest::parse(&query, &quick_toml()),
+                    Err(SubmissionError::BadPriority(_))
+                ),
+                "priority {bad:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_errors_carry_the_strict_parser_message() {
+        let err = SubmissionRequest::parse("tenant=alice", "nonsense = true").unwrap_err();
+        let SubmissionError::BadScenario(msg) = &err else {
+            panic!("wrong variant: {err:?}");
+        };
+        assert!(!msg.is_empty());
+        // The display form surfaces it too (the service echoes this).
+        assert!(err.to_string().contains("invalid scenario"));
+    }
+
+    #[test]
+    fn json_bodies_are_auto_detected() {
+        let json = ScenarioSpec::preset("quick").unwrap().to_json();
+        let req = SubmissionRequest::parse("tenant=alice", &json).unwrap();
+        assert_eq!(req.spec.name, "quick");
+    }
+}

@@ -1,0 +1,31 @@
+//! Campaign-as-a-service: the multi-tenant HTTP campaign service.
+//!
+//! `imufit-serve` turns the one-shot campaign CLI into a long-running
+//! service: tenants `POST` scenario documents to `/campaigns`, the
+//! service validates them with the strict scenario parser, queues them on
+//! a persistent [`WorkerPool`](imufit_fleet::pool::WorkerPool) where work
+//! units from all live campaigns interleave under weighted fair-share +
+//! priority, and clients poll `GET /campaigns/{id}` until the merged CSV
+//! — byte-identical to a single-process run — is ready at
+//! `GET /campaigns/{id}/results`.
+//!
+//! Completed campaigns persist in an on-disk result store keyed by the
+//! campaign fingerprint (FNV-1a over the *canonical re-dump* of the
+//! parsed scenario, plus seed and unit count), so an identical
+//! resubmission from any tenant — even with reordered keys or different
+//! whitespace — is served from cache without dispatching a single unit.
+//!
+//! The HTTP layer rides the obs crate's hand-rolled server
+//! ([`imufit_obs::http`]): zero new dependencies, request bodies capped
+//! (413), scenario parse failures surfaced verbatim (400), per-tenant
+//! quotas enforced (429), and per-endpoint latency histograms exported
+//! through the ordinary `/metrics` scrape.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod service;
+
+pub use http::handler;
+pub use service::{CampaignService, ServiceConfig};

@@ -14,13 +14,16 @@
 //!     cargo bench -p imufit-bench --bench components
 //! cargo run --bin bench_summary -- bench_estimates.jsonl BENCH_campaign.json
 //! cargo run --bin bench_summary -- --gate OLD.json bench_estimates.jsonl NEW.json
+//! cargo run --bin bench_summary -- --gate OLD.json --hard ...
 //! ```
 //!
 //! `--gate OLD.json` additionally compares the fresh medians against a
 //! previously committed summary and prints a `::warning::` line (the
 //! GitHub Actions annotation format) for every gated bench that regressed
-//! by more than 10%. The gate is soft: regressions warn, they never fail
-//! the build, because CI runners have noisy clocks.
+//! by more than 10%. The gate is soft by default: regressions warn, they
+//! never fail the build, because CI runners have noisy clocks. `--hard`
+//! turns every would-be warning into a nonzero exit (code 3) for callers
+//! that want the gate to actually gate.
 
 use std::io::Write as _;
 
@@ -51,6 +54,8 @@ const PROFILER_OVERHEAD_BUDGET: f64 = 1.02;
 fn main() {
     imufit_obs::log::init();
     let mut raw_args: Vec<String> = std::env::args().skip(1).collect();
+    let hard = raw_args.iter().any(|a| a == "--hard");
+    raw_args.retain(|a| a != "--hard");
     let mut gate: Option<String> = None;
     if raw_args.first().map(String::as_str) == Some("--gate") {
         if raw_args.len() < 2 {
@@ -90,7 +95,13 @@ fn main() {
 
     if let Some(baseline_path) = gate {
         match std::fs::read_to_string(&baseline_path) {
-            Ok(baseline) => check_gate(&parse_summary(&baseline), &estimates),
+            Ok(baseline) => {
+                let regressions = check_gate(&parse_summary(&baseline), &estimates);
+                if hard && regressions > 0 {
+                    warn!("perf gate: {regressions} regression(s) and --hard is set; failing");
+                    std::process::exit(3);
+                }
+            }
             Err(e) => warn!("perf gate: cannot read baseline {baseline_path}: {e} (skipping)"),
         }
     }
@@ -118,8 +129,10 @@ fn parse_summary(json: &str) -> Vec<(String, f64)> {
 
 /// Compares fresh medians against the committed baseline for the gated
 /// benches, printing GitHub annotation warnings for >10% regressions.
-/// Soft by design: never exits non-zero for a regression.
-fn check_gate(baseline: &[(String, f64)], fresh: &[(String, f64)]) {
+/// Returns the regression count; `main` only exits non-zero on it under
+/// `--hard`.
+fn check_gate(baseline: &[(String, f64)], fresh: &[(String, f64)]) -> usize {
+    let mut regressions = 0;
     for name in GATED_BENCHES {
         let old = baseline.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
         let new = fresh.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
@@ -127,6 +140,7 @@ fn check_gate(baseline: &[(String, f64)], fresh: &[(String, f64)]) {
             (Some(old), Some(new)) if old > 0.0 => {
                 let ratio = new / old;
                 if ratio > 1.0 + GATE_TOLERANCE {
+                    regressions += 1;
                     println!(
                         "::warning::perf gate: {name} regressed {:.1}% \
                          ({old:.1} ns -> {new:.1} ns)",
@@ -142,13 +156,14 @@ fn check_gate(baseline: &[(String, f64)], fresh: &[(String, f64)]) {
             _ => warn!("perf gate: {name} missing from baseline or fresh run (skipping)"),
         }
     }
-    check_profiler_overhead(fresh);
+    regressions + check_profiler_overhead(fresh)
 }
 
 /// The profiler-overhead gate rides the fresh run alone: profiled vs
 /// unprofiled medians of the same warmed batch-4 tick must stay within
-/// [`PROFILER_OVERHEAD_BUDGET`]. Soft like the regression gate.
-fn check_profiler_overhead(fresh: &[(String, f64)]) {
+/// [`PROFILER_OVERHEAD_BUDGET`]. Returns 1 on breach, counting toward
+/// the `--hard` exit like any other regression.
+fn check_profiler_overhead(fresh: &[(String, f64)]) -> usize {
     let get = |name: &str| fresh.iter().find(|(n, _)| n == name).map(|(_, v)| *v);
     match (get("sim/unprofiled_tick"), get("sim/profiled_tick")) {
         (Some(off), Some(on)) if off > 0.0 => {
@@ -160,14 +175,18 @@ fn check_profiler_overhead(fresh: &[(String, f64)]) {
                     (ratio - 1.0) * 100.0,
                     (PROFILER_OVERHEAD_BUDGET - 1.0) * 100.0
                 );
-            } else {
-                info!(
-                    "perf gate: profiler overhead ok ({off:.1} ns -> {on:.1} ns, {:+.2}%)",
-                    (ratio - 1.0) * 100.0
-                );
+                return 1;
             }
+            info!(
+                "perf gate: profiler overhead ok ({off:.1} ns -> {on:.1} ns, {:+.2}%)",
+                (ratio - 1.0) * 100.0
+            );
+            0
         }
-        _ => warn!("perf gate: profiler overhead pair missing from fresh run (skipping)"),
+        _ => {
+            warn!("perf gate: profiler overhead pair missing from fresh run (skipping)");
+            0
+        }
     }
 }
 
@@ -392,6 +411,29 @@ mod tests {
             "{json}"
         );
         assert_eq!(parse_summary(&json), estimates);
+    }
+
+    /// `--hard` exits non-zero exactly when this count is non-zero: a
+    /// regression past the 10% tolerance on a gated bench counts, and so
+    /// does a profiler overhead budget breach.
+    #[test]
+    fn gate_counts_regressions_for_hard_mode() {
+        let baseline = vec![
+            ("sim/closed_loop_step".to_string(), 1000.0),
+            ("trace/tick_off".to_string(), 100.0),
+        ];
+        let mut fresh = baseline.clone();
+        assert_eq!(check_gate(&baseline, &fresh), 0);
+        // Within tolerance: +5% is noise, not a regression.
+        fresh[1].1 = 105.0;
+        assert_eq!(check_gate(&baseline, &fresh), 0);
+        // A clear regression on one gated bench.
+        fresh[0].1 = 1200.0;
+        assert_eq!(check_gate(&baseline, &fresh), 1);
+        // A profiler-overhead budget breach counts too.
+        fresh.push(("sim/unprofiled_tick".to_string(), 10_000.0));
+        fresh.push(("sim/profiled_tick".to_string(), 10_500.0));
+        assert_eq!(check_gate(&baseline, &fresh), 2);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`scenario`] | `imufit-scenario` | one-document run descriptions + presets |
 //! | [`trace`] | `imufit-trace` | black-box flight tracing + `.ifbb` post-mortems |
 //! | [`fleet`] | `imufit-fleet` | distributed campaigns: coordinator/workers + checkpoints |
+//! | [`serve`] | `imufit-serve` | campaign-as-a-service: multi-tenant HTTP + result cache |
 //!
 //! # Quickstart
 //!
@@ -56,6 +57,7 @@ pub use imufit_math as math;
 pub use imufit_missions as missions;
 pub use imufit_scenario as scenario;
 pub use imufit_sensors as sensors;
+pub use imufit_serve as serve;
 pub use imufit_telemetry as telemetry;
 pub use imufit_trace as trace;
 pub use imufit_uav as uav;

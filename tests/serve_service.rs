@@ -1,0 +1,172 @@
+//! End-to-end test of the campaign service: two tenants submit campaigns
+//! with different priorities to one persistent 2-worker pool, units from
+//! both interleave under weighted fair-share, each merged CSV is
+//! byte-identical to the single-process campaign, and an identical
+//! resubmission is served from the fingerprint cache without dispatching
+//! a single unit.
+//!
+//! The test drives the real HTTP route handler (request structs in,
+//! status JSON out) with in-process pool workers, so everything except
+//! the TCP accept loop of the HTTP listener is the production path.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imufit::core::{Campaign, CampaignConfig};
+use imufit::scenario::ScenarioSpec;
+use imufit::serve::{handler, CampaignService, ServiceConfig};
+use imufit_fleet::WorkerExit;
+use imufit_obs::http::{Handler, Request, Response};
+
+/// A small campaign (single mission, short flights) that still has
+/// enough units for the two campaigns to genuinely interleave.
+fn test_spec(seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::paper_default();
+    spec.campaign.missions = 1;
+    spec.campaign.durations = vec![2.0];
+    spec.campaign.seed = seed;
+    spec.validate().expect("test scenario is valid");
+    spec
+}
+
+/// The single-process reference CSV for a spec.
+fn reference_csv(spec: &ScenarioSpec) -> String {
+    Campaign::new(CampaignConfig::from_scenario(spec))
+        .run()
+        .to_csv()
+}
+
+fn fresh_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("imufit-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn post(handler: &Handler, query: &str, body: &str) -> Response {
+    handler(&Request {
+        method: "POST".to_string(),
+        path: "/campaigns".to_string(),
+        query: query.to_string(),
+        body: body.as_bytes().to_vec(),
+    })
+    .expect("submit handled")
+}
+
+fn get(handler: &Handler, path: &str) -> Response {
+    handler(&Request {
+        method: "GET".to_string(),
+        path: path.to_string(),
+        query: String::new(),
+        body: Vec::new(),
+    })
+    .expect("get handled")
+}
+
+/// Extracts a bare numeric field from the status JSON.
+fn json_number(body: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\": ");
+    body.lines()
+        .find_map(|l| l.trim().strip_prefix(&marker))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+        .unwrap_or_else(|| panic!("field {key} missing from {body}"))
+}
+
+#[test]
+fn two_tenants_interleave_and_resubmission_hits_cache() {
+    let store = fresh_store("multi");
+    let service = CampaignService::start(ServiceConfig::new(store)).expect("service starts");
+    let routes = handler(Arc::clone(&service));
+
+    // Two distinct campaigns (different seeds -> different fingerprints):
+    // alice at priority 1, bob at priority 3. Submitted concurrently from
+    // two client threads before any worker attaches, so the scheduler —
+    // not submission order — decides the dispatch interleaving.
+    let spec_a = test_spec(2024);
+    let spec_b = test_spec(4242);
+    let (body_a, body_b) = (spec_a.to_toml(), spec_b.to_toml());
+    let (response_a, response_b) = std::thread::scope(|scope| {
+        let ra = scope.spawn(|| post(&routes, "tenant=alice&priority=1", &body_a));
+        let rb = scope.spawn(|| post(&routes, "tenant=bob&priority=3", &body_b));
+        (ra.join().unwrap(), rb.join().unwrap())
+    });
+    assert_eq!(response_a.code, 201, "{}", response_a.body);
+    assert_eq!(response_b.code, 201, "{}", response_b.body);
+    assert!(response_a.body.contains("\"cached\": false"));
+    let id_a = json_number(&response_a.body, "campaign") as u32;
+    let id_b = json_number(&response_b.body, "campaign") as u32;
+    assert_ne!(id_a, id_b);
+    let units_a = json_number(&response_a.body, "units_total");
+    assert!(units_a >= 8, "campaign too small to observe interleaving");
+
+    // A persistent 2-worker pool, in-process.
+    let addr = service.worker_addr();
+    let workers: Vec<_> = (0..2)
+        .map(|id| std::thread::spawn(move || imufit_fleet::run_worker(addr, id)))
+        .collect();
+
+    // Both campaigns complete. Generous deadline: two small campaigns on
+    // two workers take seconds; a hang should fail loudly, not flake.
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let done = [id_a, id_b].iter().all(|&id| {
+            get(&routes, &format!("/campaigns/{id}"))
+                .body
+                .contains("\"state\": \"complete\"")
+        });
+        if done {
+            break;
+        }
+        assert!(Instant::now() < deadline, "campaigns did not complete");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Weighted fair-share: units from both campaigns interleave from the
+    // start, with the priority-3 campaign taking the larger share of the
+    // early dispatches (3x the stride budget).
+    let order = service.dispatch_order();
+    let first: Vec<u32> = order.iter().take(8).copied().collect();
+    let a_early = first.iter().filter(|&&c| c == id_a).count();
+    let b_early = first.iter().filter(|&&c| c == id_b).count();
+    assert!(
+        a_early >= 1 && b_early >= 1,
+        "no interleaving in early dispatches: {first:?}"
+    );
+    assert!(
+        b_early > a_early,
+        "priority 3 should outweigh priority 1 early on: {first:?}"
+    );
+
+    // Each merged CSV is byte-identical to the single-process campaign.
+    let csv_a = get(&routes, &format!("/campaigns/{id_a}/results"));
+    let csv_b = get(&routes, &format!("/campaigns/{id_b}/results"));
+    assert_eq!(csv_a.code, 200);
+    assert_eq!(csv_b.code, 200);
+    assert_eq!(csv_a.content_type, "text/csv");
+    assert_eq!(csv_a.body, reference_csv(&spec_a), "campaign A diverged");
+    assert_eq!(csv_b.body, reference_csv(&spec_b), "campaign B diverged");
+
+    // An identical resubmission — different tenant, same canonical spec —
+    // is served from the result store: the status JSON reports the cache
+    // hit and zero dispatched units, and the CSV is ready immediately.
+    let dispatches_before = service.dispatch_order().len();
+    let cached = post(&routes, "tenant=carol", &spec_a.to_toml());
+    assert_eq!(cached.code, 201, "{}", cached.body);
+    assert!(cached.body.contains("\"cached\": true"), "{}", cached.body);
+    assert!(cached.body.contains("\"state\": \"complete\""));
+    assert_eq!(json_number(&cached.body, "dispatched"), 0);
+    assert_eq!(service.dispatch_order().len(), dispatches_before);
+    let id_c = json_number(&cached.body, "campaign") as u32;
+    let csv_c = get(&routes, &format!("/campaigns/{id_c}/results"));
+    assert_eq!(csv_c.code, 200);
+    assert_eq!(csv_c.body, csv_a.body, "cached CSV must be byte-identical");
+
+    // Shutdown drains the pool: workers see Done and exit cleanly.
+    service.shutdown();
+    for worker in workers {
+        match worker.join().expect("worker thread") {
+            Ok(WorkerExit::CampaignComplete) => {}
+            other => panic!("worker exited abnormally: {other:?}"),
+        }
+    }
+}
